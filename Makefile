@@ -1,0 +1,28 @@
+# Developer entry points.
+
+.PHONY: install test bench experiments figures docs clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Run every registered experiment (tables, figures, ablations) with checks.
+experiments:
+	python -m repro run all
+
+# Regenerate EXPERIMENTS.md with fresh measured numbers.
+docs:
+	python tools/generate_experiments_md.py
+
+# Export every figure's data series as CSV into figures/.
+figures:
+	python tools/export_figures.py --out figures
+
+clean:
+	rm -rf figures .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

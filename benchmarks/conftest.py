@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+All figure benches read the same simulated fleet (scale 0.05 = ~2,000
+systems / ~90,000 disks, seed 1), built once per session; each bench
+then times the *analysis* that regenerates its table or figure and
+asserts the paper's shape checks on the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Session-wide experiment context (simulations cached inside)."""
+    context = ExperimentContext(scale=0.05, seed=1)
+    # Warm the scenarios the benches touch so simulation cost is not
+    # charged to the first timed bench.
+    context.dataset("paper-default")
+    return context

@@ -1,0 +1,42 @@
+"""Bench: the design-choice ablations DESIGN.md calls out.
+
+- shocks on/off: burstiness and P(2) inflation must collapse to the
+  independence model when the shared shock processes are removed.
+- RAID spanning vs single-shelf packing: Finding 9's counterfactual.
+- RAID data-loss replay: correlated failures vs the independence
+  assumption, RAID4 vs RAID-DP.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablate_shocks(benchmark, ctx):
+    # Warm the second scenario so the bench times analysis, not simulation.
+    ctx.dataset("no-shocks")
+    result = benchmark(run_experiment, "ablate-shocks", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    assert result.data["independent_burst"] < result.data["default_burst"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablate_span(benchmark, ctx):
+    ctx.dataset("single-shelf-raid")
+    result = benchmark(run_experiment, "ablate-span", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    spanning = result.data["spanning"]
+    packed = result.data["single_shelf"]
+    assert packed["raid_group"] > spanning["raid_group"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablate_raidloss(benchmark, ctx):
+    ctx.dataset("no-shocks")
+    result = benchmark(run_experiment, "ablate-raidloss", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    assert result.data["correlated_rate"] > result.data["independent_rate"]

@@ -1,0 +1,22 @@
+"""Bench: availability (SLA) estimation over the simulated fleet.
+
+The paper's §1.1 motivation: designers size redundancy to meet SLA
+availability targets.  The bench regenerates per-class availability and
+asserts the per-system inversion of the per-disk AFR ordering plus the
+dual-path benefit.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="availability")
+def test_bench_availability(benchmark, ctx):
+    result = benchmark(run_experiment, "availability", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    by_class = result.data["by_class"]
+    # Everyone lands in the 2.5-4.5 nines band at these outage models.
+    for payload in by_class.values():
+        assert 2.0 < payload["nines"] < 5.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 3 (the interconnect-failure log cascade).
+
+Paper: the excerpt runs FC device timeout -> adapter reset -> SCSI
+aborts/timeouts -> 'No more paths to device' -> RAID-layer
+'disk ... is missing', spanning about three minutes.  The bench renders
+the simulated logs and checks an extracted cascade has that exact
+structure.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3(benchmark, ctx):
+    result = benchmark(run_experiment, "fig3", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    assert result.data["lines"] >= 5

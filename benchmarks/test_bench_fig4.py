@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 4 (AFR by system class, stacked by type).
+
+Paper values (Fig. 4b, excluding Disk H): near-line subsystem AFR
+~3.4% with disks at 1.9%; low-end ~4.6% with disks at only 0.9%; disk
+failures are 20-55% of subsystem failures; physical interconnects
+27-68%.  The benches regenerate both panels and assert those shapes.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.failures.types import FailureType
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4a(benchmark, ctx):
+    result = benchmark(run_experiment, "fig4a", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4b(benchmark, ctx):
+    result = benchmark(run_experiment, "fig4b", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+    rows = result.data["rows"]
+    # Paper-vs-measured: totals should land near the printed numbers.
+    assert rows["Nearline"]["total"] == pytest.approx(3.4, rel=0.25)
+    assert rows["Low-end"]["total"] == pytest.approx(4.6, rel=0.25)
+    assert rows["Nearline"][FailureType.DISK.value] == pytest.approx(1.9, rel=0.3)
+    assert rows["Low-end"][FailureType.DISK.value] == pytest.approx(0.9, rel=0.4)
+    # The share band of Finding 1.
+    share = result.data["disk_share_range"]
+    assert 0.15 <= share["min"] and share["max"] <= 0.60

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (shelf model effect, low-end, fixed disk).
+
+Paper: physical interconnect AFR differs by shelf enclosure model at
+99.5%+ confidence (e.g. 2.66 +/- 0.23% vs 2.18 +/- 0.13% for Disk A-2),
+and the better shelf model depends on the disk model (interoperability,
+Finding 6).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_fig6(benchmark, ctx):
+    result = benchmark(run_experiment, "fig6", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+    # Interoperability: both shelves win somewhere.
+    better = result.data["better_shelf"]
+    assert set(better.values()) == {"A", "B"}
+    # The A-2 panel's direction matches the paper: shelf B is better.
+    assert better["A-2"] == "B"
+    # And A wins for A-3 / D-2 / D-3, as in Fig. 6(b)-(d).
+    assert better["A-3"] == better["D-2"] == better["D-3"] == "A"

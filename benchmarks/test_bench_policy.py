@@ -1,0 +1,20 @@
+"""Bench: the predict-and-replace maintenance policy.
+
+Trains the failure predictor on the first 22 months, applies it as a
+budgeted proactive-replacement policy on the rest, and scores it
+against a random policy of the same budget.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="policy", min_rounds=1, max_time=1.0)
+def test_bench_proactive_policy(benchmark, ctx):
+    result = benchmark.pedantic(
+        run_experiment, args=("proactive-policy", ctx), rounds=1
+    )
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    assert result.data["lift"] > 5.0

@@ -1,0 +1,27 @@
+"""Bench: the failure-prediction pipeline (paper §7 future work).
+
+No paper artifact to compare against — the paper proposes this as
+future work — so the bench asserts the qualitative outcome the paper's
+findings imply: component errors predict failures well above chance,
+and shelf-neighbour trouble carries signal (correlated failures).
+"""
+
+import pytest
+
+from repro.predict import train_failure_predictor
+from repro.simulate.scenario import run_scenario
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return run_scenario("paper-default", scale=0.02, seed=6)
+
+
+@pytest.mark.benchmark(group="prediction")
+def test_bench_failure_prediction(benchmark, sim):
+    model, report = benchmark(train_failure_predictor, sim.injection)
+    print("\n" + report.summary())
+    assert report.auc > 0.7
+    assert report.lift_top_decile > 2.0
+    # Correlated failures: neighbour incidents must carry weight.
+    assert report.weights["shelf_incidents_30d"] > 0.0

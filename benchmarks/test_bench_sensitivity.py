@@ -1,0 +1,51 @@
+"""Bench: sensitivity sweeps over the failure model's levers.
+
+Verifies the model responds monotonically to its design parameters —
+multipath mask probability and shared-shock share — which is what makes
+the reproduced paper shapes attributable to the modeled mechanisms.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_experiment
+
+
+@pytest.fixture(scope="module")
+def sweep_ctx():
+    # Sweeps simulate their own fleets per parameter point; use a
+    # smaller scale than the figure benches to keep rounds affordable.
+    return ExperimentContext(scale=0.02, seed=1)
+
+
+@pytest.mark.benchmark(group="sensitivity", min_rounds=1, max_time=1.0)
+def test_bench_sweep_multipath(benchmark, sweep_ctx):
+    result = benchmark.pedantic(
+        run_experiment, args=("sweep-multipath", sweep_ctx), rounds=1
+    )
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+
+@pytest.mark.benchmark(group="sensitivity", min_rounds=1, max_time=1.0)
+def test_bench_sweep_burstiness(benchmark, sweep_ctx):
+    result = benchmark.pedantic(
+        run_experiment, args=("sweep-burstiness", sweep_ctx), rounds=1
+    )
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+
+@pytest.mark.benchmark(group="sensitivity", min_rounds=1, max_time=1.0)
+def test_bench_sweep_scrub(benchmark, sweep_ctx):
+    result = benchmark.pedantic(
+        run_experiment, args=("sweep-scrub", sweep_ctx), rounds=1
+    )
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_bench_whatif_dualpath(benchmark, ctx):
+    result = benchmark(run_experiment, "whatif-dualpath", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 1 (overview of studied storage systems).
+
+Paper: 39,000 systems / ~155,000 shelves / ~1,800,000 disks / ~239,000
+RAID groups over 44 months, with per-class failure-event counts.  The
+bench regenerates the same table at 1:20 scale and checks its
+structural properties (class mix, interfaces, dual-path availability,
+replacement accounting).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table1(benchmark, ctx):
+    result = benchmark(run_experiment, "table1", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    rows = result.data["rows"]
+    # Table 1 shape: four classes, near-line SATA, low-end most numerous.
+    assert len(rows) == 4
+    assert rows["low_end"]["systems"] > rows["high_end"]["systems"]

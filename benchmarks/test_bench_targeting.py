@@ -1,0 +1,21 @@
+"""Bench: ranking resiliency targets by failure type (§7 future work).
+
+For each failure type, a perfect targeted mechanism is applied as a
+counterfactual; the bench asserts the ranking the paper's breakdowns
+imply — interconnect resiliency is the top lever for primary classes,
+disk-targeted resiliency (RAID's own territory) only for near-line.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="targeting")
+def test_bench_target_ranking(benchmark, ctx):
+    result = benchmark(run_experiment, "target-ranking", ctx)
+    print("\n" + result.text)
+    assert result.passed, result.failed_checks()
+    cuts = result.data["afr_cut"]
+    # The interconnect lever dominates in low-end systems specifically.
+    assert cuts["physical_interconnect"]["low_end"] > 0.45

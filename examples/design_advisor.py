@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Design advisor: quantify the paper's three design recommendations.
+
+The study's implications for storage system designers:
+
+1. **Use redundant interconnects** — dual FC paths cut subsystem AFR
+   30-40% (Finding 7).
+2. **Span RAID groups across shelves** — spanning keeps correlated
+   shelf failures from landing inside one group's rebuild window
+   (Finding 9).
+3. **Do not size resiliency with an independence assumption** — bursty,
+   correlated failures make double/triple overlaps far likelier than
+   MTTDL math predicts (Finding 11).
+
+This example runs the relevant counterfactual scenarios and prints the
+deltas a designer would act on.
+
+Run:
+    python examples/design_advisor.py
+"""
+
+from repro.core.breakdown import afr_by_path_config, row_by_label
+from repro.core.timebetween import analyze_gaps
+from repro.failures.types import FailureType
+from repro.raid.dataloss import estimate_dataloss
+from repro.raid.rebuild import RebuildModel
+from repro.simulate.scenario import run_scenario
+from repro.topology.classes import SystemClass
+
+SCALE = 0.02
+SEED = 3
+
+
+def advise_multipathing(dataset) -> None:
+    """Recommendation 1: redundant interconnects."""
+    print("1. Redundant interconnects (Fig. 7)")
+    for system_class in (SystemClass.MID_RANGE, SystemClass.HIGH_END):
+        rows = afr_by_path_config(dataset, system_class)
+        single = row_by_label(rows, "Single Path")
+        dual = row_by_label(rows, "Dual Paths")
+        if single is None or dual is None:
+            continue
+        phys_cut = 1.0 - dual.percent(
+            FailureType.PHYSICAL_INTERCONNECT
+        ) / single.percent(FailureType.PHYSICAL_INTERCONNECT)
+        total_cut = 1.0 - dual.total_percent / single.total_percent
+        print(
+            "   %-10s dual paths cut interconnect AFR %.0f%%, subsystem "
+            "AFR %.0f%% (%.2f%% -> %.2f%%)"
+            % (
+                system_class.label,
+                100.0 * phys_cut,
+                100.0 * total_cut,
+                single.total_percent,
+                dual.total_percent,
+            )
+        )
+
+
+def advise_spanning() -> None:
+    """Recommendation 2: span RAID groups across shelves."""
+    print("\n2. RAID group placement (Finding 9 counterfactual)")
+    spanning = run_scenario("paper-default", scale=SCALE, seed=SEED).dataset
+    packed = run_scenario("single-shelf-raid", scale=SCALE, seed=SEED).dataset
+    span_burst = analyze_gaps(spanning, "raid_group", None).burst_fraction
+    packed_burst = analyze_gaps(packed, "raid_group", None).burst_fraction
+    print(
+        "   fraction of within-group failure gaps under 10,000 s:\n"
+        "     spanning 3 shelves: %.0f%%\n"
+        "     packed in 1 shelf:  %.0f%%"
+        % (100.0 * span_burst, 100.0 * packed_burst)
+    )
+    print(
+        "   -> packing a group into one shelf makes back-to-back group\n"
+        "      failures ~%.1fx more likely." % (packed_burst / span_burst)
+    )
+
+
+def advise_raid_sizing(dataset) -> None:
+    """Recommendation 3: resiliency sizing under correlated failures."""
+    print("\n3. Resiliency sizing (independence is optimistic)")
+    independent = run_scenario("no-shocks", scale=SCALE, seed=SEED).dataset
+    rebuild = RebuildModel(rebuild_mb_per_second=30.0)
+    observed = estimate_dataloss(dataset, rebuild)
+    assumed = estimate_dataloss(independent, rebuild)
+    print(
+        "   data-loss incidents per 1000 group-years:\n"
+        "     correlated failures (observed): %.2f\n"
+        "     independence assumption:        %.2f"
+        % (
+            observed.loss_rate_per_1000_group_years(),
+            assumed.loss_rate_per_1000_group_years(),
+        )
+    )
+    assumed_rate = assumed.loss_rate_per_1000_group_years()
+    if assumed_rate == 0.0:
+        print(
+            "   -> under independence NO losses occurred at this scale; "
+            "the observed correlated\n      failures produced %d — the "
+            "independence assumption is qualitatively wrong."
+            % observed.total_loss_incidents
+        )
+    else:
+        print(
+            "   -> an MTTDL model assuming independent failures is ~%.1fx "
+            "optimistic."
+            % (observed.loss_rate_per_1000_group_years() / assumed_rate)
+        )
+
+
+def main() -> None:
+    dataset = run_scenario("paper-default", scale=SCALE, seed=SEED).dataset
+    advise_multipathing(dataset)
+    advise_spanning()
+    advise_raid_sizing(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Failure forensics: drill into one shelf's correlated failure burst.
+
+Finding 8/11 in the small: find the shelf with the worst failure burst
+in a simulated fleet, reconstruct its timeline, and show the shared
+component behind it — the kind of root-cause narrative a support
+engineer would build from AutoSupport logs.
+
+Run:
+    python examples/failure_forensics.py
+"""
+
+from collections import defaultdict
+
+from repro.core.bursts import worst_burst
+from repro.simulate.clock import SimulationClock
+from repro.simulate.scenario import run_scenario
+
+
+def main() -> None:
+    dataset = run_scenario("paper-default", scale=0.01, seed=5).dataset
+    clock = SimulationClock()
+
+    biggest = worst_burst(dataset, "shelf")
+    if biggest is None:
+        raise SystemExit("fleet too small: no burst found")
+    shelf_id, burst = biggest.scope_id, list(biggest.events)
+    system = dataset.fleet.system(burst[0].system_id)
+    print(
+        "Worst burst: %d failures on shelf %s (a %s system, shelf model "
+        "%s, disks %s)\n"
+        % (
+            len(burst),
+            shelf_id,
+            system.system_class.label,
+            system.shelf_model,
+            system.primary_disk_model,
+        )
+    )
+
+    print("Timeline (detection timestamps):")
+    previous = None
+    for event in burst:
+        gap = "" if previous is None else "  (+%d s)" % (
+            event.detect_time - previous
+        )
+        print(
+            "  %s  %-30s disk %s%s"
+            % (
+                clock.format(event.detect_time),
+                event.failure_type.label,
+                event.disk_id,
+                gap,
+            )
+        )
+        previous = event.detect_time
+
+    types = defaultdict(int)
+    for event in burst:
+        types[event.failure_type.label] += 1
+    dominant = max(types, key=types.get)
+    print(
+        "\nDiagnosis: %d/%d events are '%s' — consistent with a shared "
+        "shelf-level component fault\n(cable / backplane / enclosure), "
+        "not %d independent disk problems."
+        % (types[dominant], len(burst), dominant, len(burst))
+    )
+    print(
+        "This is the paper's core argument: per-disk resiliency (RAID) "
+        "alone cannot absorb\nfailures whose root cause is shared by "
+        "every disk in the enclosure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""RAID parity demo: survive the double failures the study observed.
+
+Finding 11 shows failures arrive correlated — two disks of one group
+failing close together is far likelier than independence predicts.
+RAID4 (single parity) loses data then; RAID-DP (the paper's RAID6,
+row-diagonal parity) recovers.  This example encodes a payload under
+both schemes, kills one then two disks, and shows exactly where single
+parity gives up.
+
+Run:
+    python examples/raid_parity_demo.py
+"""
+
+import numpy as np
+
+from repro.errors import RaidError
+from repro.raid.raid4 import Raid4Layout
+from repro.raid.raiddp import RaidDPLayout
+
+PAYLOAD = (
+    b"In addition to disk failures that contribute to 20-55% of storage "
+    b"subsystem failures, other components such as physical interconnects "
+    b"and protocol stacks also account for significant percentages."
+)
+
+
+def demo_raid4() -> None:
+    """RAID4: one lost disk is fine, two are fatal."""
+    layout = Raid4Layout(n_data=6, block_size=32)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(layout.n_data, layout.block_size), dtype=np.uint16).astype(np.uint8)
+    data[0, : len(PAYLOAD[:32])] = np.frombuffer(PAYLOAD[:32], dtype=np.uint8)
+
+    stripe = layout.encode(data)
+    print("RAID4: %d data disks + 1 parity, stripe verified: %s"
+          % (layout.n_data, layout.verify(stripe)))
+
+    # Single failure: clobber disk 0 and rebuild it.
+    broken = stripe.copy()
+    broken[0] = 0
+    rebuilt = layout.reconstruct(broken, failed=[0])
+    print("  one disk lost  -> recovered intact: %s"
+          % bool(np.array_equal(rebuilt, stripe)))
+
+    # Double failure: RAID4 must refuse.
+    try:
+        layout.reconstruct(broken, failed=[0, 3])
+        print("  two disks lost -> (unexpectedly recovered?)")
+    except RaidError as exc:
+        print("  two disks lost -> DATA LOSS: %s" % exc)
+
+
+def demo_raiddp() -> None:
+    """RAID-DP: any two lost disks are recoverable."""
+    layout = RaidDPLayout(p=7, block_size=32)  # 6 data + row + diagonal parity
+    rng = np.random.default_rng(1)
+    data = rng.integers(
+        0, 256, size=(layout.n_rows, layout.n_data, layout.block_size), dtype=np.uint16
+    ).astype(np.uint8)
+
+    stripe = layout.encode(data)
+    print("\nRAID-DP: p=%d (%d data + 2 parity disks), stripe verified: %s"
+          % (layout.p, layout.n_data, layout.verify(stripe)))
+
+    # Kill every possible PAIR of disks and recover each time.
+    pairs = [
+        (i, j)
+        for i in range(layout.n_disks)
+        for j in range(i + 1, layout.n_disks)
+    ]
+    recovered = 0
+    for i, j in pairs:
+        broken = stripe.copy()
+        broken[:, i] = 0
+        broken[:, j] = 0
+        rebuilt = layout.reconstruct(broken, failed=[i, j])
+        if np.array_equal(rebuilt, stripe):
+            recovered += 1
+    print(
+        "  killed all %d possible disk pairs -> recovered %d/%d"
+        % (len(pairs), recovered, len(pairs))
+    )
+    print(
+        "  (this is why the paper's bursty double failures argue for "
+        "double parity)"
+    )
+
+
+def main() -> None:
+    demo_raid4()
+    demo_raiddp()
+
+
+if __name__ == "__main__":
+    main()

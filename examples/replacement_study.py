@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Replacement study: reconcile vendor AFRs with field replacement rates.
+
+Reproduces the paper's §3 argument end to end:
+
+1. simulate the fleet and derive the replacement log its administrators
+   would have produced (every observed unavailability risks a pull),
+2. compute the annualized replacement rate (ARR) a field study would
+   measure, and compare with the true disk AFR and vendor datasheets,
+3. show where the replacements actually came from — mostly not disks,
+4. bonus: estimate the shared-shock parameters back from the data
+   (inverse calibration), the §5.2.3 mechanisms made measurable.
+
+Run:
+    python examples/replacement_study.py
+"""
+
+from repro.adapters.replacements import (
+    cause_breakdown,
+    derive_replacement_log,
+    format_replacement_log,
+    replacement_rate_percent,
+)
+from repro.core.afr import dataset_afr
+from repro.core.estimate import estimate_shock_parameters
+from repro.failures.types import FailureType
+from repro.simulate.scenario import run_scenario
+from repro.units import mttf_hours_to_afr_percent
+
+
+def main() -> None:
+    dataset = run_scenario(
+        "paper-default", scale=0.02, seed=8
+    ).dataset.excluding_disk_family()
+
+    records = derive_replacement_log(dataset, seed=8)
+    arr = replacement_rate_percent(records, dataset.exposure_years())
+    disk_afr = dataset_afr(dataset, FailureType.DISK).percent
+    vendor_afr = mttf_hours_to_afr_percent(1_000_000)
+
+    print("What a field replacement study would see:")
+    print("  vendor datasheet (1M h MTTF):       %.2f%% AFR" % vendor_afr)
+    print("  true disk AFR (system perspective): %.2f%%" % disk_afr)
+    print("  annualized replacement rate (ARR):  %.2f%%  <- the 'disks "
+          "fail %0.0fx more than specs' headline" % (arr, arr / vendor_afr))
+
+    print("\nWhere the replacements actually came from:")
+    for cause, share in sorted(cause_breakdown(records).items()):
+        print("  %-24s %5.1f%%" % (cause, 100.0 * share))
+    print(
+        "\nThe paper's resolution: administrators replace on observed "
+        "unavailability, so the\nreplacement rate tracks the storage "
+        "SUBSYSTEM failure rate (%.2f%%), not the disk AFR."
+        % dataset_afr(dataset).percent
+    )
+
+    sample = format_replacement_log(records[:3])
+    print("\nFirst lines of the derived replacement log:")
+    for line in sample.splitlines():
+        print("  " + line)
+
+    print("\nInverse calibration (shock parameters estimated from the data):")
+    for failure_type in (
+        FailureType.PHYSICAL_INTERCONNECT,
+        FailureType.PROTOCOL,
+    ):
+        estimate = estimate_shock_parameters(dataset, failure_type)
+        hit = (
+            "n/a"
+            if estimate.hit_probability is None
+            else "%.2f" % estimate.hit_probability
+        )
+        print(
+            "  %-24s shock share ~%.2f, per-bay hit probability ~%s "
+            "(%d bursts)"
+            % (failure_type.value, estimate.shock_share, hit, estimate.n_bursts)
+        )
+
+
+if __name__ == "__main__":
+    main()

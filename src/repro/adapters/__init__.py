@@ -1,0 +1,27 @@
+"""Adapters between this library's datasets and external data shapes.
+
+- :mod:`repro.adapters.replacements` — disk *replacement* logs, the
+  data shape of the field studies the paper reconciles itself against
+  (Schroeder & Gibson FAST '07; Pinheiro et al. FAST '07, the paper's
+  refs [16, 14]): convert a failure dataset into the replacement log an
+  administrator would have produced, parse external replacement logs,
+  and compute annualized replacement rates (ARR).
+"""
+
+from repro.adapters.replacements import (
+    ReplacementRecord,
+    ReplacementPolicy,
+    derive_replacement_log,
+    format_replacement_log,
+    parse_replacement_log,
+    replacement_rate_percent,
+)
+
+__all__ = [
+    "ReplacementRecord",
+    "ReplacementPolicy",
+    "derive_replacement_log",
+    "format_replacement_log",
+    "parse_replacement_log",
+    "replacement_rate_percent",
+]

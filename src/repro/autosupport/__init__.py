@@ -1,0 +1,27 @@
+"""AutoSupport-style log pipeline: writer, parser, config snapshots.
+
+The real study mined support logs: syslog-style event streams in which
+a failure appears as a cascade of lower-layer errors culminating in a
+RAID-layer event (Fig. 3), plus weekly configuration snapshots that map
+disks to shelves, RAID groups, and models (§2.5).  This package renders
+the simulator's output into that textual form and parses it back, so
+the analysis layer can run end-to-end on *logs*, exactly as the paper's
+authors did.
+"""
+
+from repro.autosupport.messages import format_line, parse_line, LogLine
+from repro.autosupport.writer import LogArchive, write_logs
+from repro.autosupport.snapshot import write_snapshot, parse_snapshot
+from repro.autosupport.parser import parse_archive, parse_system_log
+
+__all__ = [
+    "format_line",
+    "parse_line",
+    "LogLine",
+    "LogArchive",
+    "write_logs",
+    "write_snapshot",
+    "parse_snapshot",
+    "parse_archive",
+    "parse_system_log",
+]

@@ -1,0 +1,163 @@
+"""Parse AutoSupport-style logs back into failure datasets.
+
+The parser follows the paper's methodology (§2.5): only RAID-layer
+events count as storage subsystem failures; the lower-layer cascade
+preceding a RAID event supplies the incident's onset time; cascades
+with no RAID-layer event (retries, failovers) are ignored; duplicate
+RAID events for the same disk and type within an hour are collapsed.
+Topology attributes (models, class, RAID group, path configuration)
+come from the configuration snapshot, as in the real study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.autosupport.messages import LogLine, parse_line
+from repro.autosupport.writer import LogArchive
+from repro.autosupport.snapshot import parse_snapshot
+from repro.core.dataset import DEDUP_WINDOW_SECONDS, FailureDataset
+from repro.errors import LogFormatError
+from repro.failures.events import FailureEvent
+from repro.failures.types import FailureType
+from repro.fleet.fleet import Fleet
+from repro.simulate.clock import SimulationClock
+from repro.topology.system import StorageSystem
+
+#: How far back before a RAID event the cascade's first line may lie.
+CASCADE_WINDOW_SECONDS = 600.0
+
+
+def parse_system_log(
+    text: str,
+    system: StorageSystem,
+    clock: SimulationClock = SimulationClock(),
+    strict: bool = False,
+) -> List[FailureEvent]:
+    """Extract the subsystem failures recorded in one system's log.
+
+    Args:
+        text: full log text.
+        system: the owning system (from the parsed snapshot).
+        clock: timestamp mapping.
+        strict: raise on unparseable lines instead of skipping them
+            (real log mining tolerates noise; tests use strict mode).
+
+    Returns:
+        Events in detection-time order, duplicates collapsed.
+    """
+    lines: List[LogLine] = []
+    for raw in text.splitlines():
+        if not raw.strip():
+            continue
+        try:
+            lines.append(parse_line(clock, raw))
+        except LogFormatError:
+            if strict:
+                raise
+    lines.sort(key=lambda line: line.time)
+
+    # Most recent lower-layer line time per disk, to date the cascade onset.
+    last_lower: Dict[str, float] = {}
+    last_raid: Dict[Tuple[str, FailureType], float] = {}
+    events: List[FailureEvent] = []
+    for line in lines:
+        if line.disk_id is None:
+            continue
+        if not line.is_raid_event:
+            last_lower[line.disk_id] = min(
+                last_lower.get(line.disk_id, line.time), line.time
+            ) if _within_cascade(last_lower.get(line.disk_id), line.time) else line.time
+            continue
+        try:
+            failure_type = FailureType.from_raid_event(line.event)
+        except ValueError:
+            if strict:
+                raise LogFormatError("unknown RAID event %r" % line.event)
+            continue
+        key = (line.disk_id, failure_type)
+        previous = last_raid.get(key)
+        if previous is not None and line.time - previous < DEDUP_WINDOW_SECONDS:
+            continue
+        last_raid[key] = line.time
+        onset = last_lower.get(line.disk_id)
+        occur = (
+            onset
+            if onset is not None and line.time - onset <= CASCADE_WINDOW_SECONDS
+            else line.time
+        )
+        event = _build_event(system, line, failure_type, occur)
+        if event is not None:
+            events.append(event)
+        elif strict:
+            raise LogFormatError(
+                "disk %r not found in snapshot topology" % line.disk_id
+            )
+    return events
+
+
+def _within_cascade(previous: Optional[float], time: float) -> bool:
+    return previous is not None and time - previous <= CASCADE_WINDOW_SECONDS
+
+
+def _build_event(
+    system: StorageSystem,
+    line: LogLine,
+    failure_type: FailureType,
+    occur_time: float,
+) -> Optional[FailureEvent]:
+    slot_key = line.disk_id.rsplit("#", 1)[0]
+    try:
+        slot = system.slot_by_key(slot_key)
+    except Exception:
+        return None
+    disk = None
+    for candidate in slot.disks:
+        if candidate.disk_id == line.disk_id:
+            disk = candidate
+            break
+    if disk is None:
+        return None
+    return FailureEvent(
+        occur_time=min(occur_time, line.time),
+        detect_time=line.time,
+        failure_type=failure_type,
+        disk_id=disk.disk_id,
+        shelf_id=disk.shelf_id,
+        raid_group_id=slot.raid_group_id,
+        system_id=system.system_id,
+        system_class=system.system_class.value,
+        disk_model=disk.model,
+        shelf_model=system.shelf_model,
+        dual_path=system.dual_path,
+        replaced_disk=(failure_type is FailureType.DISK),
+    )
+
+
+def parse_archive(
+    archive: LogArchive,
+    clock: SimulationClock = SimulationClock(),
+    fleet: Optional[Fleet] = None,
+    strict: bool = False,
+) -> FailureDataset:
+    """Parse a whole archive into a failure dataset.
+
+    Args:
+        archive: per-system logs + snapshot.
+        clock: timestamp mapping.
+        fleet: reuse an existing fleet instead of parsing the snapshot
+            (they must describe the same topology).
+        strict: propagate malformed-line errors.
+    """
+    if fleet is None:
+        fleet = parse_snapshot(archive.snapshot)
+    events: List[FailureEvent] = []
+    for system_id, text in archive.logs.items():
+        try:
+            system = fleet.system(system_id)
+        except Exception:
+            if strict:
+                raise LogFormatError("log for unknown system %r" % system_id)
+            continue
+        events.extend(parse_system_log(text, system, clock, strict))
+    return FailureDataset(events=events, fleet=fleet)

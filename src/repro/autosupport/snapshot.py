@@ -1,0 +1,206 @@
+"""Configuration snapshots: serializing a fleet to text and back.
+
+The real AutoSupport feed copies system configuration weekly (§2.5):
+which disks sit in which shelves, which disks form each RAID group,
+disk and shelf models.  The analyses need exactly that metadata, so the
+snapshot format captures the fleet's full topology (plus per-disk
+install/remove times, which the paper derives from the replacement
+history) in a line-oriented INI-like text that round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LogFormatError
+from repro.fleet.fleet import Fleet
+from repro.topology.classes import SystemClass
+from repro.topology.components import Disk, Shelf
+from repro.topology.raidgroup import RAIDGroup, RaidType
+from repro.topology.system import StorageSystem
+
+_FORMAT_VERSION = "1"
+
+
+def write_snapshot(fleet: Fleet) -> str:
+    """Serialize a fleet (topology + disk lifetimes) to snapshot text."""
+    lines: List[str] = []
+    lines.append("[meta]")
+    lines.append("version = %s" % _FORMAT_VERSION)
+    lines.append("duration_seconds = %r" % fleet.duration_seconds)
+    lines.append("")
+    for system in fleet.systems:
+        lines.append("[system %s]" % system.system_id)
+        lines.append("class = %s" % system.system_class.value)
+        lines.append("shelf_model = %s" % system.shelf_model)
+        lines.append("disk_model = %s" % system.primary_disk_model)
+        lines.append("dual_path = %s" % ("true" if system.dual_path else "false"))
+        lines.append("deploy_time = %r" % system.deploy_time)
+        lines.append("")
+        for shelf in system.shelves:
+            lines.append("[shelf %s]" % shelf.shelf_id)
+            lines.append("system = %s" % system.system_id)
+            lines.append("model = %s" % shelf.model)
+            lines.append("slots = %d" % len(shelf.slots))
+            lines.append(
+                "slot_groups = %s"
+                % ",".join(slot.raid_group_id for slot in shelf.slots)
+            )
+            lines.append("")
+            for slot in shelf.slots:
+                for disk in slot.disks:
+                    lines.append("[disk %s]" % disk.disk_id)
+                    lines.append("model = %s" % disk.model)
+                    lines.append("slot = %d" % disk.slot_index)
+                    lines.append("serial = %s" % disk.serial)
+                    lines.append("install_time = %r" % disk.install_time)
+                    remove = (
+                        "none" if disk.remove_time is None else repr(disk.remove_time)
+                    )
+                    lines.append("remove_time = %s" % remove)
+                    lines.append("")
+        for group in system.raid_groups:
+            lines.append("[raidgroup %s]" % group.raid_group_id)
+            lines.append("system = %s" % system.system_id)
+            lines.append("raid_type = %s" % group.raid_type.value)
+            lines.append("slot_keys = %s" % ",".join(group.slot_keys))
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def parse_snapshot(text: str) -> Fleet:
+    """Rebuild a fleet from snapshot text.
+
+    Raises:
+        LogFormatError: on malformed sections or dangling references.
+    """
+    sections = _split_sections(text)
+    meta = _take_unique(sections, "meta")
+    duration = float(meta.get("duration_seconds", "0"))
+    if duration <= 0.0:
+        raise LogFormatError("snapshot meta lacks a positive duration")
+
+    systems: Dict[str, StorageSystem] = {}
+    order: List[str] = []
+    for name, fields in sections:
+        if not name.startswith("system "):
+            continue
+        system_id = name.split(" ", 1)[1]
+        try:
+            system = StorageSystem(
+                system_id=system_id,
+                system_class=SystemClass(fields["class"]),
+                shelf_model=fields["shelf_model"],
+                primary_disk_model=fields["disk_model"],
+                dual_path=fields["dual_path"] == "true",
+                deploy_time=float(fields["deploy_time"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise LogFormatError("bad system section %r: %s" % (system_id, exc)) from None
+        systems[system_id] = system
+        order.append(system_id)
+
+    for name, fields in sections:
+        if not name.startswith("shelf "):
+            continue
+        shelf_id = name.split(" ", 1)[1]
+        system = _owner(systems, fields, shelf_id)
+        shelf = Shelf(shelf_id=shelf_id, model=fields["model"], system_id=system.system_id)
+        slot_groups = fields.get("slot_groups", "")
+        group_ids = slot_groups.split(",") if slot_groups else []
+        n_slots = int(fields["slots"])
+        if group_ids and len(group_ids) != n_slots:
+            raise LogFormatError("shelf %s slot_groups mismatch" % shelf_id)
+        shelf.add_slots(n_slots, group_ids or None)
+        system.shelves.append(shelf)
+
+    shelf_owner: Dict[str, StorageSystem] = {
+        shelf.shelf_id: system
+        for system in systems.values()
+        for shelf in system.shelves
+    }
+    for name, fields in sections:
+        if not name.startswith("disk "):
+            continue
+        disk_id = name.split(" ", 1)[1]
+        slot_key = disk_id.rsplit("#", 1)[0]
+        shelf_id = slot_key.rsplit("/", 1)[0]
+        system = shelf_owner.get(shelf_id)
+        if system is None:
+            raise LogFormatError(
+                "%s references unknown shelf %r" % (disk_id, shelf_id)
+            )
+        slot = system.slot_by_key(slot_key)
+        remove_raw = fields["remove_time"]
+        disk = Disk(
+            disk_id=disk_id,
+            model=fields["model"],
+            system_id=system.system_id,
+            shelf_id=shelf_id,
+            slot_index=int(fields["slot"]),
+            raid_group_id=slot.raid_group_id,
+            install_time=float(fields["install_time"]),
+            remove_time=None if remove_raw == "none" else float(remove_raw),
+            serial=fields.get("serial", ""),
+        )
+        # Disks are serialized in install order per slot; append directly
+        # (the occupancy check in install() assumes live mutation order).
+        slot.disks.append(disk)
+
+    for name, fields in sections:
+        if not name.startswith("raidgroup "):
+            continue
+        group_id = name.split(" ", 1)[1]
+        system = _owner(systems, fields, group_id)
+        slot_keys = fields["slot_keys"].split(",") if fields["slot_keys"] else []
+        system.raid_groups.append(
+            RAIDGroup(
+                raid_group_id=group_id,
+                system_id=system.system_id,
+                raid_type=RaidType(fields["raid_type"]),
+                slot_keys=slot_keys,
+            )
+        )
+
+    return Fleet(
+        systems=[systems[system_id] for system_id in order],
+        duration_seconds=duration,
+    )
+
+
+def _split_sections(text: str) -> List[Tuple[str, Dict[str, str]]]:
+    sections: List[Tuple[str, Dict[str, str]]] = []
+    current: Optional[Tuple[str, Dict[str, str]]] = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = (line[1:-1], {})
+            sections.append(current)
+            continue
+        if current is None or "=" not in line:
+            raise LogFormatError("stray snapshot line: %r" % line[:80])
+        key, _, value = line.partition("=")
+        current[1][key.strip()] = value.strip()
+    return sections
+
+
+def _take_unique(
+    sections: List[Tuple[str, Dict[str, str]]], name: str
+) -> Dict[str, str]:
+    matches = [fields for section, fields in sections if section == name]
+    if len(matches) != 1:
+        raise LogFormatError("expected exactly one [%s] section" % name)
+    return matches[0]
+
+
+def _owner(
+    systems: Dict[str, StorageSystem], fields: Dict[str, str], child: str
+) -> StorageSystem:
+    system_id = fields.get("system", "")
+    if system_id not in systems:
+        raise LogFormatError("%s references unknown system %r" % (child, system_id))
+    return systems[system_id]
+
+

@@ -1,0 +1,257 @@
+"""Command-line interface: run experiments, render reports, export logs.
+
+Usage::
+
+    repro list                          # experiments and scenarios
+    repro run fig4b [--scale --seed]    # one experiment (or "all")
+    repro findings [--scale --seed]     # the Findings 1-11 scoreboard
+    repro report [--scale --seed]       # overview + headline figures
+    repro simulate paper-default --out logs/   # export an AutoSupport
+                                                # style log archive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.findings import evaluate_findings
+from repro.core.report import format_findings, format_overview
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.simulate.scenario import SCENARIOS, run_scenario
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the FAST '08 storage subsystem "
+        "failure study on a simulated fleet.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scenarios")
+
+    run_cmd = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_cmd.add_argument("experiment", help="experiment id, or 'all'")
+    _common(run_cmd)
+
+    findings_cmd = sub.add_parser("findings", help="evaluate Findings 1-11")
+    _common(findings_cmd)
+
+    report_cmd = sub.add_parser("report", help="fleet overview report")
+    _common(report_cmd)
+
+    sim_cmd = sub.add_parser("simulate", help="export a log archive")
+    sim_cmd.add_argument("scenario", choices=sorted(SCENARIOS))
+    sim_cmd.add_argument("--out", required=True, help="output directory")
+    _common(sim_cmd)
+
+    predict_cmd = sub.add_parser(
+        "predict", help="train and evaluate a failure predictor"
+    )
+    predict_cmd.add_argument(
+        "--horizon-days", type=float, default=14.0,
+        help="prediction horizon (days)",
+    )
+    _common(predict_cmd)
+
+    export_cmd = sub.add_parser("export", help="export failure events to CSV")
+    export_cmd.add_argument("--out", required=True, help="output CSV path")
+    _common(export_cmd)
+
+    plot_cmd = sub.add_parser(
+        "plot", help="render Fig. 9 as an ASCII CDF plot"
+    )
+    plot_cmd.add_argument(
+        "--scope", choices=("shelf", "raid_group"), default="shelf"
+    )
+    plot_cmd.add_argument("--width", type=int, default=72)
+    _common(plot_cmd)
+
+    doctor_cmd = sub.add_parser(
+        "doctor", help="validate the calibration tables and a dataset"
+    )
+    _common(doctor_cmd)
+
+    batch_cmd = sub.add_parser(
+        "batch", help="multi-seed run: headline metrics with seed spread"
+    )
+    batch_cmd.add_argument(
+        "--seeds", default="1,2,3", help="comma-separated seeds"
+    )
+    _common(batch_cmd)
+    return parser
+
+
+def _common(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--scale", type=float, default=0.05,
+                     help="fleet scale vs the paper's 39,000 systems")
+    cmd.add_argument("--seed", type=int, default=1, help="root random seed")
+    cmd.add_argument(
+        "--via-logs",
+        action="store_true",
+        help="route the dataset through the AutoSupport log pipeline",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        print("experiments:")
+        for experiment_id, (title, _runner) in sorted(EXPERIMENTS.items()):
+            print("  %-16s %s" % (experiment_id, title))
+        print("scenarios:")
+        for name, scenario in sorted(SCENARIOS.items()):
+            print("  %-16s %s" % (name, scenario.description))
+        return 0
+
+    if args.command == "run":
+        context = ExperimentContext(
+            scale=args.scale, seed=args.seed, via_logs=args.via_logs
+        )
+        ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        all_passed = True
+        for experiment_id in ids:
+            result = run_experiment(experiment_id, context)
+            print(result.text)
+            verdict = "PASS" if result.passed else "FAIL"
+            print(
+                "[%s] %s: %d/%d checks"
+                % (
+                    verdict,
+                    experiment_id,
+                    sum(result.checks.values()),
+                    len(result.checks),
+                )
+            )
+            if not result.passed:
+                print("  failed: %s" % ", ".join(result.failed_checks()))
+                all_passed = False
+            print()
+        return 0 if all_passed else 1
+
+    if args.command == "findings":
+        dataset = _dataset(args)
+        findings = evaluate_findings(dataset)
+        print(format_findings(findings))
+        return 0 if all(f.passed for f in findings) else 1
+
+    if args.command == "report":
+        dataset = _dataset(args)
+        print(format_overview(dataset))
+        print()
+        from repro.core.breakdown import afr_by_class
+        from repro.core.report import format_breakdown
+
+        print(
+            format_breakdown(
+                "AFR by class (excluding the problematic disk family)",
+                afr_by_class(dataset, exclude_problematic_family=True),
+            )
+        )
+        return 0
+
+    if args.command == "simulate":
+        result = run_scenario(
+            args.scenario, scale=args.scale, seed=args.seed, via_logs=True
+        )
+        assert result.archive is not None  # via_logs=True guarantees it
+        result.archive.save_to(args.out)
+        print(
+            "wrote %d system logs (%d lines) + snapshot to %s"
+            % (len(result.archive.logs), result.archive.total_lines(), args.out)
+        )
+        return 0
+
+    if args.command == "predict":
+        from repro.predict import PredictorConfig, train_failure_predictor
+
+        result = run_scenario("paper-default", scale=args.scale, seed=args.seed)
+        _model, report = train_failure_predictor(
+            result.injection,
+            PredictorConfig(horizon_days=args.horizon_days),
+        )
+        print(report.summary())
+        return 0
+
+    if args.command == "export":
+        from repro.core.export import events_to_csv
+
+        dataset = _dataset(args)
+        with open(args.out, "w") as handle:
+            handle.write(events_to_csv(dataset))
+        print("wrote %d events to %s" % (len(dataset.events), args.out))
+        return 0
+
+    if args.command == "plot":
+        from repro.core.plots import figure9_ascii
+
+        dataset = _dataset(args)
+        print(figure9_ascii(dataset, args.scope, width=args.width))
+        return 0
+
+    if args.command == "doctor":
+        from repro.core.validate import doctor
+
+        report = doctor(_dataset(args))
+        print(report)
+        return 0 if "no issues" in report else 1
+
+    if args.command == "batch":
+        from repro.core.afr import dataset_afr
+        from repro.core.timebetween import analyze_gaps
+        from repro.failures.types import FailureType
+        from repro.simulate.batch import batch_run
+
+        seeds = tuple(int(seed) for seed in args.seeds.split(","))
+        spreads = batch_run(
+            {
+                "subsystem_afr_pct": lambda ds: dataset_afr(ds).percent,
+                "disk_afr_pct": lambda ds: dataset_afr(
+                    ds, FailureType.DISK
+                ).percent,
+                "shelf_burst_fraction": lambda ds: analyze_gaps(
+                    ds, "shelf", None
+                ).burst_fraction,
+            },
+            scale=args.scale,
+            seeds=seeds,
+        )
+        print("Seed spread over seeds %s (scale %.3f):" % (seeds, args.scale))
+        for spread in spreads.values():
+            print(
+                "  %-22s %.4g +/- %.2g  (rel %.1f%%)"
+                % (
+                    spread.name,
+                    spread.mean,
+                    spread.std,
+                    100.0 * spread.relative_std,
+                )
+            )
+        return 0
+
+    raise AssertionError("unreachable command %r" % args.command)
+
+
+def _dataset(args: argparse.Namespace):
+    return ExperimentContext(
+        scale=args.scale, seed=args.seed, via_logs=args.via_logs
+    ).dataset("paper-default")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Annualized failure rate estimation.
+
+AFR is the paper's workhorse metric: failures per disk-year, in percent.
+The same denominator (disk-years of exposure) is used for every failure
+type, so per-type AFRs stack to the subsystem AFR — the stacked bars of
+Figs. 4-7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+from repro.core.dataset import FailureDataset
+from repro.errors import AnalysisError
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.stats.intervals import ConfidenceInterval, rate_confidence_interval
+from repro.topology.system import StorageSystem
+
+
+@dataclasses.dataclass(frozen=True)
+class AFREstimate:
+    """An annualized failure rate with its provenance.
+
+    Attributes:
+        count: failure events in the group.
+        exposure_years: disk-years of in-service exposure.
+        percent: the AFR point estimate, percent per disk-year.
+        interval: Poisson confidence interval on the AFR.
+    """
+
+    count: int
+    exposure_years: float
+    percent: float
+    interval: ConfidenceInterval
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%.2f%% (%d events / %.0f disk-years)" % (
+            self.percent,
+            self.count,
+            self.exposure_years,
+        )
+
+
+def afr_estimate(
+    count: int, exposure_years: float, confidence: float = 0.995
+) -> AFREstimate:
+    """Build an :class:`AFREstimate` from a count and an exposure."""
+    if exposure_years <= 0.0:
+        raise AnalysisError("exposure must be positive to estimate an AFR")
+    interval = rate_confidence_interval(count, exposure_years, confidence)
+    return AFREstimate(
+        count=count,
+        exposure_years=exposure_years,
+        percent=100.0 * count / exposure_years,
+        interval=interval,
+    )
+
+
+def dataset_afr(
+    dataset: FailureDataset,
+    failure_type: Optional[FailureType] = None,
+    system_predicate: Optional[Callable[[StorageSystem], bool]] = None,
+    confidence: float = 0.995,
+) -> AFREstimate:
+    """AFR over (a subset of) a dataset.
+
+    Args:
+        dataset: events + fleet.
+        failure_type: restrict the numerator to one type (None = all).
+        system_predicate: restrict numerator and denominator to systems
+            satisfying the predicate.
+        confidence: CI level for the returned interval.
+    """
+    exposure = dataset.exposure_years(system_predicate)
+    if system_predicate is None:
+        kept_ids = None
+    else:
+        kept_ids = {
+            s.system_id for s in dataset.fleet.systems if system_predicate(s)
+        }
+    count = 0
+    for event in dataset.events:
+        if failure_type is not None and event.failure_type is not failure_type:
+            continue
+        if kept_ids is not None and event.system_id not in kept_ids:
+            continue
+        count += 1
+    return afr_estimate(count, exposure, confidence)
+
+
+def afr_stack(
+    dataset: FailureDataset,
+    system_predicate: Optional[Callable[[StorageSystem], bool]] = None,
+    confidence: float = 0.995,
+) -> Dict[FailureType, AFREstimate]:
+    """Per-type AFRs over one group — one stacked bar of Figs. 4-7."""
+    return {
+        failure_type: dataset_afr(
+            dataset, failure_type, system_predicate, confidence
+        )
+        for failure_type in FAILURE_TYPE_ORDER
+    }
+
+
+def stack_total_percent(stack: Dict[FailureType, AFREstimate]) -> float:
+    """Total subsystem AFR of a stacked bar (the bar's height)."""
+    return sum(estimate.percent for estimate in stack.values())

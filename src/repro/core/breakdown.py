@@ -1,0 +1,187 @@
+"""Grouped AFR breakdowns: the machinery behind Figs. 4, 5, 6, and 7.
+
+Each public function returns :class:`BreakdownRow` records — one stacked
+bar each — so benchmarks and reports can print exactly the series the
+paper plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.afr import AFREstimate, afr_stack, stack_total_percent
+from repro.core.dataset import FailureDataset
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.topology.classes import SYSTEM_CLASS_ORDER, SystemClass
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakdownRow:
+    """One stacked bar: a labeled group with per-type AFRs.
+
+    Attributes:
+        label: the bar's x-axis label (class, disk model, ...).
+        stack: per-failure-type AFR estimates.
+        systems: number of systems contributing.
+    """
+
+    label: str
+    stack: Dict[FailureType, AFREstimate]
+    systems: int
+
+    @property
+    def total_percent(self) -> float:
+        """The bar height: total subsystem AFR percent."""
+        return stack_total_percent(self.stack)
+
+    def percent(self, failure_type: FailureType) -> float:
+        """One segment's AFR percent."""
+        return self.stack[failure_type].percent
+
+    def share(self, failure_type: FailureType) -> float:
+        """One segment's share of the bar (0-1); 0 for an empty bar."""
+        total = self.total_percent
+        return 0.0 if total == 0.0 else self.percent(failure_type) / total
+
+
+def afr_by_class(
+    dataset: FailureDataset,
+    exclude_problematic_family: bool = False,
+    confidence: float = 0.995,
+) -> List[BreakdownRow]:
+    """Fig. 4: AFR per system class, broken down by failure type.
+
+    Args:
+        exclude_problematic_family: Fig. 4(b)'s treatment — drop systems
+            using the Disk H family before computing rates.
+    """
+    data = dataset.excluding_disk_family() if exclude_problematic_family else dataset
+    rows: List[BreakdownRow] = []
+    for system_class in SYSTEM_CLASS_ORDER:
+        systems = data.fleet.systems_of_class(system_class)
+        if not systems:
+            continue
+        predicate = _class_predicate(system_class)
+        rows.append(
+            BreakdownRow(
+                label=system_class.label,
+                stack=afr_stack(data, predicate, confidence),
+                systems=len(systems),
+            )
+        )
+    return rows
+
+
+def afr_by_disk_model(
+    dataset: FailureDataset,
+    system_class: SystemClass,
+    shelf_model: str,
+    confidence: float = 0.995,
+) -> List[BreakdownRow]:
+    """Fig. 5: AFR per disk model within one class + shelf-model panel."""
+    panel = dataset.filter_systems(
+        lambda s: s.system_class is system_class and s.shelf_model == shelf_model
+    )
+    models = sorted({s.primary_disk_model for s in panel.fleet.systems})
+    rows: List[BreakdownRow] = []
+    for model in models:
+        predicate = _disk_model_predicate(model)
+        systems = [s for s in panel.fleet.systems if predicate(s)]
+        rows.append(
+            BreakdownRow(
+                label="Disk %s" % model,
+                stack=afr_stack(panel, predicate, confidence),
+                systems=len(systems),
+            )
+        )
+    return rows
+
+
+def afr_by_shelf_model(
+    dataset: FailureDataset,
+    system_class: SystemClass,
+    disk_model: str,
+    confidence: float = 0.995,
+) -> List[BreakdownRow]:
+    """Fig. 6: AFR per shelf enclosure model, disk model held fixed."""
+    panel = dataset.filter_systems(
+        lambda s: s.system_class is system_class
+        and s.primary_disk_model == disk_model
+    )
+    shelf_models = sorted({s.shelf_model for s in panel.fleet.systems})
+    rows: List[BreakdownRow] = []
+    for shelf_model in shelf_models:
+        predicate = _shelf_model_predicate(shelf_model)
+        systems = [s for s in panel.fleet.systems if predicate(s)]
+        rows.append(
+            BreakdownRow(
+                label="Shelf Enclosure Model %s" % shelf_model,
+                stack=afr_stack(panel, predicate, confidence),
+                systems=len(systems),
+            )
+        )
+    return rows
+
+
+def afr_by_path_config(
+    dataset: FailureDataset,
+    system_class: SystemClass,
+    confidence: float = 0.999,
+) -> List[BreakdownRow]:
+    """Fig. 7: AFR for single-path vs dual-path systems of one class.
+
+    The paper quotes the physical-interconnect error bars at 99.9%
+    confidence, hence the different default.
+    """
+    panel = dataset.filter_systems(lambda s: s.system_class is system_class)
+    rows: List[BreakdownRow] = []
+    for dual_path, label in ((False, "Single Path"), (True, "Dual Paths")):
+        predicate = _path_predicate(dual_path)
+        systems = [s for s in panel.fleet.systems if predicate(s)]
+        if not systems:
+            continue
+        rows.append(
+            BreakdownRow(
+                label=label,
+                stack=afr_stack(panel, predicate, confidence),
+                systems=len(systems),
+            )
+        )
+    return rows
+
+
+def row_by_label(rows: List[BreakdownRow], label: str) -> Optional[BreakdownRow]:
+    """Find a row by its label (None when absent)."""
+    for row in rows:
+        if row.label == label:
+            return row
+    return None
+
+
+def disk_failure_share_range(rows: List[BreakdownRow]) -> Dict[str, float]:
+    """Min/max share of disk failures across rows (Finding 1's 20-55%)."""
+    shares = [row.share(FailureType.DISK) for row in rows if row.total_percent > 0]
+    if not shares:
+        return {"min": 0.0, "max": 0.0}
+    return {"min": min(shares), "max": max(shares)}
+
+
+def _class_predicate(system_class: SystemClass):
+    return lambda s: s.system_class is system_class
+
+
+def _disk_model_predicate(model: str):
+    return lambda s: s.primary_disk_model == model
+
+
+def _shelf_model_predicate(shelf_model: str):
+    return lambda s: s.shelf_model == shelf_model
+
+
+def _path_predicate(dual_path: bool):
+    return lambda s: s.dual_path == dual_path
+
+
+#: Re-export for report modules that iterate the canonical type order.
+TYPE_ORDER = FAILURE_TYPE_ORDER

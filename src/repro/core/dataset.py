@@ -1,0 +1,228 @@
+"""The failure dataset: events plus exposure, the input to every analysis.
+
+A :class:`FailureDataset` pairs the delivered subsystem failure events
+with the fleet they happened on, because every AFR in the paper is a
+ratio of event counts to in-service disk time, and every grouping
+(system class, disk model, shelf model, path configuration) needs the
+fleet's configuration metadata — exactly what the weekly AutoSupport
+configuration snapshots provide in the real study (§2.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.failures.events import FailureEvent
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.fleet.calibration import PROBLEMATIC_DISK_FAMILY
+from repro.fleet.fleet import Fleet
+from repro.topology.system import StorageSystem
+from repro.units import seconds_to_years
+
+#: Events on the same disk, of the same type, within this window are
+#: duplicate reports of one failure (§5.1 "filtered out all duplicate
+#: failures").
+DEDUP_WINDOW_SECONDS = 3_600.0
+
+
+@dataclasses.dataclass
+class FailureDataset:
+    """Failure events plus the fleet that produced them.
+
+    Attributes:
+        events: subsystem failure events, sorted by detection time.
+        fleet: the fleet (with final disk lifetimes) for exposure and
+            configuration lookups.
+    """
+
+    events: List[FailureEvent]
+    fleet: Fleet
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.detect_time)
+        self._exposure_cache: Dict[str, float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_injection(cls, injection) -> "FailureDataset":
+        """Build from a :class:`~repro.failures.injector.InjectionResult`."""
+        return cls(events=list(injection.events), fleet=injection.fleet)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def duration_seconds(self) -> float:
+        """Observation window length."""
+        return self.fleet.duration_seconds
+
+    def events_of_type(self, failure_type: FailureType) -> List[FailureEvent]:
+        """All events of one failure type."""
+        return [e for e in self.events if e.failure_type is failure_type]
+
+    def counts_by_type(self) -> Dict[FailureType, int]:
+        """Event counts per type."""
+        counts = {failure_type: 0 for failure_type in FAILURE_TYPE_ORDER}
+        for event in self.events:
+            counts[event.failure_type] += 1
+        return counts
+
+    def system_of(self, event: FailureEvent) -> StorageSystem:
+        """The system an event happened on."""
+        return self.fleet.system(event.system_id)
+
+    # -- filtering -----------------------------------------------------------
+
+    def filter_systems(
+        self, predicate: Callable[[StorageSystem], bool]
+    ) -> "FailureDataset":
+        """Restrict to systems satisfying ``predicate`` (events follow).
+
+        Returns a new dataset sharing the underlying system objects; the
+        fleet wrapper is rebuilt so exposure totals match the subset.
+        """
+        systems = [s for s in self.fleet.systems if predicate(s)]
+        kept_ids = {s.system_id for s in systems}
+        events = [e for e in self.events if e.system_id in kept_ids]
+        subset = Fleet(systems=systems, duration_seconds=self.fleet.duration_seconds)
+        return FailureDataset(events=events, fleet=subset)
+
+    def excluding_disk_family(
+        self, family: str = PROBLEMATIC_DISK_FAMILY
+    ) -> "FailureDataset":
+        """Drop systems whose primary disks belong to ``family``.
+
+        This is the paper's Fig. 4(b) treatment: storage subsystems using
+        the problematic Disk H family are excluded so one bad product
+        does not skew the class-level trends.
+        """
+        prefix = "%s-" % family
+        return self.filter_systems(
+            lambda s: not s.primary_disk_model.startswith(prefix)
+        )
+
+    def deduplicated(
+        self, window_seconds: float = DEDUP_WINDOW_SECONDS
+    ) -> "FailureDataset":
+        """Collapse duplicate reports (same disk, same type, close in time)."""
+        seen: Dict[Tuple[str, FailureType], float] = {}
+        kept: List[FailureEvent] = []
+        for event in self.events:  # already sorted by detect_time
+            key = (event.disk_id, event.failure_type)
+            last = seen.get(key)
+            if last is not None and event.detect_time - last < window_seconds:
+                continue
+            seen[key] = event.detect_time
+            kept.append(event)
+        return FailureDataset(events=kept, fleet=self.fleet)
+
+    # -- exposure accounting ---------------------------------------------------
+
+    def exposure_years(
+        self, predicate: Optional[Callable[[StorageSystem], bool]] = None
+    ) -> float:
+        """Summed disk-years of exposure over (a subset of) the fleet.
+
+        Exposure respects per-disk lifetimes: disks removed after a
+        failure stop accruing, replacements start accruing at install —
+        the paper's "we account for that ... by calculating the life
+        time of each individual disk" (Table 1 caption).
+        """
+        total = 0.0
+        for system in self.fleet.systems:
+            if predicate is not None and not predicate(system):
+                continue
+            total += self._system_exposure(system)
+        return seconds_to_years(total)
+
+    def _system_exposure(self, system: StorageSystem) -> float:
+        cached = self._exposure_cache.get(system.system_id)
+        if cached is None:
+            cached = system.disk_exposure_seconds(self.duration_seconds)
+            self._exposure_cache[system.system_id] = cached
+        return cached
+
+    def exposure_years_by(
+        self, key: Callable[[StorageSystem], Hashable]
+    ) -> Dict[Hashable, float]:
+        """Disk-years grouped by a system attribute."""
+        grouped: Dict[Hashable, float] = {}
+        for system in self.fleet.systems:
+            group = key(system)
+            grouped[group] = grouped.get(group, 0.0) + seconds_to_years(
+                self._system_exposure(system)
+            )
+        return grouped
+
+    def event_counts_by(
+        self,
+        key: Callable[[FailureEvent], Hashable],
+        failure_type: Optional[FailureType] = None,
+    ) -> Dict[Hashable, int]:
+        """Event counts grouped by an event attribute."""
+        counts: Dict[Hashable, int] = {}
+        for event in self.events:
+            if failure_type is not None and event.failure_type is not failure_type:
+                continue
+            group = key(event)
+            counts[group] = counts.get(group, 0) + 1
+        return counts
+
+    # -- grouping for statistical scopes ------------------------------------
+
+    def events_by_scope(
+        self,
+        scope: str,
+        failure_type: Optional[FailureType] = None,
+    ) -> Dict[str, List[FailureEvent]]:
+        """Events grouped by shelf or RAID group (Fig. 9/10 scopes).
+
+        Args:
+            scope: ``"shelf"`` or ``"raid_group"``.
+            failure_type: restrict to one type (None = all types).
+        """
+        if scope == "shelf":
+            key = lambda e: e.shelf_id  # noqa: E731
+        elif scope == "raid_group":
+            key = lambda e: e.raid_group_id  # noqa: E731
+        else:
+            raise AnalysisError("scope must be 'shelf' or 'raid_group'")
+        grouped: Dict[str, List[FailureEvent]] = {}
+        for event in self.events:
+            if failure_type is not None and event.failure_type is not failure_type:
+                continue
+            grouped.setdefault(key(event), []).append(event)
+        return grouped
+
+    def scope_population(self, scope: str) -> List[Tuple[str, StorageSystem]]:
+        """All (scope id, owning system) pairs in the fleet.
+
+        The correlation analysis needs the full population of shelves /
+        RAID groups, including those that never failed.
+        """
+        pairs: List[Tuple[str, StorageSystem]] = []
+        for system in self.fleet.systems:
+            if scope == "shelf":
+                pairs.extend((shelf.shelf_id, system) for shelf in system.shelves)
+            elif scope == "raid_group":
+                pairs.extend(
+                    (group.raid_group_id, system) for group in system.raid_groups
+                )
+            else:
+                raise AnalysisError("scope must be 'shelf' or 'raid_group'")
+        return pairs
+
+    # -- summaries ---------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Headline totals (systems, shelves, disks, events, exposure)."""
+        return {
+            "systems": self.fleet.system_count,
+            "shelves": self.fleet.shelf_count,
+            "raid_groups": self.fleet.raid_group_count,
+            "disks_ever": self.fleet.disk_count_ever,
+            "events": len(self.events),
+            "exposure_disk_years": self.exposure_years(),
+        }

@@ -1,0 +1,118 @@
+"""CSV import/export of failure events.
+
+The analyses in this library run on :class:`FailureDataset`; real-world
+users often want the events in a dataframe instead.  The CSV schema
+carries every event field, and import re-attaches a fleet (from a
+configuration snapshot or an in-memory object) so exposure-based
+analyses keep working.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional
+
+from repro.core.dataset import FailureDataset
+from repro.errors import LogFormatError
+from repro.failures.events import FailureEvent
+from repro.failures.types import FailureType, InterconnectCause
+from repro.fleet.fleet import Fleet
+
+#: Column order of the CSV schema (version 1).
+CSV_COLUMNS = (
+    "occur_time",
+    "detect_time",
+    "failure_type",
+    "disk_id",
+    "shelf_id",
+    "raid_group_id",
+    "system_id",
+    "system_class",
+    "disk_model",
+    "shelf_model",
+    "dual_path",
+    "cause",
+    "replaced_disk",
+)
+
+
+def events_to_csv(dataset: FailureDataset) -> str:
+    """Serialize a dataset's events to CSV text (header included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_COLUMNS)
+    for event in dataset.events:
+        writer.writerow(
+            [
+                repr(event.occur_time),
+                repr(event.detect_time),
+                event.failure_type.value,
+                event.disk_id,
+                event.shelf_id,
+                event.raid_group_id,
+                event.system_id,
+                event.system_class,
+                event.disk_model,
+                event.shelf_model,
+                "1" if event.dual_path else "0",
+                event.cause.value if event.cause else "",
+                "1" if event.replaced_disk else "0",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def events_from_csv(text: str, fleet: Fleet) -> FailureDataset:
+    """Rebuild a dataset from CSV text plus the fleet it belongs to.
+
+    Raises:
+        LogFormatError: on schema mismatch or unparseable rows.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise LogFormatError("empty CSV") from None
+    if tuple(header) != CSV_COLUMNS:
+        raise LogFormatError(
+            "unexpected CSV header %r (schema version mismatch?)" % (header,)
+        )
+    events: List[FailureEvent] = []
+    for row_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(CSV_COLUMNS):
+            raise LogFormatError(
+                "row %d has %d columns, expected %d"
+                % (row_number, len(row), len(CSV_COLUMNS))
+            )
+        try:
+            events.append(_event_from_row(row))
+        except (ValueError, KeyError) as exc:
+            raise LogFormatError(
+                "row %d unparseable: %s" % (row_number, exc)
+            ) from None
+    return FailureDataset(events=events, fleet=fleet)
+
+
+def _event_from_row(row: List[str]) -> FailureEvent:
+    values = dict(zip(CSV_COLUMNS, row))
+    cause: Optional[InterconnectCause] = None
+    if values["cause"]:
+        cause = InterconnectCause(values["cause"])
+    return FailureEvent(
+        occur_time=float(values["occur_time"]),
+        detect_time=float(values["detect_time"]),
+        failure_type=FailureType(values["failure_type"]),
+        disk_id=values["disk_id"],
+        shelf_id=values["shelf_id"],
+        raid_group_id=values["raid_group_id"],
+        system_id=values["system_id"],
+        system_class=values["system_class"],
+        disk_model=values["disk_model"],
+        shelf_model=values["shelf_model"],
+        dual_path=values["dual_path"] == "1",
+        cause=cause,
+        replaced_disk=values["replaced_disk"] == "1",
+    )

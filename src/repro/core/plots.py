@@ -1,0 +1,96 @@
+"""ASCII rendering of CDF figures (Fig. 9 in a terminal).
+
+No plotting dependency: the library's "figures" are printable character
+grids, good enough to eyeball burstiness crossovers in a terminal or a
+CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.stats.ecdf import ECDF
+
+#: Mark characters assigned to series, in order.
+_MARKS = "ox+*#@%&"
+
+
+def ascii_cdf_plot(
+    series: Mapping[str, ECDF],
+    width: int = 72,
+    height: int = 18,
+    x_min: float = 1.0,
+    x_max: float = 1e8,
+    title: Optional[str] = None,
+) -> str:
+    """Render CDFs on a log-x character grid.
+
+    Args:
+        series: label -> ECDF (at most 8 series).
+        width / height: plot area size in characters.
+        x_min / x_max: x-axis range (seconds; log scale, like Fig. 9).
+        title: optional heading line.
+
+    Returns:
+        A multi-line string: title, y-axis ticks, grid, x-axis ticks,
+        and a legend mapping marks to labels.
+    """
+    if not series:
+        raise AnalysisError("nothing to plot")
+    if len(series) > len(_MARKS):
+        raise AnalysisError("at most %d series supported" % len(_MARKS))
+    if width < 20 or height < 5:
+        raise AnalysisError("plot area too small")
+    if not 0.0 < x_min < x_max:
+        raise AnalysisError("need 0 < x_min < x_max")
+
+    log_min = math.log10(x_min)
+    log_max = math.log10(x_max)
+    grid = [[" "] * width for _ in range(height)]
+
+    for mark, (label, ecdf) in zip(_MARKS, series.items()):
+        for column in range(width):
+            x = 10 ** (log_min + (log_max - log_min) * column / (width - 1))
+            fraction = ecdf(x)
+            row = height - 1 - int(round(fraction * (height - 1)))
+            grid[row][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        label = "%4.1f |" % fraction if row_index % 3 == 0 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+
+    # Decade tick labels along the x axis.
+    ticks = [" "] * (width + 6)
+    for decade in range(int(math.ceil(log_min)), int(log_max) + 1):
+        column = int(round((decade - log_min) / (log_max - log_min) * (width - 1)))
+        text = "1e%d" % decade
+        position = 6 + max(0, min(column - 1, width - len(text)))
+        for offset, char in enumerate(text):
+            if position + offset < len(ticks):
+                ticks[position + offset] = char
+    lines.append("".join(ticks).rstrip())
+    lines.append("      time between failures (s), log scale")
+
+    for mark, label in zip(_MARKS, series.keys()):
+        lines.append("      %s  %s" % (mark, label))
+    return "\n".join(lines)
+
+
+def figure9_ascii(dataset, scope: str = "shelf", width: int = 72) -> str:
+    """Fig. 9 for a dataset, rendered as ASCII (convenience wrapper)."""
+    from repro.core.timebetween import figure9_series
+
+    analyses = figure9_series(dataset, scope)
+    return ascii_cdf_plot(
+        {label: analysis.ecdf for label, analysis in analyses.items()},
+        width=width,
+        title="Time between failures within a %s (empirical CDFs)"
+        % scope.replace("_", " "),
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpecificationError(ReproError):
+    """A fleet/simulation specification is inconsistent or out of range."""
+
+
+class TopologyError(ReproError):
+    """A storage topology operation is invalid (e.g. overfilling a shelf)."""
+
+
+class CalibrationError(ReproError):
+    """Calibration constants are missing or inconsistent for a request."""
+
+
+class LogFormatError(ReproError):
+    """An AutoSupport-style log line or cascade could not be parsed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was requested on data that cannot support it."""
+
+
+class FittingError(ReproError):
+    """A distribution fit failed to converge or received invalid data."""
+
+
+class RaidError(ReproError):
+    """A RAID encode/reconstruct operation is invalid or unrecoverable."""

@@ -1,0 +1,53 @@
+"""Experiment registry: one runnable per paper table/figure.
+
+Every experiment consumes an :class:`ExperimentContext` (which caches
+simulated datasets so a session reuses one fleet across figures) and
+returns an :class:`ExperimentResult` carrying the rendered tables, the
+structured series behind them, and shape checks against the paper.
+
+Experiment ids::
+
+    table1   fig4a  fig4b
+    fig5a .. fig5f
+    fig6     fig7a  fig7b
+    fig9a    fig9b
+    fig10a   fig10b
+    ablate-shocks  ablate-span  ablate-raidloss
+"""
+
+from repro.experiments.base import (
+    EXPERIMENTS,
+    ExperimentContext,
+    ExperimentResult,
+    register,
+    run_experiment,
+)
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: F401  (import for side effects)
+    table1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig10,
+    ablations,
+    sensitivity,
+    prediction,
+    availability,
+    scrub,
+    whatif,
+    fig3,
+    replacements,
+    policy,
+    targeting,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "register",
+    "run_experiment",
+]

@@ -1,0 +1,206 @@
+"""Ablations: which design choices produce the paper's phenomena.
+
+- ``ablate-shocks`` — disable the shared shock processes: burstiness
+  and P(2) inflation must collapse toward the independence model,
+  demonstrating the shocks (not some analysis artifact) carry
+  Findings 8 and 11.
+- ``ablate-span`` — pack RAID groups into single shelves instead of
+  spanning: RAID-group burstiness must *rise* to shelf levels,
+  the counterfactual behind Finding 9's recommendation.
+- ``ablate-raidloss`` — replay failure histories against the RAID
+  layer: correlated (bursty) failures must produce more data-loss
+  incidents than the independence ablation, and RAID-DP must beat
+  RAID4; this is the paper's "revisit RAID's assumptions" implication
+  made quantitative.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import correlation_by_type
+from repro.core.timebetween import analyze_gaps
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.failures.types import FailureType
+from repro.raid.dataloss import estimate_dataloss
+from repro.topology.raidgroup import RaidType
+
+
+@register("ablate-shocks", "Shock processes ablation: independence restored")
+def run_shocks(context: ExperimentContext) -> ExperimentResult:
+    """Compare paper-default against the no-shocks scenario."""
+    default = context.dataset("paper-default")
+    independent = context.dataset("no-shocks")
+
+    default_burst = analyze_gaps(default, "shelf", None).burst_fraction
+    indep_burst = analyze_gaps(independent, "shelf", None).burst_fraction
+
+    default_corr = correlation_by_type(default, "shelf")
+    indep_corr = correlation_by_type(independent, "shelf")
+    default_inflation = {
+        r.failure_type.value: r.inflation for r in default_corr
+    }
+    indep_inflation = {r.failure_type.value: r.inflation for r in indep_corr}
+
+    checks = {
+        # Without shocks the bursty pattern disappears ...
+        "burstiness_collapses": indep_burst < 0.5 * default_burst,
+        # ... and P(2) drops to within noise of the independence model
+        # for the previously most-inflated types.
+        "interconnect_inflation_collapses": (
+            indep_inflation["physical_interconnect"]
+            < 0.35 * default_inflation["physical_interconnect"]
+        ),
+        # A residual ~1.5-2x inflation remains even under true
+        # independence, because pooling shelves with heterogeneous
+        # rates (different classes, sizes, disk models) raises the
+        # pooled P(2) over P(1)^2/2 — a bias the paper's pooled
+        # methodology shares.  It must stay far below the correlated
+        # fleet's 6-30x.
+        "residual_inflation_small": all(
+            value <= 4.0 for value in indep_inflation.values()
+        ),
+        "every_type_collapses": all(
+            indep_inflation[key] < 0.5 * default_inflation[key]
+            for key in default_inflation
+        ),
+    }
+    text = (
+        "Shock ablation (shelf scope)\n"
+        "  overall burst fraction: %.1f%% -> %.1f%%\n"
+        "  P(2) inflation by type (default -> no shocks):\n%s"
+        % (
+            100.0 * default_burst,
+            100.0 * indep_burst,
+            "\n".join(
+                "    %-24s %6.1fx -> %5.1fx"
+                % (key, default_inflation[key], indep_inflation[key])
+                for key in default_inflation
+            ),
+        )
+    )
+    return ExperimentResult(
+        experiment_id="ablate-shocks",
+        title="Shock processes ablation",
+        text=text,
+        data={
+            "default_burst": default_burst,
+            "independent_burst": indep_burst,
+            "default_inflation": default_inflation,
+            "independent_inflation": indep_inflation,
+        },
+        checks=checks,
+    )
+
+
+@register("ablate-span", "RAID-group spanning ablation (Finding 9)")
+def run_span(context: ExperimentContext) -> ExperimentResult:
+    """Compare spanning vs single-shelf RAID group layouts."""
+    spanning = context.dataset("paper-default")
+    packed = context.dataset("single-shelf-raid")
+
+    span_group = analyze_gaps(spanning, "raid_group", None).burst_fraction
+    span_shelf = analyze_gaps(spanning, "shelf", None).burst_fraction
+    packed_group = analyze_gaps(packed, "raid_group", None).burst_fraction
+    packed_shelf = analyze_gaps(packed, "shelf", None).burst_fraction
+
+    checks = {
+        # Spanning is what separates group from shelf burstiness ...
+        "spanning_reduces_group_burstiness": span_group < span_shelf - 0.05,
+        # ... single-shelf groups are as bursty as their shelves.
+        "packed_groups_as_bursty_as_shelves": abs(packed_group - packed_shelf)
+        < 0.10,
+        "packed_burstier_than_spanning": packed_group > span_group + 0.05,
+    }
+    text = (
+        "RAID-group layout ablation (burst fraction = P(gap < 10^4 s))\n"
+        "  spanning layout:     shelf %.1f%%   RAID group %.1f%%\n"
+        "  single-shelf layout: shelf %.1f%%   RAID group %.1f%%"
+        % (
+            100.0 * span_shelf,
+            100.0 * span_group,
+            100.0 * packed_shelf,
+            100.0 * packed_group,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="ablate-span",
+        title="RAID-group spanning ablation",
+        text=text,
+        data={
+            "spanning": {"shelf": span_shelf, "raid_group": span_group},
+            "single_shelf": {"shelf": packed_shelf, "raid_group": packed_group},
+        },
+        checks=checks,
+    )
+
+
+@register("ablate-raidloss", "Data-loss risk under correlated vs independent failures")
+def run_raidloss(context: ExperimentContext) -> ExperimentResult:
+    """RAID-layer consequences of the observed failure correlations."""
+    from repro.core.afr import dataset_afr
+    from repro.raid.mttdl import fleet_mttdl_prediction
+    from repro.raid.rebuild import RebuildModel
+
+    correlated = context.dataset("paper-default")
+    independent = context.dataset("no-shocks")
+
+    corr_report = estimate_dataloss(correlated)
+    indep_report = estimate_dataloss(independent)
+    corr_rate = corr_report.loss_rate_per_1000_group_years()
+    indep_rate = indep_report.loss_rate_per_1000_group_years()
+
+    # The classic analytic MTTDL (independent exponential failures,
+    # whole-disk failures only) for the same fleet and rebuild model.
+    rebuild = RebuildModel()
+    disk_afr = dataset_afr(correlated, FailureType.DISK).percent
+    analytic_rate = fleet_mttdl_prediction(
+        correlated,
+        rebuild_seconds=rebuild.window_seconds(144.0),
+        disk_afr_percent=disk_afr,
+    )
+
+    # Per-RAID-level loss counts under the correlated history.
+    raid4_losses = corr_report.loss_incidents_by_type[RaidType.RAID4]
+    raid6_losses = corr_report.loss_incidents_by_type[RaidType.RAID6]
+    raid4_groups = max(1, corr_report.groups_by_type.get(RaidType.RAID4, 0))
+    raid6_groups = max(1, corr_report.groups_by_type.get(RaidType.RAID6, 0))
+
+    checks = {
+        # Correlated failures make RAID lose data more often than the
+        # independence assumption predicts.
+        "correlation_raises_loss_rate": corr_rate > 1.5 * indep_rate,
+        # Double parity still helps under correlated failures.
+        "raid6_beats_raid4": (raid6_losses / raid6_groups)
+        <= (raid4_losses / raid4_groups),
+        "losses_exist_under_correlation": corr_report.total_loss_incidents > 0,
+        # The Patterson-style analytic model underestimates observed
+        # losses — the paper's "revisit RAID's assumptions" implication.
+        "analytic_mttdl_optimistic": corr_rate > analytic_rate,
+    }
+    text = (
+        "RAID data-loss replay (loss incidents per 1000 group-years)\n"
+        "  correlated (paper-default): %.2f  (%d incidents, %d RAID4 / %d RAID6)\n"
+        "  independent (no-shocks):    %.2f  (%d incidents)\n"
+        "  analytic MTTDL prediction:  %.4f (independent exponential model)"
+        % (
+            corr_rate,
+            corr_report.total_loss_incidents,
+            raid4_losses,
+            raid6_losses,
+            indep_rate,
+            indep_report.total_loss_incidents,
+            analytic_rate,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="ablate-raidloss",
+        title="Data-loss risk under correlated vs independent failures",
+        text=text,
+        data={
+            "correlated_rate": corr_rate,
+            "independent_rate": indep_rate,
+            "analytic_rate": analytic_rate,
+            "raid4_losses": raid4_losses,
+            "raid6_losses": raid6_losses,
+        },
+        checks=checks,
+    )

@@ -1,0 +1,112 @@
+"""Experiment plumbing: context (cached simulations), results, registry."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.dataset import FailureDataset
+from repro.errors import SpecificationError
+from repro.simulate.scenario import run_scenario
+
+#: Default fleet scale for experiments: 1:20 of the paper's 39,000
+#: systems (~2,000 systems, ~90,000 disks) — large enough for the
+#: paper's significance tests to resolve, small enough for seconds-long
+#: runs.
+DEFAULT_SCALE = 0.05
+DEFAULT_SEED = 1
+
+
+@dataclasses.dataclass
+class ExperimentContext:
+    """Shared state for a batch of experiments.
+
+    Simulating the fleet dominates experiment cost, and most figures
+    read the *same* paper-default simulation, so the context caches one
+    dataset per scenario name.
+
+    Attributes:
+        scale: fleet scale for all scenarios run through this context.
+        seed: root random seed.
+        via_logs: route datasets through the AutoSupport log pipeline.
+    """
+
+    scale: float = DEFAULT_SCALE
+    seed: int = DEFAULT_SEED
+    via_logs: bool = False
+
+    def __post_init__(self) -> None:
+        self._results: Dict[str, object] = {}
+
+    def result(self, scenario: str = "paper-default"):
+        """The (cached) full simulation result of a named scenario."""
+        if scenario not in self._results:
+            self._results[scenario] = run_scenario(
+                scenario, scale=self.scale, seed=self.seed, via_logs=self.via_logs
+            )
+        return self._results[scenario]
+
+    def dataset(self, scenario: str = "paper-default") -> FailureDataset:
+        """The (cached) dataset of a named scenario."""
+        return self.result(scenario).dataset
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Output of one experiment.
+
+    Attributes:
+        experiment_id: registry id, e.g. ``"fig4b"``.
+        title: what the paper artifact shows.
+        text: rendered tables (what the CLI prints).
+        data: structured series behind the tables.
+        checks: named shape assertions vs the paper (all should hold).
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object]
+    checks: Dict[str, bool]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every shape check held."""
+        return all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        """Names of the checks that failed."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+Runner = Callable[[ExperimentContext], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {}
+
+
+def register(experiment_id: str, title: str) -> Callable[[Runner], Runner]:
+    """Decorator registering an experiment runner under an id."""
+
+    def decorate(runner: Runner) -> Runner:
+        if experiment_id in EXPERIMENTS:
+            raise SpecificationError(
+                "experiment %r registered twice" % experiment_id
+            )
+        EXPERIMENTS[experiment_id] = (title, runner)
+        return runner
+
+    return decorate
+
+
+def run_experiment(
+    experiment_id: str, context: Optional[ExperimentContext] = None
+) -> ExperimentResult:
+    """Run one experiment by id (creating a default context if needed)."""
+    try:
+        _title, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise SpecificationError(
+            "unknown experiment %r (have: %s)"
+            % (experiment_id, ", ".join(sorted(EXPERIMENTS)))
+        ) from None
+    return runner(context or ExperimentContext())

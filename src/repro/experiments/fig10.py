@@ -1,0 +1,75 @@
+"""Figure 10: empirical vs theoretical P(2) (failure self-correlation).
+
+Checks encode Finding 11: for every failure type, at both scopes, the
+empirical probability of a shelf/RAID-group seeing exactly two failures
+in a year far exceeds the ``P(1)^2 / 2`` that independence would allow
+— by about 6x for disk failures and 10-25x for the other types — and
+the difference is statistically significant.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import correlation_by_type
+from repro.core.report import format_correlation
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.failures.types import FailureType
+
+
+def _panel(experiment_id: str, scope: str, label: str):
+    title = "Empirical vs theoretical P(2), %s" % label
+
+    @register(experiment_id, title)
+    def run(context: ExperimentContext) -> ExperimentResult:
+        dataset = context.dataset("paper-default")
+        results = correlation_by_type(dataset, scope, window_years=1.0)
+        by_type = {r.failure_type: r for r in results}
+        disk = by_type[FailureType.DISK]
+        others = [r for r in results if r.failure_type is not FailureType.DISK]
+        checks = {
+            # Every type exceeds the independence prediction ...
+            "all_types_exceed_theory": all(
+                r.p2_empirical > r.p2_theoretical for r in results
+            ),
+            # ... significantly (the paper: 99.5% confidence).
+            "significant_at_995": sum(1 for r in results if r.correlated) >= 3,
+        }
+        if scope == "shelf":
+            # The paper's quantitative bands are quoted for the shelf
+            # panel: ~6x for disk, 10-25x for the rest (bands widened
+            # for simulation noise — P(2) counts are small at bench
+            # scale).  Spanning dilutes shelf-shock correlation at the
+            # RAID-group scope, so only weaker bounds apply there.
+            checks["disk_inflation_around_6x"] = 2.5 <= disk.inflation <= 15.0
+            checks["other_types_inflation_10_25x"] = all(
+                5.0 <= r.inflation <= 80.0 for r in others
+            )
+            checks["disk_least_inflated"] = disk.inflation <= min(
+                r.inflation for r in others
+            )
+        else:
+            checks["disk_inflation_positive"] = 1.5 <= disk.inflation <= 15.0
+            checks["other_types_inflated"] = all(
+                2.0 <= r.inflation <= 100.0 for r in others
+            )
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            text=format_correlation("Figure 10: %s" % title, results),
+            data={
+                r.failure_type.value: {
+                    "p1": r.p1,
+                    "p2_empirical": r.p2_empirical,
+                    "p2_theoretical": r.p2_theoretical,
+                    "inflation": r.inflation,
+                    "p_value": r.test.p_value,
+                }
+                for r in results
+            },
+            checks=checks,
+        )
+
+    return run
+
+
+_panel("fig10a", "shelf", "per shelf enclosure")
+_panel("fig10b", "raid_group", "per RAID group")

@@ -1,0 +1,98 @@
+"""Figure 4: AFR per system class, broken down by failure type.
+
+Panel (a) includes systems using the problematic Disk H family; panel
+(b) excludes them.  The checks encode Findings 1 and 2: disk failures
+contribute 20-55% of subsystem failures (so they do not always
+dominate), physical interconnect failures contribute a large share, and
+near-line systems have *worse disks* but a *better subsystem* than
+low-end systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.breakdown import afr_by_class, disk_failure_share_range, row_by_label
+from repro.core.report import format_breakdown
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.topology.classes import SystemClass
+
+
+def _rows_data(rows) -> Dict[str, Dict[str, float]]:
+    return {
+        row.label: {
+            **{ft.value: row.percent(ft) for ft in FAILURE_TYPE_ORDER},
+            "total": row.total_percent,
+        }
+        for row in rows
+    }
+
+
+@register("fig4a", "AFR by system class, including Disk H systems")
+def run_fig4a(context: ExperimentContext) -> ExperimentResult:
+    """Panel (a): the whole fleet, problematic family included."""
+    dataset = context.dataset("paper-default")
+    rows = afr_by_class(dataset, exclude_problematic_family=False)
+    excl = afr_by_class(dataset, exclude_problematic_family=True)
+    # Including Disk H should not *lower* any class's disk AFR where the
+    # family ships (low-end, mid-range, high-end).
+    checks = {}
+    for label in (SystemClass.LOW_END.label, SystemClass.MID_RANGE.label,
+                  SystemClass.HIGH_END.label):
+        with_h = row_by_label(rows, label)
+        without_h = row_by_label(excl, label)
+        if with_h is None or without_h is None:
+            checks["%s_present" % label] = False
+            continue
+        checks["disk_h_raises_%s" % label.lower().replace("-", "_")] = (
+            with_h.percent(FailureType.DISK) >= without_h.percent(FailureType.DISK)
+        )
+    return ExperimentResult(
+        experiment_id="fig4a",
+        title="AFR by system class (including Disk H)",
+        text=format_breakdown("Figure 4(a): AFR by class, incl. Disk H", rows),
+        data={"rows": _rows_data(rows)},
+        checks=checks,
+    )
+
+
+@register("fig4b", "AFR by system class, excluding Disk H systems")
+def run_fig4b(context: ExperimentContext) -> ExperimentResult:
+    """Panel (b): the trend figure — Findings 1 and 2 live here."""
+    dataset = context.dataset("paper-default")
+    rows = afr_by_class(dataset, exclude_problematic_family=True)
+    share = disk_failure_share_range(rows)
+    nearline = row_by_label(rows, SystemClass.NEARLINE.label)
+    low_end = row_by_label(rows, SystemClass.LOW_END.label)
+    phys_shares = [
+        row.share(FailureType.PHYSICAL_INTERCONNECT) for row in rows
+    ]
+    fc_disk_rates = [
+        row.percent(FailureType.DISK)
+        for row in rows
+        if row.label != SystemClass.NEARLINE.label
+    ]
+    checks = {
+        # Finding 1: disk failures are 20-55% of subsystem failures.
+        "disk_share_within_paper_band": 0.15 <= share["min"]
+        and share["max"] <= 0.60,
+        "interconnect_share_substantial": min(phys_shares) >= 0.20,
+        # Finding 2: near-line disks worse, near-line subsystem better.
+        "nearline_disks_worse_than_lowend": nearline.percent(FailureType.DISK)
+        > low_end.percent(FailureType.DISK),
+        "nearline_subsystem_better_than_lowend": nearline.total_percent
+        < low_end.total_percent,
+        # FC disk AFR stays under ~1%, consistent with vendor specs.
+        "fc_disk_afr_under_one_percent": all(r < 1.3 for r in fc_disk_rates),
+        # SATA (near-line) disks fail more than FC disks.
+        "sata_worse_than_fc": nearline.percent(FailureType.DISK)
+        > max(fc_disk_rates),
+    }
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="AFR by system class (excluding Disk H)",
+        text=format_breakdown("Figure 4(b): AFR by class, excl. Disk H", rows),
+        data={"rows": _rows_data(rows), "disk_share_range": share},
+        checks=checks,
+    )

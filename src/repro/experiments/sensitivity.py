@@ -1,0 +1,138 @@
+"""Sensitivity sweeps over the failure model's design parameters.
+
+These go beyond the paper's artifacts: they verify the *model* responds
+monotonically to its levers, which is what makes the reproduced shapes
+trustworthy rather than coincidental.
+
+- ``sweep-multipath`` — mask probability 0 -> 0.95: dual-path
+  interconnect AFR reduction must rise monotonically toward the
+  network-path share of the cause mix.
+- ``sweep-burstiness`` — shock share (rho) scaled down: the shelf
+  burst fraction and the P(2) inflation must fall monotonically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.correlation import correlation_for
+from repro.core.dataset import FailureDataset
+from repro.core.significance import compare_rates
+from repro.core.timebetween import analyze_gaps
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentContext, ExperimentResult, register
+from repro.failures.injector import InjectorConfig
+from repro.failures.multipath import MultipathModel
+from repro.failures.types import FailureType
+from repro.fleet import calibration
+from repro.fleet.spec import FleetSpec
+from repro.simulate.engine import SimulationEngine
+
+
+def _simulate(context: ExperimentContext, config: InjectorConfig) -> FailureDataset:
+    engine = SimulationEngine(
+        FleetSpec.paper_default(scale=context.scale), injector_config=config
+    )
+    return engine.run(seed=context.seed).dataset
+
+
+@register("sweep-multipath", "Sensitivity: multipath mask probability")
+def run_multipath_sweep(context: ExperimentContext) -> ExperimentResult:
+    """Dual-path benefit as a function of failover success probability."""
+    from repro.topology.classes import SystemClass
+
+    reductions: Dict[float, float] = {}
+    for mask_probability in (0.0, 0.5, 0.95):
+        dataset = _simulate(
+            context,
+            InjectorConfig(multipath=MultipathModel(mask_probability=mask_probability)),
+        )
+        # Average the per-class reductions rather than pooling classes:
+        # pooling would let a skewed class mix between the dual/single
+        # groups masquerade as a multipath effect.
+        per_class = []
+        for system_class in (SystemClass.MID_RANGE, SystemClass.HIGH_END):
+            comparison = compare_rates(
+                dataset,
+                lambda s, c=system_class: s.system_class is c and not s.dual_path,
+                lambda s, c=system_class: s.system_class is c and s.dual_path,
+                FailureType.PHYSICAL_INTERCONNECT,
+                description="%s mask=%.2f" % (system_class.value, mask_probability),
+            )
+            per_class.append(comparison.reduction)
+        reductions[mask_probability] = sum(per_class) / len(per_class)
+
+    ordered = [reductions[key] for key in sorted(reductions)]
+    network_share = calibration.INTERCONNECT_CAUSE_MIX[
+        list(calibration.INTERCONNECT_CAUSE_MIX)[0]
+    ]
+    checks = {
+        "monotone_in_mask_probability": ordered == sorted(ordered),
+        # Interconnect events arrive in shelf-sized clusters, so the
+        # effective sample is clusters, not events: the zero-mask noise
+        # floor is wide.
+        "zero_mask_no_real_benefit": abs(reductions[0.0]) < 0.25,
+        # Benefit saturates at the maskable (network-path) share.
+        "bounded_by_network_share": reductions[0.95] <= network_share + 0.12,
+        "benefit_grows_substantially": reductions[0.95]
+        > reductions[0.0] + 0.20,
+    }
+    text = "Multipath sensitivity (interconnect AFR reduction on dual path)\n" + "\n".join(
+        "  mask probability %.2f -> reduction %5.1f%%" % (key, 100.0 * value)
+        for key, value in sorted(reductions.items())
+    )
+    return ExperimentResult(
+        experiment_id="sweep-multipath",
+        title="Sensitivity: multipath mask probability",
+        text=text,
+        data={"reductions": reductions},
+        checks=checks,
+    )
+
+
+def _scaled_shock_params(factor: float):
+    scaled = {}
+    for failure_type, params in calibration.SHOCK_PARAMS.items():
+        scaled[failure_type] = dataclasses.replace(
+            params, rho=max(1e-9, params.rho * factor)
+        )
+    return scaled
+
+
+@register("sweep-burstiness", "Sensitivity: shared-shock share (rho)")
+def run_burstiness_sweep(context: ExperimentContext) -> ExperimentResult:
+    """Burstiness and correlation as functions of the shock share."""
+    burst: Dict[float, float] = {}
+    inflation: Dict[float, float] = {}
+    for factor in (0.25, 0.6, 1.0):
+        dataset = _simulate(
+            context, InjectorConfig(shock_params=_scaled_shock_params(factor))
+        )
+        burst[factor] = analyze_gaps(dataset, "shelf", None).burst_fraction
+        try:
+            inflation[factor] = correlation_for(
+                dataset, FailureType.PHYSICAL_INTERCONNECT, "shelf"
+            ).inflation
+        except AnalysisError:
+            inflation[factor] = float("nan")
+
+    burst_ordered: List[float] = [burst[key] for key in sorted(burst)]
+    inflation_ordered = [inflation[key] for key in sorted(inflation)]
+    checks = {
+        "burstiness_monotone_in_rho": burst_ordered == sorted(burst_ordered),
+        "inflation_increases_with_rho": inflation_ordered[0]
+        < inflation_ordered[-1],
+    }
+    text = "Shock-share sensitivity\n" + "\n".join(
+        "  rho x%.2f -> burst %5.1f%%, interconnect P(2) inflation %5.1fx"
+        % (key, 100.0 * burst[key], inflation[key])
+        for key in sorted(burst)
+    )
+    return ExperimentResult(
+        experiment_id="sweep-burstiness",
+        title="Sensitivity: shared-shock share (rho)",
+        text=text,
+        data={"burst": burst, "inflation": inflation},
+        checks=checks,
+    )

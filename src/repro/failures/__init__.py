@@ -1,0 +1,34 @@
+"""Failure taxonomy, hazard processes, and the fleet failure injector.
+
+This package models the *generation* of storage subsystem failures:
+
+- :mod:`repro.failures.types` — the paper's four failure categories.
+- :mod:`repro.failures.events` — immutable failure-event records.
+- :mod:`repro.failures.hazards` — per-component renewal/Poisson hazards.
+- :mod:`repro.failures.shocks` — shared shock processes that create the
+  correlated, bursty behaviour the paper observes (§5.2.3).
+- :mod:`repro.failures.multipath` — active/passive multipath masking.
+- :mod:`repro.failures.raidlayer` — propagation of raw component errors
+  up to the RAID layer, where subsystem failures are counted.
+- :mod:`repro.failures.injector` — drives all of the above over a fleet.
+
+Only the dependency-free vocabulary modules are re-exported here; import
+:class:`repro.failures.injector.FailureInjector` (or use the top-level
+``repro`` namespace) for the injector itself — it depends on the fleet
+package, which in turn uses this package's vocabulary.
+"""
+
+from repro.failures.types import (
+    FAILURE_TYPE_ORDER,
+    FailureType,
+    InterconnectCause,
+)
+from repro.failures.events import ComponentError, FailureEvent
+
+__all__ = [
+    "FAILURE_TYPE_ORDER",
+    "FailureType",
+    "InterconnectCause",
+    "ComponentError",
+    "FailureEvent",
+]

@@ -1,0 +1,96 @@
+"""Immutable event records produced by the failure injector.
+
+Two granularities exist, mirroring the paper's log architecture (Fig. 3):
+
+- :class:`ComponentError` — a raw error observed at some layer of the I/O
+  path (FC adapter, SCSI, disk driver).  Many component errors are
+  recovered by retries or tolerated by multipathing and never become
+  subsystem failures.
+- :class:`FailureEvent` — a storage **subsystem failure**: an error that
+  propagated all the way to the RAID layer and broke the I/O path.  These
+  are the events every statistic in the paper is computed over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.failures.types import FailureType, InterconnectCause
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentError:
+    """A raw error at one layer of the I/O request path.
+
+    Attributes:
+        time: occurrence time, seconds since the start of the study window.
+        layer: originating layer, e.g. ``"fci"`` (FC interconnect),
+            ``"scsi"``, ``"disk"``.
+        event: dotted event name as it appears in logs, e.g.
+            ``"fci.device.timeout"`` (empty when synthesized outside the
+            log pipeline).
+        disk_id: fleet-unique id of the affected disk.
+        failure_type: the subsystem failure category this error belongs to.
+        recovered: True if a lower layer recovered the error (retry,
+            failover) so it never surfaced as a subsystem failure.
+        cause: sub-cause for physical interconnect errors, else ``None``.
+    """
+
+    time: float
+    layer: str
+    disk_id: str
+    failure_type: FailureType
+    recovered: bool = False
+    cause: Optional[InterconnectCause] = None
+    event: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureEvent:
+    """A storage subsystem failure as counted by the paper.
+
+    The event is tagged with the affected disk and with the disk's full
+    topological coordinates, because the analyses group failures by shelf,
+    RAID group, system, and the hardware models involved.
+
+    Attributes:
+        occur_time: true occurrence time (seconds since study start); only
+            the simulator knows this.
+        detect_time: when the hourly proactive verification detected the
+            failure; analyses must use this, as the paper does.
+        failure_type: one of the four categories.
+        disk_id / shelf_id / raid_group_id / system_id: topology keys.
+        system_class: ``"nearline" | "low_end" | "mid_range" | "high_end"``.
+        disk_model: anonymized disk model name, e.g. ``"A-2"``.
+        shelf_model: anonymized shelf enclosure model name, e.g. ``"B"``.
+        dual_path: whether the hosting system has redundant interconnects.
+        cause: interconnect sub-cause when applicable.
+        replaced_disk: for disk failures, True when the disk was replaced
+            afterwards (affects exposure accounting).
+    """
+
+    occur_time: float
+    detect_time: float
+    failure_type: FailureType
+    disk_id: str
+    shelf_id: str
+    raid_group_id: str
+    system_id: str
+    system_class: str
+    disk_model: str
+    shelf_model: str
+    dual_path: bool
+    cause: Optional[InterconnectCause] = None
+    replaced_disk: bool = False
+
+    def __post_init__(self) -> None:
+        if self.detect_time < self.occur_time:
+            raise ValueError(
+                "detect_time %.1f precedes occur_time %.1f"
+                % (self.detect_time, self.occur_time)
+            )
+
+    def with_detect_time(self, detect_time: float) -> "FailureEvent":
+        """Return a copy with a different detection timestamp."""
+        return dataclasses.replace(self, detect_time=detect_time)

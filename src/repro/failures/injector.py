@@ -1,0 +1,527 @@
+"""The failure injector: drives hazards and shocks over a whole fleet.
+
+For every system the injector:
+
+1. generates shelf-scoped shocks for each failure type (§5.2.3 mechanisms),
+2. generates per-disk independent arrivals for the remaining rate share,
+3. walks each disk bay in time order, applying disk failures (which
+   remove the disk and install a replacement after a delay) and
+   attaching non-disk failures to whichever disk occupied the bay,
+4. applies multipath masking to physical interconnect faults on
+   dual-path systems (masked faults become *recovered* component errors
+   that never reach the RAID layer),
+5. stamps every delivered failure with a detection time — the paper's
+   systems scrub hourly, so detection lags occurrence by up to an hour.
+
+The injector mutates the fleet (disk removals/replacements) so exposure
+accounting downstream sees correct per-disk lifetimes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.failures.events import ComponentError, FailureEvent
+from repro.failures.hazards import GammaInterarrival, renewal_arrivals
+from repro.failures.multipath import MultipathModel
+from repro.failures.raidlayer import component_errors_for_recovery
+from repro.failures.shocks import Shock, generate_shocks
+from repro.failures.types import (
+    FAILURE_TYPE_ORDER,
+    FailureType,
+    InterconnectCause,
+)
+from repro.fleet import calibration
+from repro.fleet.fleet import Fleet
+from repro.rng import RandomSource
+from repro.topology.components import Disk, DiskSlot
+from repro.topology.system import StorageSystem
+from repro.units import (
+    SCRUB_PERIOD_SECONDS,
+    SECONDS_PER_YEAR,
+    afr_percent_to_rate_per_second,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectorConfig:
+    """Tunable knobs of the failure injector.
+
+    Attributes:
+        shocks_enabled: when False, the full rate is delivered through
+            independent per-disk hazards — the ablation that collapses
+            Findings 8-11 back to the independence assumption.
+        multipath: masking model for dual-path systems.
+        detection_lag_max_seconds: scrub period; detection time is
+            uniform in (occurrence, occurrence + lag].
+        replacement_delay_mean_seconds: mean delay before a failed disk's
+            replacement enters service.
+        emit_recovered_errors: whether to record recovered (masked /
+            retried) incidents as component errors for the log pipeline.
+        warning_lead_mean_seconds: mean lead time by which a failure's
+            precursor incidents (recovered retries on the ailing
+            component) precede the failure itself — the signal the
+            paper's future-work prediction algorithms would mine.
+        background_error_rate_per_disk_year: rate of recovered incidents
+            on perfectly healthy disks (transient noise), which is what
+            makes prediction nontrivial.
+        shock_params: per-type shock calibration (defaults from the
+            calibration module).
+        rate_multipliers: optional per-type scaling of the delivered
+            rates (used by sensitivity studies; default all 1.0).
+        disk_renewal_shape: gamma shape of the per-shelf disk-failure
+            renewal process; 1.0 makes it an exponential (memoryless)
+            process, the full-independence ablation.
+        infant_mortality_factor: multiplier on the disk-failure hazard
+            during each disk's first ``infant_period_seconds`` of life
+            (1.0 = off, the paper-calibrated default; disk vendor
+            studies — the paper's refs [4, 21] — report early-life
+            failure elevation, which this knob lets users model).
+        infant_period_seconds: length of the elevated-hazard period.
+    """
+
+    shocks_enabled: bool = True
+    disk_renewal_shape: float = calibration.DISK_RENEWAL_GAMMA_SHAPE
+    infant_mortality_factor: float = 1.0
+    infant_period_seconds: float = 90.0 * 86_400.0
+    multipath: MultipathModel = dataclasses.field(default_factory=MultipathModel)
+    detection_lag_max_seconds: float = SCRUB_PERIOD_SECONDS
+    replacement_delay_mean_seconds: float = calibration.DISK_REPLACEMENT_DELAY_MEAN
+    emit_recovered_errors: bool = True
+    recovered_errors_per_failure: float = calibration.RECOVERED_ERRORS_PER_FAILURE
+    warning_lead_mean_seconds: float = 7.0 * 86_400.0
+    background_error_rate_per_disk_year: float = 0.05
+    shock_params: Mapping[FailureType, calibration.ShockParams] = dataclasses.field(
+        default_factory=lambda: dict(calibration.SHOCK_PARAMS)
+    )
+    rate_multipliers: Mapping[FailureType, float] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def rate_multiplier(self, failure_type: FailureType) -> float:
+        """Per-type delivered-rate scaling (1.0 when unset)."""
+        return self.rate_multipliers.get(failure_type, 1.0)
+
+
+@dataclasses.dataclass
+class InjectionResult:
+    """Everything the injector produced over a fleet.
+
+    Attributes:
+        events: delivered subsystem failures, sorted by detection time.
+        recovered_errors: component errors of incidents that lower layers
+            recovered (masked interconnect faults, successful retries);
+            these never became subsystem failures.
+        fleet: the (mutated) fleet, with disk replacements applied.
+    """
+
+    events: List[FailureEvent]
+    recovered_errors: List[ComponentError]
+    fleet: Fleet
+
+    def counts_by_type(self) -> Dict[FailureType, int]:
+        """Event counts per failure type (Table 1's rightmost column)."""
+        counts = {failure_type: 0 for failure_type in FAILURE_TYPE_ORDER}
+        for event in self.events:
+            counts[event.failure_type] += 1
+        return counts
+
+
+class FailureInjector:
+    """Generates the failure history of a fleet (see module docstring)."""
+
+    def __init__(self, config: Optional[InjectorConfig] = None) -> None:
+        self.config = config or InjectorConfig()
+
+    def inject(self, fleet: Fleet, random_source: RandomSource) -> InjectionResult:
+        """Simulate failures over the fleet's observation window.
+
+        The fleet is mutated: failed disks get ``remove_time`` set and
+        replacement disks are installed into their bays.
+        """
+        events: List[FailureEvent] = []
+        recovered: List[ComponentError] = []
+        for system in fleet.systems:
+            rng = random_source.stream("inject", system.system_id)
+            sys_events, sys_recovered = self._inject_system(
+                system, rng, fleet.duration_seconds
+            )
+            events.extend(sys_events)
+            recovered.extend(sys_recovered)
+        events.sort(key=lambda e: e.detect_time)
+        recovered.sort(key=lambda e: e.time)
+        return InjectionResult(events=events, recovered_errors=recovered, fleet=fleet)
+
+    # -- per-system simulation --------------------------------------------
+
+    def _inject_system(
+        self,
+        system: StorageSystem,
+        rng: np.random.Generator,
+        window_end: float,
+    ) -> Tuple[List[FailureEvent], List[ComponentError]]:
+        config = self.config
+        start = system.deploy_time
+        rates = {
+            failure_type: config.rate_multiplier(failure_type)
+            * afr_percent_to_rate_per_second(
+                calibration.delivered_afr_percent(
+                    system.system_class,
+                    failure_type,
+                    system.primary_disk_model,
+                    system.shelf_model,
+                )
+            )
+            for failure_type in FAILURE_TYPE_ORDER
+        }
+
+        shocks: List[Shock] = []
+        if config.shocks_enabled:
+            for shelf in system.shelves:
+                for failure_type in FAILURE_TYPE_ORDER:
+                    shocks.extend(
+                        generate_shocks(
+                            rng,
+                            failure_type,
+                            shelf.shelf_id,
+                            len(shelf.slots),
+                            rates[failure_type],
+                            config.shock_params[failure_type],
+                            start,
+                            window_end,
+                        )
+                    )
+
+        # Interconnect shocks get a cause and a shock-level masking
+        # decision: one cable fault is one failover, so all the disks it
+        # afflicts are masked (or not) together.
+        shock_causes: Dict[int, InterconnectCause] = {}
+        shock_masked: Dict[int, bool] = {}
+        for index, shock in enumerate(shocks):
+            if shock.failure_type is FailureType.PHYSICAL_INTERCONNECT:
+                cause = self._sample_cause(rng)
+                shock_causes[index] = cause
+                shock_masked[index] = config.multipath.masks(
+                    rng, system.dual_path, cause
+                )
+
+        # Candidate failure times per bay, per type.  A candidate is
+        # (time, cause, masked) — cause/masked only used for interconnect.
+        candidates: Dict[Tuple[str, FailureType], List[Tuple[float, Optional[InterconnectCause], bool]]] = {}
+
+        shelf_slot_index = {
+            shelf.shelf_id: shelf.slots for shelf in system.shelves
+        }
+        for index, shock in enumerate(shocks):
+            slots = shelf_slot_index[shock.shelf_id]
+            for slot_pos, delay in zip(shock.hit_slots, shock.spread_delays):
+                time = shock.time + delay
+                if time >= window_end:
+                    continue
+                key = (slots[slot_pos].slot_key, shock.failure_type)
+                candidates.setdefault(key, []).append(
+                    (
+                        time,
+                        shock_causes.get(index),
+                        shock_masked.get(index, False),
+                    )
+                )
+
+        shock_share = {
+            failure_type: (
+                config.shock_params[failure_type].rho
+                if config.shocks_enabled
+                else 0.0
+            )
+            for failure_type in FAILURE_TYPE_ORDER
+        }
+        slots = list(system.iter_slots())
+        span = window_end - start
+        for failure_type in FAILURE_TYPE_ORDER:
+            indep_rate = rates[failure_type] * (1.0 - shock_share[failure_type])
+            if indep_rate <= 0.0 or span <= 0.0:
+                continue
+            if failure_type is FailureType.DISK:
+                # Disk failures: the non-shock share is a mildly
+                # clustered gamma renewal process per shelf (shared
+                # thermal environment, §5.2.3), which is what makes the
+                # gamma distribution the best fit for disk inter-failure
+                # times (Finding 8).  Each renewal lands on a random bay.
+                for shelf in system.shelves:
+                    if not shelf.slots:
+                        continue
+                    shelf_rate = indep_rate * len(shelf.slots)
+                    renewal = GammaInterarrival.from_mean(
+                        config.disk_renewal_shape, 1.0 / shelf_rate
+                    )
+                    # Warm the process up to stationarity: an ordinary
+                    # renewal process with shape < 1 over-delivers early
+                    # (E[N(t)] ~ t/mean + (1/shape - 1)/2), which would
+                    # silently inflate the delivered disk AFR.
+                    warmup = 20.0 * renewal.mean
+                    for time in renewal_arrivals(
+                        rng, renewal, start - warmup, window_end
+                    ):
+                        if time < start:
+                            continue
+                        slot = shelf.slots[int(rng.integers(0, len(shelf.slots)))]
+                        key = (slot.slot_key, failure_type)
+                        candidates.setdefault(key, []).append((float(time), None, False))
+                continue
+            # Other types: vectorized per-system draw — one Poisson count
+            # per bay, then uniform placement (an exact per-bay Poisson
+            # process).
+            counts = rng.poisson(indep_rate * span, size=len(slots))
+            for slot, count in zip(slots, counts):
+                if count == 0:
+                    continue
+                times = start + rng.random(int(count)) * span
+                for time in times:
+                    cause = None
+                    masked = False
+                    if failure_type is FailureType.PHYSICAL_INTERCONNECT:
+                        cause = self._sample_cause(rng)
+                        masked = config.multipath.masks(rng, system.dual_path, cause)
+                    key = (slot.slot_key, failure_type)
+                    candidates.setdefault(key, []).append((float(time), cause, masked))
+
+        events: List[FailureEvent] = []
+        recovered: List[ComponentError] = []
+
+        # Disk failures first: they change which disk occupies a bay.
+        for slot in system.iter_slots():
+            disk_candidates = candidates.get((slot.slot_key, FailureType.DISK), [])
+            events.extend(
+                self._apply_disk_failures(
+                    system,
+                    slot,
+                    sorted(disk_candidates),
+                    rng,
+                    window_end,
+                    rates[FailureType.DISK],
+                )
+            )
+
+        # Non-disk failures attach to whichever disk occupied the bay.
+        for slot in system.iter_slots():
+            for failure_type in FAILURE_TYPE_ORDER:
+                if failure_type is FailureType.DISK:
+                    continue
+                for time, cause, masked in sorted(
+                    candidates.get((slot.slot_key, failure_type), [])
+                ):
+                    disk = slot.disk_at(time)
+                    if disk is None:
+                        continue  # bay empty during a replacement gap
+                    if masked:
+                        if config.emit_recovered_errors:
+                            recovered.extend(
+                                component_errors_for_recovery(
+                                    failure_type, disk.disk_id, time
+                                )
+                            )
+                        continue
+                    event = self._make_event(
+                        system, slot, disk, failure_type, time, rng, window_end, cause
+                    )
+                    if event is not None:
+                        events.append(event)
+
+        if config.emit_recovered_errors:
+            recovered.extend(self._retry_noise(system, events, rng, window_end))
+        return events, recovered
+
+    def _infant_failure_time(
+        self,
+        disk: Optional[Disk],
+        rng: np.random.Generator,
+        disk_rate: float,
+        window_end: float,
+    ) -> Optional[float]:
+        """Extra early-life failure candidate for a freshly installed disk.
+
+        With factor f > 1 the disk's hazard during its infant period is
+        f x the base rate; the extra (f - 1) x base share is delivered
+        here as at most one candidate inside the period.
+        """
+        factor = self.config.infant_mortality_factor
+        if disk is None or factor <= 1.0 or disk_rate <= 0.0:
+            return None
+        extra_rate = (factor - 1.0) * disk_rate
+        time = disk.install_time + float(rng.exponential(1.0 / extra_rate))
+        cutoff = min(
+            disk.install_time + self.config.infant_period_seconds, window_end
+        )
+        return time if time < cutoff else None
+
+    def _apply_disk_failures(
+        self,
+        system: StorageSystem,
+        slot: DiskSlot,
+        disk_candidates: List[Tuple[float, Optional[InterconnectCause], bool]],
+        rng: np.random.Generator,
+        window_end: float,
+        disk_rate: float,
+    ) -> List[FailureEvent]:
+        """Walk one bay in time order, failing and replacing disks."""
+        config = self.config
+        events: List[FailureEvent] = []
+        current = slot.disks[-1] if slot.disks else None
+        infant = self._infant_failure_time(current, rng, disk_rate, window_end)
+        index = 0
+        while current is not None and current.remove_time is None:
+            regular = (
+                disk_candidates[index][0]
+                if index < len(disk_candidates)
+                else None
+            )
+            if regular is None and infant is None:
+                break
+            if infant is not None and (regular is None or infant < regular):
+                time = infant
+                infant = None
+            else:
+                time = regular
+                index += 1
+            if time < current.install_time:
+                continue  # candidate fell into the replacement gap
+            detect = time + rng.uniform(0.0, config.detection_lag_max_seconds)
+            if detect >= window_end:
+                break  # failure not observed inside the study window
+            current.remove_time = detect
+            events.append(
+                FailureEvent(
+                    occur_time=time,
+                    detect_time=detect,
+                    failure_type=FailureType.DISK,
+                    disk_id=current.disk_id,
+                    shelf_id=current.shelf_id,
+                    raid_group_id=slot.raid_group_id,
+                    system_id=system.system_id,
+                    system_class=system.system_class.value,
+                    disk_model=current.model,
+                    shelf_model=system.shelf_model,
+                    dual_path=system.dual_path,
+                    replaced_disk=True,
+                )
+            )
+            install_time = detect + rng.exponential(
+                config.replacement_delay_mean_seconds
+            )
+            if install_time >= window_end:
+                break
+            replacement = Disk(
+                disk_id="%s#%d" % (slot.slot_key, len(slot.disks)),
+                model=current.model,
+                system_id=system.system_id,
+                shelf_id=slot.shelf_id,
+                slot_index=slot.slot_index,
+                raid_group_id=slot.raid_group_id,
+                install_time=install_time,
+                serial="S%08X" % int(rng.integers(0, 2**32)),
+            )
+            slot.install(replacement)
+            current = replacement
+            infant = self._infant_failure_time(
+                current, rng, disk_rate, window_end
+            )
+        return events
+
+    def _make_event(
+        self,
+        system: StorageSystem,
+        slot: DiskSlot,
+        disk: Disk,
+        failure_type: FailureType,
+        time: float,
+        rng: np.random.Generator,
+        window_end: float,
+        cause: Optional[InterconnectCause],
+    ) -> Optional[FailureEvent]:
+        detect = time + rng.uniform(0.0, self.config.detection_lag_max_seconds)
+        if detect >= window_end or detect >= (disk.remove_time or float("inf")):
+            return None
+        return FailureEvent(
+            occur_time=time,
+            detect_time=detect,
+            failure_type=failure_type,
+            disk_id=disk.disk_id,
+            shelf_id=disk.shelf_id,
+            raid_group_id=slot.raid_group_id,
+            system_id=system.system_id,
+            system_class=system.system_class.value,
+            disk_model=disk.model,
+            shelf_model=system.shelf_model,
+            dual_path=system.dual_path,
+            cause=cause,
+        )
+
+    def _retry_noise(
+        self,
+        system: StorageSystem,
+        events: List[FailureEvent],
+        rng: np.random.Generator,
+        window_end: float,
+    ) -> List[ComponentError]:
+        """Recovered retry incidents: log noise that never reached RAID.
+
+        Two populations, mirroring what real support logs contain:
+
+        - **precursors** — ailing components emit recovered incidents in
+          the days *before* their failure (the paper's §7 future work —
+          failure prediction from component errors — depends on exactly
+          this structure);
+        - **background** — healthy disks occasionally log transient,
+          meaningless recovered incidents.
+        """
+        noise: List[ComponentError] = []
+        lead_mean = self.config.warning_lead_mean_seconds
+        for event in events:
+            extra = rng.poisson(self.config.recovered_errors_per_failure)
+            for _ in range(int(extra)):
+                time = event.occur_time - float(rng.exponential(lead_mean))
+                if time <= system.deploy_time:
+                    continue  # precursor would predate deployment
+                noise.extend(
+                    component_errors_for_recovery(
+                        event.failure_type, event.disk_id, time
+                    )
+                )
+        background_rate = (
+            self.config.background_error_rate_per_disk_year / SECONDS_PER_YEAR
+        )
+        if background_rate > 0.0:
+            for slot in system.iter_slots():
+                for disk in slot.disks:
+                    end = (
+                        disk.remove_time
+                        if disk.remove_time is not None
+                        else window_end
+                    )
+                    span = end - disk.install_time
+                    if span <= 0.0:
+                        continue
+                    for _ in range(int(rng.poisson(background_rate * span))):
+                        time = disk.install_time + float(rng.uniform(0.0, span))
+                        failure_type = FAILURE_TYPE_ORDER[
+                            int(rng.integers(0, len(FAILURE_TYPE_ORDER)))
+                        ]
+                        noise.extend(
+                            component_errors_for_recovery(
+                                failure_type, disk.disk_id, time
+                            )
+                        )
+        return noise
+
+    def _sample_cause(self, rng: np.random.Generator) -> InterconnectCause:
+        """Draw an interconnect sub-cause from the calibrated mix."""
+        roll = rng.random()
+        acc = 0.0
+        for cause, share in calibration.INTERCONNECT_CAUSE_MIX.items():
+            acc += share
+            if roll < acc:
+                return cause
+        return InterconnectCause.BACKPLANE

@@ -1,0 +1,120 @@
+"""RAID-layer propagation: which component errors become subsystem failures.
+
+The paper counts a storage subsystem failure only when the error
+propagates to the RAID layer (Fig. 3 shows the cascade: FC events, then
+SCSI events, then the RAID-layer ``disk.missing`` event).  Errors that a
+lower layer recovers — a successful SCSI retry, a multipath failover —
+appear in the logs but produce no RAID-layer event and are not counted.
+
+This module is the shared vocabulary between the injector (which decides
+what propagates) and the log parser (which must recognize the same
+cascades in text form).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.failures.events import ComponentError
+from repro.failures.types import FailureType
+
+#: The lower-layer event cascade emitted ahead of each RAID-layer event,
+#: per failure type: (layer, event name, seconds before the RAID event).
+#: Shapes follow the paper's Fig. 3 excerpt (a physical interconnect
+#: failure spans ~166 s from first FC timeout to the RAID event).
+CASCADES: Mapping[FailureType, Sequence[Tuple[str, str, float]]] = {
+    FailureType.PHYSICAL_INTERCONNECT: (
+        ("fci", "fci.device.timeout", 166.0),
+        ("fci", "fci.adapter.reset", 152.0),
+        ("scsi", "scsi.cmd.abortedByHost", 152.0),
+        ("scsi", "scsi.cmd.selectionTimeout", 130.0),
+        ("scsi", "scsi.cmd.noMorePaths", 120.0),
+    ),
+    FailureType.DISK: (
+        ("disk", "disk.ioMediumError", 95.0),
+        ("scsi", "scsi.cmd.checkCondition", 80.0),
+        ("disk", "disk.failurePredicted", 40.0),
+    ),
+    FailureType.PROTOCOL: (
+        ("scsi", "scsi.cmd.protocolViolation", 60.0),
+        ("disk", "disk.driver.incompatible", 30.0),
+    ),
+    FailureType.PERFORMANCE: (
+        ("disk", "disk.slowIO", 240.0),
+        ("scsi", "scsi.cmd.latencyWarning", 120.0),
+    ),
+}
+
+#: Terminal events of *recovered* incidents — the cascade ends at a lower
+#: layer instead of reaching RAID.
+RECOVERY_EVENTS: Mapping[FailureType, Tuple[str, str]] = {
+    FailureType.PHYSICAL_INTERCONNECT: ("fci", "fci.path.failover"),
+    FailureType.DISK: ("scsi", "scsi.cmd.retrySuccess"),
+    FailureType.PROTOCOL: ("scsi", "scsi.cmd.retrySuccess"),
+    FailureType.PERFORMANCE: ("disk", "disk.latencyRecovered"),
+}
+
+
+def component_errors_for_failure(
+    failure_type: FailureType, disk_id: str, raid_event_time: float
+) -> Tuple[ComponentError, ...]:
+    """The lower-layer error records leading up to one subsystem failure."""
+    return tuple(
+        ComponentError(
+            time=raid_event_time - lead,
+            layer=layer,
+            disk_id=disk_id,
+            failure_type=failure_type,
+            recovered=False,
+            event=event,
+        )
+        for layer, event, lead in CASCADES[failure_type]
+    )
+
+
+def component_errors_for_recovery(
+    failure_type: FailureType, disk_id: str, recovery_time: float
+) -> Tuple[ComponentError, ...]:
+    """The error records of an incident a lower layer recovered.
+
+    The cascade's first events appear, then the recovery event; no
+    RAID-layer event follows.
+    """
+    prefix = CASCADES[failure_type][:2]
+    errors = [
+        ComponentError(
+            time=recovery_time - lead,
+            layer=layer,
+            disk_id=disk_id,
+            failure_type=failure_type,
+            recovered=True,
+            event=event,
+        )
+        for layer, event, lead in prefix
+    ]
+    layer, event = RECOVERY_EVENTS[failure_type]
+    errors.append(
+        ComponentError(
+            time=recovery_time,
+            layer=layer,
+            disk_id=disk_id,
+            failure_type=failure_type,
+            recovered=True,
+            event=event,
+        )
+    )
+    return tuple(errors)
+
+
+def classify_cascade(
+    raid_event_name: Optional[str],
+) -> Optional[FailureType]:
+    """Classify an incident by its RAID-layer event (None = recovered).
+
+    This is the paper's methodology (§2.5): the RAID layer tags events
+    with the failure type it inferred from the lower-layer cascade; a
+    cascade with no RAID-layer event never became a subsystem failure.
+    """
+    if raid_event_name is None:
+        return None
+    return FailureType.from_raid_event(raid_event_name)

@@ -1,0 +1,96 @@
+"""The paper's four storage subsystem failure categories (§2.3).
+
+Failures are partitioned along the I/O request path:
+
+- **disk** — failure mechanisms internal to the disk (media defects,
+  rotational vibration, proactive fail-out after excessive sector errors).
+- **physical interconnect** — errors in the networks connecting disks to
+  storage heads (HBA failures, broken cables, shelf power outage, shelf
+  backplane errors, shelf FC driver errors); affected disks appear missing.
+- **protocol** — protocol incompatibility or software bugs in disk drivers
+  / shelf firmware; disks are visible but requests are not answered
+  correctly.
+- **performance** — disks visible and answering, but too slowly, with none
+  of the other three types detected.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FailureType(enum.Enum):
+    """One of the four storage subsystem failure categories."""
+
+    DISK = "disk"
+    PHYSICAL_INTERCONNECT = "physical_interconnect"
+    PROTOCOL = "protocol"
+    PERFORMANCE = "performance"
+
+    @property
+    def label(self) -> str:
+        """Human-readable label as used in the paper's figures."""
+        return _LABELS[self]
+
+    @property
+    def raid_event(self) -> str:
+        """The RAID-layer log event name that tags this failure type."""
+        return _RAID_EVENTS[self]
+
+    @classmethod
+    def from_raid_event(cls, event: str) -> "FailureType":
+        """Map a RAID-layer event name back to its failure type."""
+        try:
+            return _RAID_EVENTS_INVERSE[event]
+        except KeyError:
+            raise ValueError("unknown RAID-layer event %r" % event) from None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+_LABELS = {
+    FailureType.DISK: "Disk Failure",
+    FailureType.PHYSICAL_INTERCONNECT: "Physical Interconnect Failure",
+    FailureType.PROTOCOL: "Protocol Failure",
+    FailureType.PERFORMANCE: "Performance Failure",
+}
+
+#: RAID-layer event tags, modeled on the log excerpt in the paper's Fig. 3
+#: (``raid.config.filesystem.disk.missing`` marks a physical interconnect
+#: failure).  The other three names follow the same naming convention.
+_RAID_EVENTS = {
+    FailureType.DISK: "raid.disk.failed",
+    FailureType.PHYSICAL_INTERCONNECT: "raid.config.filesystem.disk.missing",
+    FailureType.PROTOCOL: "raid.disk.ioerror",
+    FailureType.PERFORMANCE: "raid.disk.timeout.slow",
+}
+_RAID_EVENTS_INVERSE = {name: ftype for ftype, name in _RAID_EVENTS.items()}
+
+#: Deterministic presentation/iteration order (the paper's stacking order).
+FAILURE_TYPE_ORDER = (
+    FailureType.DISK,
+    FailureType.PHYSICAL_INTERCONNECT,
+    FailureType.PROTOCOL,
+    FailureType.PERFORMANCE,
+)
+
+
+class InterconnectCause(enum.Enum):
+    """Sub-cause of a physical interconnect failure.
+
+    The distinction matters for multipathing (§4.3): a redundant FC network
+    masks failures of the *network path* (cables, switches, one HBA port),
+    but cannot mask shelf backplane or shelf power faults, which is one
+    reason dual-path AFR does not drop to the idealized product of two
+    independent networks.
+    """
+
+    NETWORK_PATH = "network_path"  #: cable / FC loop / HBA port — maskable
+    BACKPLANE = "backplane"  #: shelf backplane or power — not maskable
+    SHARED_HBA = "shared_hba"  #: both "logical" adapters on one physical HBA
+
+    @property
+    def maskable_by_multipath(self) -> bool:
+        """Whether a second independent FC network can tolerate this cause."""
+        return self is InterconnectCause.NETWORK_PATH

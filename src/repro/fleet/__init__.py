@@ -1,0 +1,24 @@
+"""Fleet generation: populations of storage systems matching the study.
+
+- :mod:`repro.fleet.calibration` — every constant digitized from the
+  paper (AFR targets, model multipliers, shock parameters), in one place.
+- :mod:`repro.fleet.catalog` — anonymized disk/shelf model catalog and
+  which models appear in which class+shelf combination (Fig. 5).
+- :mod:`repro.fleet.spec` — per-class population parameters (Table 1).
+- :mod:`repro.fleet.builder` — turns a spec into a concrete
+  :class:`~repro.fleet.fleet.Fleet` of systems, shelves, and disks.
+"""
+
+from repro.fleet.spec import ClassSpec, FleetSpec
+from repro.fleet.fleet import Fleet
+from repro.fleet.builder import build_fleet
+from repro.fleet import calibration, catalog
+
+__all__ = [
+    "ClassSpec",
+    "FleetSpec",
+    "Fleet",
+    "build_fleet",
+    "calibration",
+    "catalog",
+]

@@ -1,0 +1,270 @@
+"""Paper-calibrated constants for the synthetic fleet.
+
+The study's raw data (NetApp AutoSupport logs) is proprietary, so the
+simulator is calibrated to the numbers the paper *prints*: per-class AFR
+breakdowns (Fig. 4b, Fig. 7), the Disk H anomaly (Finding 3), shelf/disk
+interoperability shifts (Fig. 6), multipath masking effectiveness
+(Finding 7), and the burstiness/correlation behaviour of §5.  Everything
+that encodes "what the paper measured" lives in this module with a
+citation comment; no other module hard-codes a rate.
+
+Rates are quoted as AFR percent per disk-year and converted to per-second
+hazards at the point of use via :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import CalibrationError
+from repro.failures.types import FailureType, InterconnectCause
+from repro.topology.classes import SystemClass
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassRates:
+    """Per-class delivered AFR targets, percent per disk-year.
+
+    ``interconnect`` is the *single-path* physical interconnect rate;
+    dual-path systems see it reduced by the multipath masking model.
+    Values digitized from Fig. 4(b) (classes without a dual-path split)
+    and Fig. 7 (single-path bars for mid-range/high-end).
+    """
+
+    disk: float
+    interconnect: float
+    protocol: float
+    performance: float
+
+    def rate(self, failure_type: FailureType) -> float:
+        """The AFR-percent target for one failure type."""
+        return {
+            FailureType.DISK: self.disk,
+            FailureType.PHYSICAL_INTERCONNECT: self.interconnect,
+            FailureType.PROTOCOL: self.protocol,
+            FailureType.PERFORMANCE: self.performance,
+        }[failure_type]
+
+    @property
+    def total(self) -> float:
+        """Total storage subsystem AFR percent."""
+        return self.disk + self.interconnect + self.protocol + self.performance
+
+
+#: Fig. 4(b) stacks (excluding Disk H systems) with mid/high interconnect
+#: taken from the single-path bars of Fig. 7: near-line subsystem AFR is
+#: about 3.4% with disks at 1.9% (SATA); low-end is about 4.6% with disks
+#: at only 0.9% (FC), i.e. disks are ~20% of the total (Findings 1-2).
+CLASS_RATES: Mapping[SystemClass, ClassRates] = {
+    SystemClass.NEARLINE: ClassRates(disk=1.90, interconnect=0.95, protocol=0.35, performance=0.20),
+    SystemClass.LOW_END: ClassRates(disk=0.90, interconnect=2.90, protocol=0.35, performance=0.45),
+    SystemClass.MID_RANGE: ClassRates(disk=0.75, interconnect=1.82, protocol=0.32, performance=0.28),
+    SystemClass.HIGH_END: ClassRates(disk=0.75, interconnect=2.13, protocol=0.30, performance=0.03),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskModelEffect:
+    """Multipliers a disk model applies to the class-base rates.
+
+    Finding 3: the problematic Disk H family roughly doubles subsystem
+    AFR, and inflates not just disk failures but protocol and performance
+    failures too (corner-case protocol bugs and slow service are
+    triggered by ailing disks).  Finding 5: capacity rank carries no
+    systematic trend, so multipliers are per-model, not per-capacity.
+    """
+
+    disk: float = 1.0
+    protocol: float = 1.0
+    performance: float = 1.0
+
+
+#: Per-model multipliers.  H-family values reproduce Finding 3; D-2 below
+#: D-1 reproduces the Fig. 5(e) observation behind Finding 5 (larger disk,
+#: lower AFR); the rest are mild model-to-model variation (Fig. 5 shows
+#: disk AFR varying with ~11% average standard deviation across models).
+DISK_MODEL_EFFECTS: Mapping[str, DiskModelEffect] = {
+    # FC families (primary storage)
+    "A-1": DiskModelEffect(disk=1.15),
+    "A-2": DiskModelEffect(disk=1.00),
+    "A-3": DiskModelEffect(disk=0.95),
+    "B-1": DiskModelEffect(disk=1.05),
+    "C-1": DiskModelEffect(disk=1.10),
+    "C-2": DiskModelEffect(disk=0.90),
+    "D-1": DiskModelEffect(disk=1.25),
+    "D-2": DiskModelEffect(disk=0.85),
+    "D-3": DiskModelEffect(disk=0.95),
+    "E-1": DiskModelEffect(disk=1.00),
+    "F-1": DiskModelEffect(disk=0.90),
+    "F-2": DiskModelEffect(disk=1.00),
+    "G-1": DiskModelEffect(disk=1.05),
+    # The problematic family (Finding 3): Fig. 5 shows its systems at
+    # 3.9-8.3% subsystem AFR, about double their peers, with protocol
+    # and performance failures inflated alongside disk failures.
+    "H-1": DiskModelEffect(disk=3.00, protocol=2.50, performance=2.50),
+    "H-2": DiskModelEffect(disk=2.80, protocol=2.30, performance=2.30),
+    # SATA families (near-line)
+    "I-1": DiskModelEffect(disk=1.00),
+    "I-2": DiskModelEffect(disk=0.95),
+    "J-1": DiskModelEffect(disk=1.10),
+    "J-2": DiskModelEffect(disk=1.00),
+    "K-1": DiskModelEffect(disk=0.90),
+}
+
+#: The problematic disk family excluded in Fig. 4(b) / included in 4(a).
+PROBLEMATIC_DISK_FAMILY = "H"
+
+
+#: Fig. 6 / Finding 6: shelf enclosure model shifts the physical
+#: interconnect rate, and which shelf is better depends on the disk
+#: model (interoperability).  Keys are (shelf model, disk model name);
+#: anything absent multiplies by 1.0.  Values chosen so Shelf B beats A
+#: for Disk A-2 while A beats B for A-3/D-2/D-3, at roughly the relative
+#: separation of Fig. 6 (e.g. 2.66% vs 2.18% for A-2).
+SHELF_DISK_INTEROP: Mapping[Tuple[str, str], float] = {
+    ("A", "A-2"): 1.25,
+    ("B", "A-2"): 0.78,
+    ("A", "A-3"): 0.80,
+    ("B", "A-3"): 1.25,
+    ("A", "D-2"): 0.78,
+    ("B", "D-2"): 1.25,
+    ("A", "D-3"): 0.75,
+    ("B", "D-3"): 1.28,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ShockParams:
+    """Shared-shock process parameters for one failure type (§5.2.3).
+
+    A fraction ``rho`` of the type's delivered per-disk rate arrives via
+    shelf-scoped shocks (environment/temperature excursions, transient
+    interconnect component faults, driver updates); each shock affects
+    each disk in its shelf independently with probability ``hit_prob``,
+    and affected disks fail at shock time plus an exponential delay with
+    mean ``window_mean_seconds``.  Tight windows and high hit
+    probabilities produce the bursty patterns of Fig. 9 and the
+    super-independent P(2) of Fig. 10.
+    """
+
+    rho: float
+    hit_prob: float
+    window_mean_seconds: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rho < 1.0:
+            raise CalibrationError("rho must be in [0, 1)")
+        if not 0.0 < self.hit_prob <= 1.0:
+            raise CalibrationError("hit_prob must be in (0, 1]")
+        if self.window_mean_seconds <= 0.0:
+            raise CalibrationError("window mean must be positive")
+
+
+#: Disk failures are the least bursty (gamma-renewal-looking aggregate,
+#: Finding 8) yet still correlated ~6x beyond independence (Finding 11):
+#: infrequent wide-window environment shocks.  Interconnect failures are
+#: the most bursty: one cable/HBA/backplane fault takes out many disks of
+#: a shelf within minutes.  Protocol and performance sit in between
+#: (10-25x P(2) inflation).
+SHOCK_PARAMS: Mapping[FailureType, ShockParams] = {
+    FailureType.DISK: ShockParams(rho=0.45, hit_prob=0.22, window_mean_seconds=2.0e5),
+    FailureType.PHYSICAL_INTERCONNECT: ShockParams(rho=0.80, hit_prob=0.22, window_mean_seconds=4000.0),
+    FailureType.PROTOCOL: ShockParams(rho=0.70, hit_prob=0.22, window_mean_seconds=6000.0),
+    FailureType.PERFORMANCE: ShockParams(rho=0.50, hit_prob=0.18, window_mean_seconds=8000.0),
+}
+
+
+#: Shape of the gamma renewal process generating the non-shock share of
+#: disk failures within a shelf.  Finding 8: disk failure inter-arrivals
+#: are best fit by a gamma distribution (shape < 1 = mild clustering
+#: from the shared thermal environment), unlike the much burstier
+#: shock-driven types.
+DISK_RENEWAL_GAMMA_SHAPE = 0.65
+
+#: Sub-cause mix of physical interconnect failures (§4.3 discussion):
+#: network-path faults dominate but backplane/power faults and shared
+#: physical HBAs are why dual-path AFR stays far above the idealized
+#: product of two independent network failure probabilities.
+INTERCONNECT_CAUSE_MIX: Mapping[InterconnectCause, float] = {
+    InterconnectCause.NETWORK_PATH: 0.60,
+    InterconnectCause.BACKPLANE: 0.32,
+    InterconnectCause.SHARED_HBA: 0.08,
+}
+
+#: Probability that a dual-path system masks a network-path fault by
+#: failing over.  0.60 x 0.90 = 54% interconnect reduction, the middle of
+#: the paper's 50-60% (Finding 7); subsystem AFR drops 30-40%.
+MULTIPATH_MASK_PROBABILITY = 0.90
+
+#: Mean recovered (non-propagating) component errors emitted per
+#: subsystem failure — retries and failovers that the log shows but the
+#: RAID layer never sees (§2.5: "not all failures propagate").
+RECOVERED_ERRORS_PER_FAILURE = 2.0
+
+#: Mean delay (seconds) from disk-failure detection to the replacement
+#: disk entering service.
+DISK_REPLACEMENT_DELAY_MEAN = 86_400.0
+
+
+def class_rates(system_class: SystemClass) -> ClassRates:
+    """Look up the delivered AFR targets for a system class."""
+    try:
+        return CLASS_RATES[system_class]
+    except KeyError:
+        raise CalibrationError(
+            "no calibration for system class %r" % system_class
+        ) from None
+
+
+def disk_model_effect(model_name: str) -> DiskModelEffect:
+    """Look up a disk model's rate multipliers (identity if unknown)."""
+    return DISK_MODEL_EFFECTS.get(model_name, DiskModelEffect())
+
+
+def interop_multiplier(shelf_model: str, disk_model: str) -> float:
+    """Interconnect-rate multiplier for a shelf+disk pairing (Finding 6)."""
+    return SHELF_DISK_INTEROP.get((shelf_model, disk_model), 1.0)
+
+
+def delivered_afr_percent(
+    system_class: SystemClass,
+    failure_type: FailureType,
+    disk_model: str,
+    shelf_model: str,
+) -> float:
+    """The calibrated AFR-percent target for one configuration.
+
+    This is the single-path, post-propagation rate; multipath masking is
+    applied downstream by the injector for dual-path systems.
+    """
+    base = class_rates(system_class).rate(failure_type)
+    effect = disk_model_effect(disk_model)
+    if failure_type is FailureType.DISK:
+        return base * effect.disk
+    if failure_type is FailureType.PROTOCOL:
+        return base * effect.protocol
+    if failure_type is FailureType.PERFORMANCE:
+        return base * effect.performance
+    return base * interop_multiplier(shelf_model, disk_model)
+
+
+def validate() -> Dict[str, float]:
+    """Sanity-check the calibration tables; returns headline totals.
+
+    Raises:
+        CalibrationError: if a class total strays outside the 2-8% band
+            the paper's Fig. 4 axes cover, or mixes don't sum to 1.
+    """
+    totals = {}
+    for cls, rates in CLASS_RATES.items():
+        if not 2.0 <= rates.total <= 8.0:
+            raise CalibrationError(
+                "class %s total AFR %.2f%% outside the paper's observed band"
+                % (cls.value, rates.total)
+            )
+        totals[cls.value] = rates.total
+    mix_sum = sum(INTERCONNECT_CAUSE_MIX.values())
+    if abs(mix_sum - 1.0) > 1e-9:
+        raise CalibrationError("interconnect cause mix sums to %.4f" % mix_sum)
+    return totals

@@ -1,0 +1,171 @@
+"""The anonymized hardware catalog: which models exist and where they ship.
+
+Reproduces the combinations visible in the paper's Fig. 5: six
+class x shelf-enclosure panels, each listing the disk models deployed in
+that combination (20 disk models across 11 families; 3 shelf models; FC
+disks in primary classes, SATA in near-line).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import CalibrationError
+from repro.topology.classes import SystemClass
+from repro.topology.models import DiskModel, ShelfModel
+
+#: Capacity laddering: rank 1 is the smallest shipping capacity of a
+#: family; each rank doubles it.  Near-line SATA families start larger.
+_FC_BASE_GB = 72
+_SATA_BASE_GB = 250
+
+
+def _fc(name: str) -> DiskModel:
+    family, rank = name.split("-")
+    return DiskModel(
+        family=family,
+        capacity_rank=int(rank),
+        interface="FC",
+        capacity_gb=_FC_BASE_GB * (2 ** (int(rank) - 1)),
+    )
+
+
+def _sata(name: str) -> DiskModel:
+    family, rank = name.split("-")
+    return DiskModel(
+        family=family,
+        capacity_rank=int(rank),
+        interface="SATA",
+        capacity_gb=_SATA_BASE_GB * (2 ** (int(rank) - 1)),
+    )
+
+
+#: Every disk model in the study, keyed by canonical name.
+DISK_MODELS: Mapping[str, DiskModel] = {
+    model.name: model
+    for model in (
+        # FC families used by primary storage (Fig. 5 b-f).
+        _fc("A-1"), _fc("A-2"), _fc("A-3"),
+        _fc("B-1"),
+        _fc("C-1"), _fc("C-2"),
+        _fc("D-1"), _fc("D-2"), _fc("D-3"),
+        _fc("E-1"),
+        _fc("F-1"), _fc("F-2"),
+        _fc("G-1"),
+        _fc("H-1"), _fc("H-2"),
+        # SATA families used by near-line systems (Fig. 5 a).
+        _sata("I-1"), _sata("I-2"),
+        _sata("J-1"), _sata("J-2"),
+        _sata("K-1"),
+    )
+}
+
+#: Every shelf enclosure model in the study.
+SHELF_MODELS: Mapping[str, ShelfModel] = {
+    name: ShelfModel(name) for name in ("A", "B", "C")
+}
+
+#: Fig. 5's six panels: which disk models ship in each
+#: (system class, shelf model) combination.
+COMBINATIONS: Mapping[Tuple[SystemClass, str], Sequence[str]] = {
+    (SystemClass.NEARLINE, "C"): ("I-1", "J-1", "J-2", "K-1", "I-2"),
+    (SystemClass.LOW_END, "A"): ("A-2", "A-3", "D-2", "D-3", "H-2"),
+    (SystemClass.LOW_END, "B"): ("A-2", "A-3", "D-2", "D-3", "H-2"),
+    (SystemClass.MID_RANGE, "C"): ("B-1", "C-1", "G-1", "H-1"),
+    (SystemClass.MID_RANGE, "B"): (
+        "A-1", "A-2", "C-1", "C-2", "D-1", "D-2", "D-3", "E-1", "H-1", "H-2",
+    ),
+    (SystemClass.HIGH_END, "B"): (
+        "A-2", "A-3", "C-2", "D-2", "D-3", "E-1", "F-1", "F-2", "H-1", "H-2",
+    ),
+}
+
+#: Which shelf models each class deploys, with mixing weights.
+SHELF_MIX: Mapping[SystemClass, Mapping[str, float]] = {
+    SystemClass.NEARLINE: {"C": 1.0},
+    SystemClass.LOW_END: {"A": 0.5, "B": 0.5},
+    SystemClass.MID_RANGE: {"C": 0.3, "B": 0.7},
+    SystemClass.HIGH_END: {"B": 1.0},
+}
+
+#: Relative shipping weight of the problematic H family within a panel;
+#: the remaining weight is spread evenly over the other models.
+_H_FAMILY_WEIGHT = 0.12
+
+
+def disk_model(name: str) -> DiskModel:
+    """Look up a disk model by canonical name.
+
+    Raises:
+        CalibrationError: for names not in the study's catalog.
+    """
+    try:
+        return DISK_MODELS[name]
+    except KeyError:
+        raise CalibrationError("unknown disk model %r" % name) from None
+
+
+def shelf_models_for_class(system_class: SystemClass) -> Mapping[str, float]:
+    """Shelf model mixing weights for a class (sums to 1)."""
+    try:
+        return SHELF_MIX[system_class]
+    except KeyError:
+        raise CalibrationError(
+            "no shelf mix for class %r" % system_class
+        ) from None
+
+
+def disk_models_for(
+    system_class: SystemClass, shelf_model: str
+) -> List[Tuple[str, float]]:
+    """Disk models and shipping weights for a class+shelf combination.
+
+    Returns:
+        ``[(model_name, weight), ...]`` with weights summing to 1; the
+        H-family models get :data:`_H_FAMILY_WEIGHT` of the total each.
+
+    Raises:
+        CalibrationError: for a combination that does not ship (Fig. 5
+            shows only six class x shelf panels).
+    """
+    try:
+        names = COMBINATIONS[(system_class, shelf_model)]
+    except KeyError:
+        raise CalibrationError(
+            "no %s systems ship with shelf model %s"
+            % (system_class.value, shelf_model)
+        ) from None
+    h_models = [n for n in names if n.startswith("H-")]
+    others = [n for n in names if not n.startswith("H-")]
+    weights: Dict[str, float] = {}
+    for name in h_models:
+        weights[name] = _H_FAMILY_WEIGHT
+    remaining = 1.0 - _H_FAMILY_WEIGHT * len(h_models)
+    for name in others:
+        weights[name] = remaining / len(others)
+    return [(name, weights[name]) for name in names]
+
+
+def validate() -> None:
+    """Check catalog consistency: weights sum to 1, models all known."""
+    for system_class, mix in SHELF_MIX.items():
+        if abs(sum(mix.values()) - 1.0) > 1e-9:
+            raise CalibrationError(
+                "shelf mix for %s sums to %.4f" % (system_class.value, sum(mix.values()))
+            )
+        for shelf_name in mix:
+            if shelf_name not in SHELF_MODELS:
+                raise CalibrationError("unknown shelf model %r" % shelf_name)
+            for name, weight in disk_models_for(system_class, shelf_name):
+                if name not in DISK_MODELS:
+                    raise CalibrationError("unknown disk model %r" % name)
+                if weight <= 0.0:
+                    raise CalibrationError("non-positive weight for %r" % name)
+    for (system_class, shelf_name), names in COMBINATIONS.items():
+        expected = "SATA" if system_class is SystemClass.NEARLINE else "FC"
+        for name in names:
+            if DISK_MODELS[name].interface != expected:
+                raise CalibrationError(
+                    "%s systems use %s disks but %s is %s"
+                    % (system_class.value, expected, name, DISK_MODELS[name].interface)
+                )

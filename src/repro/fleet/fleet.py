@@ -1,0 +1,89 @@
+"""The :class:`Fleet` container: all systems plus fast lookups."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.classes import SystemClass
+from repro.topology.components import Disk, Shelf
+from repro.topology.raidgroup import RAIDGroup
+from repro.topology.system import StorageSystem
+
+
+@dataclasses.dataclass
+class Fleet:
+    """A population of storage systems under study.
+
+    Attributes:
+        systems: all systems, in construction order.
+        duration_seconds: the observation window the fleet was built for.
+    """
+
+    systems: List[StorageSystem]
+    duration_seconds: float
+
+    def __post_init__(self) -> None:
+        self._system_by_id: Dict[str, StorageSystem] = {
+            system.system_id: system for system in self.systems
+        }
+        if len(self._system_by_id) != len(self.systems):
+            raise TopologyError("duplicate system ids in fleet")
+
+    # -- lookups ----------------------------------------------------------
+
+    def system(self, system_id: str) -> StorageSystem:
+        """Find a system by id."""
+        try:
+            return self._system_by_id[system_id]
+        except KeyError:
+            raise TopologyError("no system %r in fleet" % system_id) from None
+
+    def systems_of_class(self, system_class: SystemClass) -> List[StorageSystem]:
+        """All systems of one class."""
+        return [s for s in self.systems if s.system_class is system_class]
+
+    # -- iteration ---------------------------------------------------------
+
+    def iter_shelves(self) -> Iterator[Shelf]:
+        """All shelf enclosures in the fleet."""
+        for system in self.systems:
+            yield from system.shelves
+
+    def iter_raid_groups(self) -> Iterator[RAIDGroup]:
+        """All RAID groups in the fleet."""
+        for system in self.systems:
+            yield from system.raid_groups
+
+    def iter_disks(self) -> Iterator[Disk]:
+        """All disks ever installed in the fleet."""
+        for system in self.systems:
+            yield from system.iter_disks()
+
+    # -- totals -------------------------------------------------------------
+
+    @property
+    def system_count(self) -> int:
+        """Number of systems."""
+        return len(self.systems)
+
+    @property
+    def shelf_count(self) -> int:
+        """Number of shelf enclosures."""
+        return sum(len(s.shelves) for s in self.systems)
+
+    @property
+    def raid_group_count(self) -> int:
+        """Number of RAID groups."""
+        return sum(len(s.raid_groups) for s in self.systems)
+
+    @property
+    def disk_count_ever(self) -> int:
+        """Disks ever installed during the window (Table 1 convention)."""
+        return sum(s.disk_count_ever for s in self.systems)
+
+    def disk_exposure_seconds(self, window_end: Optional[float] = None) -> float:
+        """Total disk-seconds of exposure up to ``window_end`` (disk-time)."""
+        end = self.duration_seconds if window_end is None else window_end
+        return sum(s.disk_exposure_seconds(end) for s in self.systems)

@@ -1,0 +1,161 @@
+"""Fleet population specifications mirroring the paper's Table 1.
+
+A :class:`FleetSpec` says how many systems of each class to build and how
+each class is shaped (shelves per system, bays per shelf, RAID group
+size, dual-path share).  The default spec reproduces Table 1's per-class
+averages; a ``scale`` factor shrinks system counts so benches run on a
+laptop while keeping per-system shapes identical (rates are per-unit-time,
+so AFR estimates are scale-invariant up to sampling noise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from repro.errors import SpecificationError
+from repro.topology.classes import SYSTEM_CLASS_ORDER, SystemClass
+from repro.topology.components import MAX_DISKS_PER_SHELF
+from repro.topology.layout import DEFAULT_SPAN_WIDTH, LayoutPolicy
+from repro.units import SECONDS_PER_MONTH, STUDY_DURATION_SECONDS
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassSpec:
+    """Population shape for one system class.
+
+    Attributes:
+        n_systems: systems of this class in the (unscaled) fleet.
+        shelves_mean: average shelf enclosures per system; per-system
+            counts are drawn around this (min 1).
+        slots_per_shelf: populated disk bays per shelf (≤ 14).
+        raid_group_size: disks (data+parity) per RAID group.
+        dual_path_fraction: share of systems with redundant FC networks
+            (only meaningful for classes that support dual path).
+        raid4_fraction: share of systems using RAID4 (the rest RAID6).
+    """
+
+    n_systems: int
+    shelves_mean: float
+    slots_per_shelf: int
+    raid_group_size: int
+    dual_path_fraction: float = 0.0
+    raid4_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_systems < 1:
+            raise SpecificationError("n_systems must be >= 1")
+        if self.shelves_mean < 1.0:
+            raise SpecificationError("shelves_mean must be >= 1")
+        if not 1 <= self.slots_per_shelf <= MAX_DISKS_PER_SHELF:
+            raise SpecificationError(
+                "slots_per_shelf must be in [1, %d]" % MAX_DISKS_PER_SHELF
+            )
+        if self.raid_group_size < 3:
+            raise SpecificationError("raid_group_size must be >= 3")
+        if not 0.0 <= self.dual_path_fraction <= 1.0:
+            raise SpecificationError("dual_path_fraction must be in [0, 1]")
+        if not 0.0 <= self.raid4_fraction <= 1.0:
+            raise SpecificationError("raid4_fraction must be in [0, 1]")
+
+
+#: Table 1, reduced to per-class shape parameters:
+#: near-line averages ~7 shelves and ~98 disks per system (fully
+#: populated 14-bay shelves); low-end systems have embedded heads with
+#: ~1.7 shelves and partially populated bays; mid-range averages ~7
+#: shelves / ~80 disks; high-end is similar scale with fuller shelves.
+#: RAID group sizes follow Table 1's disks-per-group ratios; about a
+#: third of mid/high systems run dual-path (§4.3).
+PAPER_CLASS_SPECS: Mapping[SystemClass, ClassSpec] = {
+    SystemClass.NEARLINE: ClassSpec(
+        n_systems=4_927, shelves_mean=6.8, slots_per_shelf=14, raid_group_size=8
+    ),
+    SystemClass.LOW_END: ClassSpec(
+        n_systems=22_031, shelves_mean=1.7, slots_per_shelf=7, raid_group_size=6
+    ),
+    SystemClass.MID_RANGE: ClassSpec(
+        n_systems=7_154,
+        shelves_mean=7.4,
+        slots_per_shelf=11,
+        raid_group_size=7,
+        dual_path_fraction=1.0 / 3.0,
+    ),
+    SystemClass.HIGH_END: ClassSpec(
+        n_systems=5_003,
+        shelves_mean=6.7,
+        slots_per_shelf=13,
+        raid_group_size=9,
+        dual_path_fraction=1.0 / 3.0,
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetSpec:
+    """A complete fleet specification.
+
+    Attributes:
+        class_specs: per-class population shapes.
+        scale: multiplier on ``n_systems`` (1.0 = the paper's 39,000
+            systems; benches default to 0.01).
+        duration_seconds: observation window length (44 months).
+        deployment_spread_seconds: systems deploy uniformly over this
+            leading portion of the window, so every system is in the
+            field at least ``duration - spread`` (≥ 1 year by default,
+            matching §5.2.2's inclusion rule).
+        layout_policy: RAID group placement policy.
+        span_width: shelves per spanning band (Fig. 8; fleet average 3).
+    """
+
+    class_specs: Mapping[SystemClass, ClassSpec]
+    scale: float = 1.0
+    duration_seconds: float = STUDY_DURATION_SECONDS
+    deployment_spread_seconds: float = 32 * SECONDS_PER_MONTH
+    layout_policy: LayoutPolicy = LayoutPolicy.SPAN_SHELVES
+    span_width: int = DEFAULT_SPAN_WIDTH
+
+    def __post_init__(self) -> None:
+        if not self.class_specs:
+            raise SpecificationError("class_specs must not be empty")
+        if self.scale <= 0.0:
+            raise SpecificationError("scale must be positive")
+        if self.duration_seconds <= 0.0:
+            raise SpecificationError("duration must be positive")
+        if not 0.0 <= self.deployment_spread_seconds < self.duration_seconds:
+            raise SpecificationError(
+                "deployment spread must lie inside the observation window"
+            )
+
+    @classmethod
+    def paper_default(cls, scale: float = 0.01, **overrides) -> "FleetSpec":
+        """The Table 1 fleet at a given scale (default 1:100)."""
+        return cls(class_specs=dict(PAPER_CLASS_SPECS), scale=scale, **overrides)
+
+    @classmethod
+    def single_class(
+        cls, system_class: SystemClass, n_systems: int, **overrides
+    ) -> "FleetSpec":
+        """A one-class fleet, handy for focused experiments and tests."""
+        base = PAPER_CLASS_SPECS[system_class]
+        spec = dataclasses.replace(base, n_systems=n_systems)
+        return cls(class_specs={system_class: spec}, **overrides)
+
+    def scaled_systems(self, system_class: SystemClass) -> int:
+        """Scaled system count for a class (at least 1)."""
+        spec = self.class_specs[system_class]
+        return max(1, round(spec.n_systems * self.scale))
+
+    def expected_totals(self) -> Dict[str, float]:
+        """Back-of-envelope totals for the scaled fleet (for reports)."""
+        systems = 0
+        shelves = 0.0
+        disks = 0.0
+        for system_class in SYSTEM_CLASS_ORDER:
+            if system_class not in self.class_specs:
+                continue
+            spec = self.class_specs[system_class]
+            n = self.scaled_systems(system_class)
+            systems += n
+            shelves += n * spec.shelves_mean
+            disks += n * spec.shelves_mean * spec.slots_per_shelf
+        return {"systems": systems, "shelves": shelves, "disks": disks}

@@ -1,0 +1,26 @@
+"""Proactive maintenance policies: acting on failure predictions.
+
+The paper motivates understanding failure characteristics so designers
+can "develop better fault-tolerant mechanisms" (§1.1) and proposes
+failure prediction as future work (§7).  This package closes the loop:
+a policy watches the component-error stream, flags high-risk disks via
+the trained predictor, and proactively replaces them — and the
+evaluator replays a simulated history to measure what that buys
+(disk failures avoided) and costs (healthy disks pulled).
+
+The evaluation uses a *temporal* split: the predictor trains on the
+first part of the study window and the policy is scored on the rest, so
+no future information leaks into the decisions.
+"""
+
+from repro.policy.proactive import (
+    PolicyConfig,
+    PolicyOutcome,
+    evaluate_proactive_policy,
+)
+
+__all__ = [
+    "PolicyConfig",
+    "PolicyOutcome",
+    "evaluate_proactive_policy",
+]

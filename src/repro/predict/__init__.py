@@ -1,0 +1,38 @@
+"""Failure prediction from component errors (the paper's §7 future work).
+
+The paper closes with: *"Another future direction is to design storage
+failure prediction algorithms based on component errors."*  This package
+builds that system on the simulated substrate:
+
+- :mod:`repro.predict.features` — per-disk trailing-window features over
+  the recovered component-error stream (own history, shelf neighbours,
+  per-type counts, age).
+- :mod:`repro.predict.samples` — labeled (disk, time) samples on a
+  regular observation grid: does the disk suffer a subsystem failure
+  within the prediction horizon?
+- :mod:`repro.predict.model` — a from-scratch L2-regularized logistic
+  regression (numpy gradient descent; no sklearn).
+- :mod:`repro.predict.evaluate` — ROC AUC (rank form), precision /
+  recall, lift-at-k.
+- :mod:`repro.predict.pipeline` — end-to-end: simulation output in,
+  trained predictor + held-out evaluation report out (split by system,
+  so no system leaks between train and test).
+"""
+
+from repro.predict.features import FeatureExtractor, FEATURE_NAMES
+from repro.predict.samples import SampleSet, build_samples
+from repro.predict.model import LogisticModel
+from repro.predict.evaluate import PredictionReport, evaluate_predictions
+from repro.predict.pipeline import PredictorConfig, train_failure_predictor
+
+__all__ = [
+    "FeatureExtractor",
+    "FEATURE_NAMES",
+    "SampleSet",
+    "build_samples",
+    "LogisticModel",
+    "PredictionReport",
+    "evaluate_predictions",
+    "PredictorConfig",
+    "train_failure_predictor",
+]

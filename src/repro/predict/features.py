@@ -1,0 +1,143 @@
+"""Per-disk trailing-window features over the component-error stream.
+
+A prediction sample is a (disk, observation time) pair; its features
+summarize what the support log showed about that disk — and its shelf
+neighbours, since §5.2.3's shared components make neighbour trouble
+informative — in trailing windows before the observation time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.failures.events import ComponentError
+from repro.failures.raidlayer import RECOVERY_EVENTS
+from repro.failures.types import FAILURE_TYPE_ORDER
+from repro.fleet.fleet import Fleet
+from repro.units import SECONDS_PER_DAY, seconds_to_years
+
+#: Feature vector layout (order matters; the model reports per-feature
+#: weights under these names).
+FEATURE_NAMES = (
+    "own_incidents_7d",
+    "own_incidents_30d",
+    "own_incidents_90d",
+    "shelf_incidents_30d",
+    "disk_incidents_30d",
+    "interconnect_incidents_30d",
+    "protocol_incidents_30d",
+    "performance_incidents_30d",
+    "disk_age_years",
+)
+
+_RECOVERY_TERMINALS = {event for _layer, event in RECOVERY_EVENTS.values()}
+
+
+class FeatureExtractor:
+    """Indexes recovered incidents for fast trailing-window counting.
+
+    Only the *terminal* recovery event of each incident cascade is
+    counted, so one incident contributes one count regardless of how
+    many log lines its cascade produced.
+    """
+
+    def __init__(self, fleet: Fleet, recovered_errors: Iterable[ComponentError]):
+        self._incident_times: Dict[str, List[float]] = {}
+        self._incident_types: Dict[str, List[str]] = {}
+        shelf_of: Dict[str, str] = {}
+        for system in fleet.systems:
+            for shelf in system.shelves:
+                for slot in shelf.slots:
+                    for disk in slot.disks:
+                        shelf_of[disk.disk_id] = shelf.shelf_id
+        self._shelf_of = shelf_of
+        self._disk_install: Dict[str, float] = {
+            disk.disk_id: disk.install_time for disk in fleet.iter_disks()
+        }
+
+        shelf_times: Dict[str, List[float]] = {}
+        for error in recovered_errors:
+            if error.event and error.event not in _RECOVERY_TERMINALS:
+                continue  # only terminal events mark whole incidents
+            self._incident_times.setdefault(error.disk_id, []).append(error.time)
+            self._incident_types.setdefault(error.disk_id, []).append(
+                error.failure_type.value
+            )
+            shelf_id = shelf_of.get(error.disk_id)
+            if shelf_id is not None:
+                shelf_times.setdefault(shelf_id, []).append(error.time)
+
+        for disk_id, times in self._incident_times.items():
+            order = np.argsort(times)
+            self._incident_times[disk_id] = [times[i] for i in order]
+            self._incident_types[disk_id] = [
+                self._incident_types[disk_id][i] for i in order
+            ]
+        self._shelf_times = {
+            shelf_id: sorted(times) for shelf_id, times in shelf_times.items()
+        }
+
+    # -- counting helpers ---------------------------------------------------
+
+    def _count_window(self, times: Sequence[float], start: float, end: float) -> int:
+        return bisect.bisect_right(times, end) - bisect.bisect_left(times, start)
+
+    def own_incidents(self, disk_id: str, time: float, window_days: float) -> int:
+        """Incidents on the disk itself in the trailing window."""
+        times = self._incident_times.get(disk_id, [])
+        return self._count_window(
+            times, time - window_days * SECONDS_PER_DAY, time
+        )
+
+    def shelf_incidents(self, disk_id: str, time: float, window_days: float) -> int:
+        """Incidents anywhere in the disk's shelf (including itself)."""
+        shelf_id = self._shelf_of.get(disk_id)
+        if shelf_id is None:
+            return 0
+        return self._count_window(
+            self._shelf_times.get(shelf_id, []),
+            time - window_days * SECONDS_PER_DAY,
+            time,
+        )
+
+    def typed_incidents(
+        self, disk_id: str, time: float, window_days: float
+    ) -> Dict[str, int]:
+        """Per-failure-type incident counts on the disk, trailing window."""
+        times = self._incident_times.get(disk_id, [])
+        kinds = self._incident_types.get(disk_id, [])
+        start = time - window_days * SECONDS_PER_DAY
+        counts = {ft.value: 0 for ft in FAILURE_TYPE_ORDER}
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_right(times, time)
+        for index in range(lo, hi):
+            counts[kinds[index]] += 1
+        return counts
+
+    # -- the feature vector -------------------------------------------------
+
+    def features(self, disk_id: str, time: float) -> np.ndarray:
+        """The feature vector for one (disk, time) sample."""
+        typed = self.typed_incidents(disk_id, time, 30.0)
+        install = self._disk_install.get(disk_id, 0.0)
+        return np.array(
+            [
+                self.own_incidents(disk_id, time, 7.0),
+                self.own_incidents(disk_id, time, 30.0),
+                self.own_incidents(disk_id, time, 90.0),
+                self.shelf_incidents(disk_id, time, 30.0),
+                typed["disk"],
+                typed["physical_interconnect"],
+                typed["protocol"],
+                typed["performance"],
+                seconds_to_years(max(0.0, time - install)),
+            ],
+            dtype=float,
+        )
+
+    def matrix(self, pairs: Sequence) -> np.ndarray:
+        """Feature matrix for ``[(disk_id, time), ...]``."""
+        return np.vstack([self.features(disk_id, time) for disk_id, time in pairs])

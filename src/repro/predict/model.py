@@ -1,0 +1,123 @@
+"""From-scratch L2-regularized logistic regression (numpy only).
+
+Small, dependency-free, deterministic: full-batch gradient descent with
+feature standardization folded into the model, good enough for the
+handful of hand-crafted features the predictor uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() finite; gradients saturate there anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+@dataclasses.dataclass
+class LogisticModel:
+    """A trained logistic-regression predictor.
+
+    Attributes:
+        weights: per-feature weights (on standardized features).
+        bias: intercept.
+        mean / std: standardization parameters learned from training.
+        feature_names: optional labels for reporting.
+    """
+
+    weights: np.ndarray
+    bias: float
+    mean: np.ndarray
+    std: np.ndarray
+    feature_names: Optional[Sequence[str]] = None
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        labels: np.ndarray,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        iterations: int = 400,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> "LogisticModel":
+        """Train by full-batch gradient descent.
+
+        Args:
+            features: (n, d) matrix.
+            labels: (n,) 0/1 vector.
+            l2: ridge penalty on the weights (not the bias).
+            learning_rate: fixed step size (features are standardized,
+                so a moderate constant step converges).
+            iterations: gradient steps.
+            feature_names: labels for :meth:`weight_report`.
+
+        Raises:
+            AnalysisError: on shape mismatches or single-class labels.
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise AnalysisError("features must be (n, d) with n labels")
+        if y.min() == y.max():
+            raise AnalysisError("training labels contain a single class")
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        xs = (x - mean) / std
+
+        n, d = xs.shape
+        weights = np.zeros(d)
+        bias = float(np.log(y.mean() / (1.0 - y.mean())))  # warm start
+        for _ in range(iterations):
+            probs = _sigmoid(xs @ weights + bias)
+            error = probs - y
+            grad_w = xs.T @ error / n + l2 * weights
+            grad_b = float(error.mean())
+            weights -= learning_rate * grad_w
+            bias -= learning_rate * grad_b
+        return cls(
+            weights=weights,
+            bias=bias,
+            mean=mean,
+            std=std,
+            feature_names=tuple(feature_names) if feature_names else None,
+        )
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Failure probabilities for a feature matrix."""
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.weights.shape[0]:
+            raise AnalysisError(
+                "expected %d features, got %d" % (self.weights.shape[0], x.shape[1])
+            )
+        xs = (x - self.mean) / self.std
+        return _sigmoid(xs @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at a probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(float)
+
+    def log_loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean negative log-likelihood on a labeled set."""
+        probs = np.clip(self.predict_proba(features), 1e-12, 1.0 - 1e-12)
+        y = np.asarray(labels, dtype=float)
+        return float(-(y * np.log(probs) + (1 - y) * np.log(1 - probs)).mean())
+
+    def weight_report(self) -> Dict[str, float]:
+        """Named weights (standardized scale), largest magnitude first."""
+        names = self.feature_names or [
+            "f%d" % index for index in range(self.weights.shape[0])
+        ]
+        report = dict(zip(names, (float(w) for w in self.weights)))
+        return dict(
+            sorted(report.items(), key=lambda item: -abs(item[1]))
+        )

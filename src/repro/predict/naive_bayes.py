@@ -1,0 +1,97 @@
+"""Poisson naive Bayes: a baseline model for the failure predictor.
+
+Count features (incidents in trailing windows) are naturally modeled as
+Poisson draws; naive Bayes assumes per-class independence across the
+features and scores by log-likelihood ratio.  It is simpler and more
+interpretable than logistic regression — each feature contributes
+``count * log(rate_pos / rate_neg)`` — and serves as the comparison
+point that shows what the discriminative model buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass
+class PoissonNaiveBayes:
+    """A fitted Poisson naive Bayes classifier.
+
+    Attributes:
+        rate_pos / rate_neg: per-feature Poisson rates per class
+            (Laplace-smoothed).
+        log_prior: log odds of the positive class in training.
+        feature_names: optional labels.
+    """
+
+    rate_pos: np.ndarray
+    rate_neg: np.ndarray
+    log_prior: float
+    feature_names: Optional[Sequence[str]] = None
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        labels: np.ndarray,
+        smoothing: float = 0.1,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> "PoissonNaiveBayes":
+        """Fit per-class Poisson rates with Laplace smoothing.
+
+        Non-count features (e.g. disk age) participate too — a Poisson
+        model of a continuous positive value is crude but monotone,
+        which is all naive Bayes needs.
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise AnalysisError("features must be (n, d) with n labels")
+        if np.any(x < 0.0):
+            raise AnalysisError("Poisson naive Bayes needs non-negative features")
+        n_pos = float(y.sum())
+        n_neg = float((1 - y).sum())
+        if n_pos == 0 or n_neg == 0:
+            raise AnalysisError("training labels contain a single class")
+        rate_pos = (x[y == 1].sum(axis=0) + smoothing) / (n_pos + smoothing)
+        rate_neg = (x[y == 0].sum(axis=0) + smoothing) / (n_neg + smoothing)
+        return cls(
+            rate_pos=rate_pos,
+            rate_neg=rate_neg,
+            log_prior=math.log(n_pos / n_neg),
+            feature_names=tuple(feature_names) if feature_names else None,
+        )
+
+    def log_odds(self, features: np.ndarray) -> np.ndarray:
+        """Posterior log odds of the positive class."""
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.rate_pos.shape[0]:
+            raise AnalysisError(
+                "expected %d features, got %d"
+                % (self.rate_pos.shape[0], x.shape[1])
+            )
+        log_ratio = np.log(self.rate_pos) - np.log(self.rate_neg)
+        rate_diff = (self.rate_pos - self.rate_neg).sum()
+        return self.log_prior + x @ log_ratio - rate_diff
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities."""
+        odds = np.clip(self.log_odds(features), -35.0, 35.0)
+        return 1.0 / (1.0 + np.exp(-odds))
+
+    def feature_report(self) -> dict:
+        """Per-feature log rate ratios, most informative first."""
+        names = self.feature_names or [
+            "f%d" % index for index in range(self.rate_pos.shape[0])
+        ]
+        ratios = np.log(self.rate_pos) - np.log(self.rate_neg)
+        report = dict(zip(names, (float(r) for r in ratios)))
+        return dict(sorted(report.items(), key=lambda item: -abs(item[1])))

@@ -1,0 +1,151 @@
+"""Labeled samples for failure prediction.
+
+Observation times lie on a regular grid per disk (default every 30
+days in service).  A sample is positive when the disk suffers any
+storage subsystem failure within the prediction horizon after the
+observation.  Negatives vastly outnumber positives (AFRs are a few
+percent per year), so they are subsampled at a configurable ratio.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import FailureDataset
+from repro.errors import AnalysisError
+from repro.units import SECONDS_PER_DAY
+
+
+@dataclasses.dataclass
+class SampleSet:
+    """Labeled prediction samples.
+
+    Attributes:
+        pairs: ``[(disk_id, observation_time), ...]``.
+        labels: 1 = failure within the horizon, 0 = not.
+        system_ids: owning system per sample (for leakage-free splits).
+        horizon_days: the prediction horizon used for labeling.
+    """
+
+    pairs: List[Tuple[str, float]]
+    labels: np.ndarray
+    system_ids: List[str]
+    horizon_days: float
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return len(self.pairs)
+
+    @property
+    def positives(self) -> int:
+        """Number of positive samples."""
+        return int(self.labels.sum())
+
+    def split_by_system(
+        self, test_fraction: float = 0.3
+    ) -> Tuple["SampleSet", "SampleSet"]:
+        """Deterministic train/test split with whole systems per side.
+
+        Systems are assigned by a stable hash of their id, so a system's
+        samples never straddle the split (which would leak shelf-level
+        shock context from train into test).
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise AnalysisError("test_fraction must be in (0, 1)")
+        train_idx, test_idx = [], []
+        for index, system_id in enumerate(self.system_ids):
+            bucket = _stable_fraction(system_id)
+            (test_idx if bucket < test_fraction else train_idx).append(index)
+        if not train_idx or not test_idx:
+            raise AnalysisError("split produced an empty side")
+        return self._subset(train_idx), self._subset(test_idx)
+
+    def _subset(self, indices: Sequence[int]) -> "SampleSet":
+        return SampleSet(
+            pairs=[self.pairs[i] for i in indices],
+            labels=self.labels[list(indices)],
+            system_ids=[self.system_ids[i] for i in indices],
+            horizon_days=self.horizon_days,
+        )
+
+
+def _stable_fraction(key: str) -> float:
+    """Map a string to a stable fraction in [0, 1) (FNV-1a based)."""
+    acc = 0xCBF29CE484222325
+    for byte in key.encode("utf-8"):
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return (acc % 10_000) / 10_000.0
+
+
+def build_samples(
+    dataset: FailureDataset,
+    horizon_days: float = 14.0,
+    grid_days: float = 30.0,
+    negative_ratio: float = 5.0,
+    seed: int = 0,
+) -> SampleSet:
+    """Build the labeled sample set from a simulated dataset.
+
+    Args:
+        dataset: events + fleet (the failure ground truth).
+        horizon_days: look-ahead window for the positive label.
+        grid_days: spacing of observation times per disk.
+        negative_ratio: kept negatives per positive (subsampling).
+        seed: determinism for the negative subsample.
+
+    Returns:
+        A shuffled :class:`SampleSet`.
+
+    Raises:
+        AnalysisError: when no positive samples exist (fleet too small).
+    """
+    if horizon_days <= 0.0 or grid_days <= 0.0:
+        raise AnalysisError("horizon and grid must be positive")
+    horizon = horizon_days * SECONDS_PER_DAY
+    grid = grid_days * SECONDS_PER_DAY
+    failure_times: Dict[str, List[float]] = {}
+    for event in dataset.events:
+        failure_times.setdefault(event.disk_id, []).append(event.detect_time)
+    for times in failure_times.values():
+        times.sort()
+
+    positives: List[Tuple[str, float, str]] = []
+    negatives: List[Tuple[str, float, str]] = []
+    end = dataset.duration_seconds
+    for system in dataset.fleet.systems:
+        for disk in system.iter_disks():
+            last = disk.remove_time if disk.remove_time is not None else end
+            time = disk.install_time + grid
+            times = failure_times.get(disk.disk_id, [])
+            while time < last:
+                index = bisect.bisect_right(times, time)
+                hit = index < len(times) and times[index] <= time + horizon
+                row = (disk.disk_id, time, system.system_id)
+                (positives if hit else negatives).append(row)
+                time += grid
+
+    if not positives:
+        raise AnalysisError(
+            "no positive samples: enlarge the fleet or the horizon"
+        )
+    rng = np.random.default_rng(seed)
+    keep = min(len(negatives), int(round(negative_ratio * len(positives))))
+    chosen = rng.choice(len(negatives), size=keep, replace=False)
+    rows = positives + [negatives[i] for i in chosen]
+    order = rng.permutation(len(rows))
+    rows = [rows[i] for i in order]
+    labels = np.array(
+        [1.0 if i < len(positives) else 0.0 for i in order], dtype=float
+    )
+    return SampleSet(
+        pairs=[(disk_id, time) for disk_id, time, _sys in rows],
+        labels=labels,
+        system_ids=[system_id for _d, _t, system_id in rows],
+        horizon_days=horizon_days,
+    )

@@ -1,0 +1,28 @@
+"""RAID substrate: parity math, rebuild model, and data-loss estimation.
+
+The paper's systems use RAID4 and RAID6 — NetApp's RAID-DP, the
+row-diagonal parity scheme of Corbett et al. (FAST '04, the paper's
+reference [5]) — as the resiliency layer above the storage subsystem.
+This package implements both codes for real (XOR row parity; RDP double
+parity with a peeling reconstructor), a rebuild-time model, and a
+data-loss estimator that replays simulated failure streams against RAID
+groups — quantifying the paper's headline implication that resiliency
+mechanisms assuming *independent* failures underestimate risk under the
+bursty, correlated failures actually observed.
+"""
+
+from repro.raid.raid4 import Raid4Layout
+from repro.raid.raiddp import RaidDPLayout
+from repro.raid.rebuild import RebuildModel
+from repro.raid.dataloss import DataLossReport, estimate_dataloss
+from repro.raid.mttdl import MttdlModel, fleet_mttdl_prediction
+
+__all__ = [
+    "Raid4Layout",
+    "RaidDPLayout",
+    "RebuildModel",
+    "DataLossReport",
+    "estimate_dataloss",
+    "MttdlModel",
+    "fleet_mttdl_prediction",
+]

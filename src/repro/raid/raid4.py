@@ -1,0 +1,167 @@
+"""RAID4: block-level striping with a dedicated XOR parity disk."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RaidError
+
+
+@dataclasses.dataclass(frozen=True)
+class Raid4Layout:
+    """A RAID4 stripe layout: ``n_data`` data disks plus one parity disk.
+
+    Blocks are byte arrays of a fixed size; a stripe is one block per
+    disk.  The parity disk holds the XOR of the data blocks, so any
+    single missing disk (data or parity) is reconstructable.
+    """
+
+    n_data: int
+    block_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_data < 2:
+            raise RaidError("RAID4 needs at least 2 data disks")
+        if self.block_size < 1:
+            raise RaidError("block size must be positive")
+
+    @property
+    def n_disks(self) -> int:
+        """Total disks in the group (data + 1 parity)."""
+        return self.n_data + 1
+
+    @property
+    def parity_index(self) -> int:
+        """Column index of the parity disk (the last column)."""
+        return self.n_data
+
+    # -- encode / verify / reconstruct --------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Compute the full stripe from data blocks.
+
+        Args:
+            data: uint8 array of shape ``(n_data, block_size)``.
+
+        Returns:
+            uint8 array of shape ``(n_disks, block_size)`` with the XOR
+            parity appended.
+        """
+        blocks = self._check_data(data)
+        parity = np.bitwise_xor.reduce(blocks, axis=0)
+        return np.concatenate([blocks, parity[None, :]], axis=0)
+
+    def verify(self, stripe: np.ndarray) -> bool:
+        """Whether a stripe's parity is consistent."""
+        stripe = self._check_stripe(stripe)
+        recomputed = np.bitwise_xor.reduce(stripe[: self.n_data], axis=0)
+        return bool(np.array_equal(recomputed, stripe[self.parity_index]))
+
+    def reconstruct(
+        self, stripe: np.ndarray, failed: Iterable[int]
+    ) -> np.ndarray:
+        """Rebuild a stripe with up to one failed disk.
+
+        Args:
+            stripe: the stripe array; failed columns' contents are
+                ignored (may be garbage).
+            failed: indices of failed disks.
+
+        Returns:
+            The reconstructed full stripe.
+
+        Raises:
+            RaidError: when more than one disk failed (RAID4 cannot
+                tolerate it) or indices are invalid.
+        """
+        stripe = self._check_stripe(stripe).copy()
+        failed_set = {int(i) for i in failed}
+        for index in failed_set:
+            if not 0 <= index < self.n_disks:
+                raise RaidError("failed index %d out of range" % index)
+        if len(failed_set) > 1:
+            raise RaidError(
+                "RAID4 tolerates a single failure; %d disks failed"
+                % len(failed_set)
+            )
+        if not failed_set:
+            return stripe
+        missing = failed_set.pop()
+        survivors = [i for i in range(self.n_disks) if i != missing]
+        stripe[missing] = np.bitwise_xor.reduce(stripe[survivors], axis=0)
+        return stripe
+
+    def update_block(
+        self, stripe: np.ndarray, disk: int, new_data: np.ndarray
+    ) -> np.ndarray:
+        """Small-write path: update one data block and patch the parity.
+
+        The classic read-modify-write: parity ^= old_data ^ new_data,
+        touching only the changed disk and the parity disk (not the
+        whole stripe).
+
+        Returns:
+            A new stripe array; the input is not modified.
+        """
+        stripe = self._check_stripe(stripe).copy()
+        if not 0 <= disk < self.n_data:
+            raise RaidError("data disk index %d out of range" % disk)
+        block = np.asarray(new_data, dtype=np.uint8)
+        if block.shape != (self.block_size,):
+            raise RaidError(
+                "block must have shape (%d,), got %r" % (self.block_size, block.shape)
+            )
+        delta = stripe[disk] ^ block
+        stripe[disk] = block
+        stripe[self.parity_index] ^= delta
+        return stripe
+
+    def degraded_read(
+        self, stripe: np.ndarray, disk: int, failed: Optional[int] = None
+    ) -> np.ndarray:
+        """Read one data block, reconstructing through parity if needed."""
+        stripe = self._check_stripe(stripe)
+        if not 0 <= disk < self.n_data:
+            raise RaidError("data disk index %d out of range" % disk)
+        if failed is None or failed != disk:
+            return stripe[disk].copy()
+        return self.reconstruct(stripe, [failed])[disk]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_data(self, data: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(data, dtype=np.uint8)
+        if blocks.shape != (self.n_data, self.block_size):
+            raise RaidError(
+                "data must have shape (%d, %d), got %r"
+                % (self.n_data, self.block_size, blocks.shape)
+            )
+        return blocks
+
+    def _check_stripe(self, stripe: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(stripe, dtype=np.uint8)
+        if blocks.shape != (self.n_disks, self.block_size):
+            raise RaidError(
+                "stripe must have shape (%d, %d), got %r"
+                % (self.n_disks, self.block_size, blocks.shape)
+            )
+        return blocks
+
+
+def split_into_blocks(payload: bytes, layout: Raid4Layout) -> Sequence[np.ndarray]:
+    """Chop a byte payload into zero-padded stripes for a layout.
+
+    Returns a list of data arrays, each ``(n_data, block_size)``.
+    """
+    stripe_bytes = layout.n_data * layout.block_size
+    padded = payload + b"\x00" * ((-len(payload)) % stripe_bytes)
+    out = []
+    for offset in range(0, len(padded), stripe_bytes):
+        chunk = np.frombuffer(
+            padded[offset : offset + stripe_bytes], dtype=np.uint8
+        )
+        out.append(chunk.reshape(layout.n_data, layout.block_size).copy())
+    return out

@@ -1,0 +1,257 @@
+"""RAID-DP: row-diagonal parity, NetApp's RAID6 (Corbett et al., FAST '04).
+
+Given a prime ``p``, an RDP array has ``p + 1`` disks: ``p - 1`` data
+disks, one row-parity disk, and one diagonal-parity disk.  A stripe is
+``p - 1`` rows deep.  Cell ``(r, c)`` (for the first ``p`` columns —
+data plus row parity) belongs to diagonal ``(r + c) mod p``; diagonals
+``0 .. p-2`` each have their XOR stored in the corresponding row of the
+diagonal-parity disk, and diagonal ``p - 1`` (the "missing diagonal") is
+not stored.  Because each of the first ``p`` columns misses exactly one
+diagonal — a different one per column — any two failed disks can be
+rebuilt by alternating diagonal and row reconstructions.
+
+Reconstruction here is implemented as a *peeling decoder* over the row
+and diagonal parity equations: repeatedly find an equation with exactly
+one unknown cell and solve it.  For RDP this always terminates for any
+double failure (the chain argument of the original paper), and the
+decoder handles every failure combination — data, row parity, and/or
+diagonal parity — uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import RaidError
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    i = 2
+    while i * i <= n:
+        if n % i == 0:
+            return False
+        i += 1
+    return True
+
+
+@dataclasses.dataclass(frozen=True)
+class RaidDPLayout:
+    """An RDP array built from the prime ``p``.
+
+    Attributes:
+        p: the scheme's prime; the array has ``p - 1`` data disks,
+            one row-parity disk (column ``p - 1``), and one
+            diagonal-parity disk (column ``p``), with ``p - 1`` rows
+            per stripe.
+        block_size: bytes per cell.
+    """
+
+    p: int
+    block_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not _is_prime(self.p) or self.p < 3:
+            raise RaidError("RDP needs a prime p >= 3, got %d" % self.p)
+        if self.block_size < 1:
+            raise RaidError("block size must be positive")
+
+    @property
+    def n_data(self) -> int:
+        """Data disks in the array."""
+        return self.p - 1
+
+    @property
+    def n_disks(self) -> int:
+        """Total disks (data + row parity + diagonal parity)."""
+        return self.p + 1
+
+    @property
+    def n_rows(self) -> int:
+        """Rows per stripe."""
+        return self.p - 1
+
+    @property
+    def row_parity_index(self) -> int:
+        """Column of the row-parity disk."""
+        return self.p - 1
+
+    @property
+    def diag_parity_index(self) -> int:
+        """Column of the diagonal-parity disk."""
+        return self.p
+
+    def diagonal_of(self, row: int, col: int) -> int:
+        """Diagonal number of a cell in the first ``p`` columns."""
+        if not 0 <= row < self.n_rows:
+            raise RaidError("row %d out of range" % row)
+        if not 0 <= col <= self.row_parity_index:
+            raise RaidError(
+                "column %d has no diagonal (diagonal parity itself?)" % col
+            )
+        return (row + col) % self.p
+
+    # -- encode --------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Compute the full stripe from data cells.
+
+        Args:
+            data: uint8 array of shape ``(n_rows, n_data, block_size)``.
+
+        Returns:
+            uint8 array of shape ``(n_rows, n_disks, block_size)``.
+        """
+        cells = np.asarray(data, dtype=np.uint8)
+        expected = (self.n_rows, self.n_data, self.block_size)
+        if cells.shape != expected:
+            raise RaidError(
+                "data must have shape %r, got %r" % (expected, cells.shape)
+            )
+        stripe = np.zeros(
+            (self.n_rows, self.n_disks, self.block_size), dtype=np.uint8
+        )
+        stripe[:, : self.n_data] = cells
+        # Row parity across the data columns.
+        stripe[:, self.row_parity_index] = np.bitwise_xor.reduce(
+            cells, axis=1
+        )
+        # Diagonal parity: diagonal d (0..p-2) accumulates the cells of
+        # the first p columns lying on it, stored at row d.
+        for row in range(self.n_rows):
+            for col in range(self.p):
+                diagonal = self.diagonal_of(row, col)
+                if diagonal == self.p - 1:
+                    continue  # the missing diagonal is not stored
+                stripe[diagonal, self.diag_parity_index] ^= stripe[row, col]
+        return stripe
+
+    def verify(self, stripe: np.ndarray) -> bool:
+        """Whether all row and diagonal parity equations hold."""
+        stripe = self._check_stripe(stripe)
+        recomputed = self.encode(stripe[:, : self.n_data].copy())
+        return bool(np.array_equal(recomputed, stripe))
+
+    def update_cell(
+        self, stripe: np.ndarray, row: int, col: int, new_data: np.ndarray
+    ) -> np.ndarray:
+        """Small-write path: update one data cell, patch both parities.
+
+        Row parity gets the XOR delta; the diagonal parity disk is
+        patched at the cell's diagonal — unless the cell lies on the
+        missing diagonal (``p - 1``), which is not stored.
+
+        Returns:
+            A new stripe array; the input is not modified.
+        """
+        stripe = self._check_stripe(stripe).copy()
+        if not 0 <= row < self.n_rows:
+            raise RaidError("row %d out of range" % row)
+        if not 0 <= col < self.n_data:
+            raise RaidError("data column %d out of range" % col)
+        block = np.asarray(new_data, dtype=np.uint8)
+        if block.shape != (self.block_size,):
+            raise RaidError(
+                "cell must have shape (%d,), got %r"
+                % (self.block_size, block.shape)
+            )
+        delta = stripe[row, col] ^ block
+        stripe[row, col] = block
+        stripe[row, self.row_parity_index] ^= delta
+        # Two cells of the first p columns changed — the data cell and
+        # the row-parity cell — and each sits on its own diagonal; every
+        # *stored* diagonal among them needs the delta folded in.
+        for changed_col in (col, self.row_parity_index):
+            diagonal = self.diagonal_of(row, changed_col)
+            if diagonal != self.p - 1:
+                stripe[diagonal, self.diag_parity_index] ^= delta
+        return stripe
+
+    # -- reconstruct -----------------------------------------------------------
+
+    def reconstruct(
+        self, stripe: np.ndarray, failed: Iterable[int]
+    ) -> np.ndarray:
+        """Rebuild a stripe with up to two failed disks.
+
+        Args:
+            stripe: the stripe; failed columns' contents are ignored.
+            failed: failed disk (column) indices.
+
+        Returns:
+            The reconstructed full stripe.
+
+        Raises:
+            RaidError: for more than two failures or invalid indices.
+        """
+        stripe = self._check_stripe(stripe).copy()
+        failed_set = {int(i) for i in failed}
+        for index in failed_set:
+            if not 0 <= index < self.n_disks:
+                raise RaidError("failed index %d out of range" % index)
+        if len(failed_set) > 2:
+            raise RaidError(
+                "RDP tolerates two failures; %d disks failed" % len(failed_set)
+            )
+        if not failed_set:
+            return stripe
+
+        unknown: Set[Tuple[int, int]] = {
+            (row, col) for row in range(self.n_rows) for col in failed_set
+        }
+        for row, col in unknown:
+            stripe[row, col] = 0
+
+        equations = self._equations()
+        progress = True
+        while unknown and progress:
+            progress = False
+            for cells in equations:
+                missing = [cell for cell in cells if cell in unknown]
+                if len(missing) != 1:
+                    continue
+                target = missing[0]
+                value = np.zeros(self.block_size, dtype=np.uint8)
+                for cell in cells:
+                    if cell != target:
+                        value ^= stripe[cell[0], cell[1]]
+                stripe[target[0], target[1]] = value
+                unknown.discard(target)
+                progress = True
+        if unknown:
+            raise RaidError(
+                "peeling decoder stalled with %d unresolved cells "
+                "(failure pattern not recoverable)" % len(unknown)
+            )
+        return stripe
+
+    def _equations(self) -> List[List[Tuple[int, int]]]:
+        """All parity equations as lists of (row, col) cells XOR-ing to 0."""
+        equations: List[List[Tuple[int, int]]] = []
+        # Row equations: data cells plus the row parity cell.
+        for row in range(self.n_rows):
+            equations.append([(row, col) for col in range(self.p)])
+        # Diagonal equations for stored diagonals 0..p-2: member cells of
+        # the first p columns plus the diagonal parity cell at row d.
+        for diagonal in range(self.p - 1):
+            cells: List[Tuple[int, int]] = []
+            for col in range(self.p):
+                row = (diagonal - col) % self.p
+                if row < self.n_rows:
+                    cells.append((row, col))
+            cells.append((diagonal, self.diag_parity_index))
+            equations.append(cells)
+        return equations
+
+    def _check_stripe(self, stripe: np.ndarray) -> np.ndarray:
+        blocks = np.asarray(stripe, dtype=np.uint8)
+        expected = (self.n_rows, self.n_disks, self.block_size)
+        if blocks.shape != expected:
+            raise RaidError(
+                "stripe must have shape %r, got %r" % (expected, blocks.shape)
+            )
+        return blocks

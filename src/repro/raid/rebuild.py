@@ -1,0 +1,53 @@
+"""Rebuild-window model: how long a RAID group stays degraded.
+
+After a disk failure the group reads all surviving members to rebuild
+the lost disk onto a spare; until that finishes, additional failures
+eat into the group's remaining parity.  The window is what turns a
+*bursty* failure process into a data-loss risk: two failures 10 minutes
+apart land in the same window, two failures a month apart do not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import RaidError
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclasses.dataclass(frozen=True)
+class RebuildModel:
+    """Rebuild duration as a function of disk capacity.
+
+    Attributes:
+        rebuild_mb_per_second: sustained reconstruction bandwidth per
+            disk (field arrays throttle rebuild to protect foreground
+            I/O; mid-2000s arrays rebuilt at tens of MB/s).
+        degraded_load_factor: multiplier > 1 when the group serves
+            foreground I/O during rebuild.
+        spare_acquisition_seconds: delay before rebuild starts (hot
+            spare selection, or operator swap for cold spares).
+    """
+
+    rebuild_mb_per_second: float = 30.0
+    degraded_load_factor: float = 1.5
+    spare_acquisition_seconds: float = 0.5 * SECONDS_PER_HOUR
+
+    def __post_init__(self) -> None:
+        if self.rebuild_mb_per_second <= 0.0:
+            raise RaidError("rebuild bandwidth must be positive")
+        if self.degraded_load_factor < 1.0:
+            raise RaidError("degraded load factor must be >= 1")
+        if self.spare_acquisition_seconds < 0.0:
+            raise RaidError("spare acquisition delay must be >= 0")
+
+    def window_seconds(self, capacity_gb: float) -> float:
+        """Total exposure window for one failed disk of this capacity."""
+        if capacity_gb <= 0.0:
+            raise RaidError("capacity must be positive")
+        copy_seconds = (capacity_gb * 1024.0) / self.rebuild_mb_per_second
+        return self.spare_acquisition_seconds + copy_seconds * self.degraded_load_factor
+
+    def window_hours(self, capacity_gb: float) -> float:
+        """Exposure window in hours (for reports)."""
+        return self.window_seconds(capacity_gb) / SECONDS_PER_HOUR

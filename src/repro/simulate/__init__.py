@@ -1,0 +1,13 @@
+"""Simulation orchestration: clock, engine, and predefined scenarios."""
+
+from repro.simulate.clock import SimulationClock
+from repro.simulate.engine import SimulationEngine, SimulationResult
+from repro.simulate.scenario import SCENARIOS, run_scenario
+
+__all__ = [
+    "SimulationClock",
+    "SimulationEngine",
+    "SimulationResult",
+    "SCENARIOS",
+    "run_scenario",
+]

@@ -1,0 +1,85 @@
+"""Multi-seed batch runs: quantify a metric's seed-to-seed spread.
+
+One simulation is one realization of a stochastic fleet; any headline
+number (an AFR, a burst fraction, an inflation factor) carries sampling
+noise.  The batch runner re-simulates under several seeds and reports
+each metric's mean and spread, which is how the shape-check bands used
+throughout the benches were chosen.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.core.dataset import FailureDataset
+from repro.errors import AnalysisError
+from repro.simulate.scenario import run_scenario
+
+MetricFn = Callable[[FailureDataset], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpread:
+    """One metric's values across seeds.
+
+    Attributes:
+        name: metric label.
+        values: per-seed values (seed order).
+        mean / std: summary statistics (population std).
+    """
+
+    name: str
+    values: Sequence[float]
+    mean: float
+    std: float
+
+    @property
+    def relative_std(self) -> float:
+        """std / |mean| (0 when the mean is 0)."""
+        return 0.0 if self.mean == 0.0 else self.std / abs(self.mean)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s: %.4g +/- %.2g (n=%d)" % (
+            self.name,
+            self.mean,
+            self.std,
+            len(self.values),
+        )
+
+
+def batch_run(
+    metrics: Mapping[str, MetricFn],
+    scenario: str = "paper-default",
+    scale: float = 0.01,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> Dict[str, MetricSpread]:
+    """Run a scenario under several seeds and evaluate metrics on each.
+
+    Args:
+        metrics: name -> function over the resulting dataset.
+        scenario: scenario name (see :data:`repro.simulate.scenario.SCENARIOS`).
+        scale: fleet scale per run.
+        seeds: root seeds (one simulation each).
+
+    Returns:
+        Per-metric spreads, in metric order.
+    """
+    if not metrics:
+        raise AnalysisError("no metrics given")
+    if len(seeds) < 2:
+        raise AnalysisError("need at least 2 seeds to measure spread")
+    collected: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        dataset = run_scenario(scenario, scale=scale, seed=seed).dataset
+        for name, metric in metrics.items():
+            collected[name].append(float(metric(dataset)))
+    spreads: Dict[str, MetricSpread] = {}
+    for name, values in collected.items():
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        spreads[name] = MetricSpread(
+            name=name, values=tuple(values), mean=mean, std=math.sqrt(variance)
+        )
+    return spreads

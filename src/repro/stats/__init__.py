@@ -1,0 +1,46 @@
+"""Statistical primitives: ECDFs, MLE fits, tests, intervals, bootstrap.
+
+Everything the paper's §4-§5 analyses need: empirical CDFs of
+time-between-failures (Fig. 9), maximum-likelihood fits of the
+exponential / gamma / Weibull candidates with chi-square goodness of
+fit (Finding 8), T-tests and confidence intervals for rate comparisons
+(Figs. 6, 7, 10).
+"""
+
+from repro.stats.ecdf import ECDF
+from repro.stats.mle import (
+    FitResult,
+    fit_exponential,
+    fit_gamma,
+    fit_weibull,
+    fit_all,
+)
+from repro.stats.tests import (
+    TestResult,
+    chi_square_gof,
+    poisson_rate_test,
+    welch_t_test,
+)
+from repro.stats.intervals import (
+    ConfidenceInterval,
+    rate_confidence_interval,
+    wilson_interval,
+)
+from repro.stats.bootstrap import bootstrap_ci
+
+__all__ = [
+    "ECDF",
+    "FitResult",
+    "fit_exponential",
+    "fit_gamma",
+    "fit_weibull",
+    "fit_all",
+    "TestResult",
+    "chi_square_gof",
+    "poisson_rate_test",
+    "welch_t_test",
+    "ConfidenceInterval",
+    "rate_confidence_interval",
+    "wilson_interval",
+    "bootstrap_ci",
+]

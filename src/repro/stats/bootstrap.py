@@ -1,0 +1,54 @@
+"""Percentile bootstrap confidence intervals.
+
+Used by analyses where no clean closed form exists — e.g. the burstiness
+fraction (share of inter-failure gaps under 10,000 s) whose sample items
+are not independent across shelves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.intervals import ConfidenceInterval
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    rng: np.random.Generator,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``data``.
+
+    Args:
+        data: the sample (resampled with replacement).
+        statistic: maps a sample array to a scalar.
+        rng: random generator (caller controls determinism).
+        n_resamples: bootstrap replicates.
+        confidence: interval coverage.
+
+    Returns:
+        Interval whose center is the statistic of the original sample.
+    """
+    values = np.asarray(list(data), dtype=float)
+    if values.size < 2:
+        raise AnalysisError("need at least 2 observations to bootstrap")
+    if n_resamples < 10:
+        raise AnalysisError("n_resamples must be at least 10")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    replicates = np.empty(n_resamples, dtype=float)
+    for i in range(n_resamples):
+        resample = values[rng.integers(0, values.size, size=values.size)]
+        replicates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        center=float(statistic(values)),
+        low=float(np.quantile(replicates, alpha)),
+        high=float(np.quantile(replicates, 1.0 - alpha)),
+        confidence=confidence,
+    )

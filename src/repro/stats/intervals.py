@@ -1,0 +1,109 @@
+"""Confidence intervals for rates and proportions (the error bars of
+Figs. 6, 7, and 10)."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from scipy import stats as scipy_stats
+
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric-in-construction confidence interval.
+
+    Attributes:
+        center: the point estimate.
+        low / high: interval bounds (clamped to be non-negative for
+            rates/proportions).
+        confidence: e.g. 0.995 for the paper's 99.5% error bars.
+    """
+
+    center: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width (the +/- value the paper quotes)."""
+        return (self.high - self.low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """Whether two intervals overlap (a quick visual-significance check)."""
+        return self.low <= other.high and other.low <= self.high
+
+
+def _z_for(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    return float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+def rate_confidence_interval(
+    count: int, exposure_years: float, confidence: float = 0.995
+) -> ConfidenceInterval:
+    """CI for an annualized rate from a Poisson count and an exposure.
+
+    The point estimate is ``count / exposure`` (in percent per year) and
+    the half-width uses the Poisson standard error ``sqrt(count)``;
+    with zero events the upper bound falls back to the exact Poisson
+    bound ``-ln(alpha) / exposure``.
+    """
+    if exposure_years <= 0.0:
+        raise AnalysisError("exposure must be positive")
+    if count < 0:
+        raise AnalysisError("count must be non-negative")
+    z = _z_for(confidence)
+    center = 100.0 * count / exposure_years
+    if count == 0:
+        alpha = 1.0 - confidence
+        upper = 100.0 * (-math.log(alpha)) / exposure_years
+        return ConfidenceInterval(center=0.0, low=0.0, high=upper, confidence=confidence)
+    half = 100.0 * z * math.sqrt(count) / exposure_years
+    return ConfidenceInterval(
+        center=center,
+        low=max(0.0, center - half),
+        high=center + half,
+        confidence=confidence,
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.995
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Used for the P(1)/P(2) shelf-and-RAID-group proportions of Fig. 10,
+    where counts can be small and the naive Wald interval misbehaves.
+    """
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise AnalysisError("successes must be in [0, trials]")
+    z = _z_for(confidence)
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2.0 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    # Clamp against floating rounding at the boundaries: with p_hat at 0
+    # or 1 the exact Wilson bound equals p_hat, but the float arithmetic
+    # can land an ulp inside it.
+    return ConfidenceInterval(
+        center=p_hat,
+        low=max(0.0, min(center - half, p_hat)),
+        high=min(1.0, max(center + half, p_hat)),
+        confidence=confidence,
+    )

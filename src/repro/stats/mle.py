@@ -1,0 +1,188 @@
+"""Maximum-likelihood fits of the paper's candidate failure distributions.
+
+Fig. 9 overlays exponential, gamma, and Weibull fits on the empirical
+time-between-failure CDFs and reports that the gamma distribution best
+fits *disk* failures while none of the three fits the burstier types.
+The fitters here implement the standard MLE estimators directly (Newton
+iterations on the profile likelihood for gamma and Weibull shapes) so
+the library does not depend on ``scipy.stats`` fitting conventions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Iterable, List
+
+import numpy as np
+from scipy import special
+
+from repro.errors import FittingError
+
+_MAX_ITERATIONS = 200
+_TOLERANCE = 1e-10
+
+
+@dataclasses.dataclass(frozen=True)
+class FitResult:
+    """Outcome of one distribution fit.
+
+    Attributes:
+        name: ``"exponential" | "gamma" | "weibull"``.
+        params: named parameter estimates.
+        log_likelihood: maximized log-likelihood.
+        n: sample size.
+    """
+
+    name: str
+    params: Dict[str, float]
+    log_likelihood: float
+    n: int
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion (lower is better)."""
+        return 2.0 * len(self.params) - 2.0 * self.log_likelihood
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted CDF at ``x``."""
+        return cdf_function(self.name, self.params)(np.asarray(x, dtype=float))
+
+
+def _clean(data: Iterable[float]) -> np.ndarray:
+    values = np.asarray([float(v) for v in data], dtype=float)
+    if values.size < 2:
+        raise FittingError("need at least 2 observations, got %d" % values.size)
+    if np.any(values <= 0.0):
+        raise FittingError("waiting-time data must be strictly positive")
+    return values
+
+
+def fit_exponential(data: Iterable[float]) -> FitResult:
+    """MLE exponential fit: rate = 1 / sample mean."""
+    values = _clean(data)
+    mean = float(values.mean())
+    rate = 1.0 / mean
+    loglik = values.size * math.log(rate) - rate * float(values.sum())
+    return FitResult(
+        name="exponential",
+        params={"rate": rate},
+        log_likelihood=loglik,
+        n=values.size,
+    )
+
+
+def fit_gamma(data: Iterable[float]) -> FitResult:
+    """MLE gamma fit via Newton iteration on the shape equation.
+
+    Solves ``log(k) - digamma(k) = log(mean) - mean(log x)`` with the
+    Minka-style update, then sets ``scale = mean / k``.
+    """
+    values = _clean(data)
+    mean = float(values.mean())
+    mean_log = float(np.log(values).mean())
+    s = math.log(mean) - mean_log
+    if s <= 0.0:
+        raise FittingError("degenerate sample: zero variance of logs")
+    # Standard starting point from the method-of-moments-ish approximation.
+    shape = (3.0 - s + math.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
+    for _ in range(_MAX_ITERATIONS):
+        numerator = math.log(shape) - float(special.digamma(shape)) - s
+        denominator = 1.0 / shape - float(special.polygamma(1, shape))
+        step = numerator / denominator
+        new_shape = shape - step
+        if new_shape <= 0.0:
+            new_shape = shape / 2.0
+        if abs(new_shape - shape) < _TOLERANCE * shape:
+            shape = new_shape
+            break
+        shape = new_shape
+    else:
+        raise FittingError("gamma shape iteration did not converge")
+    scale = mean / shape
+    loglik = float(
+        np.sum(
+            (shape - 1.0) * np.log(values)
+            - values / scale
+            - shape * math.log(scale)
+            - special.gammaln(shape)
+        )
+    )
+    return FitResult(
+        name="gamma",
+        params={"shape": shape, "scale": scale},
+        log_likelihood=loglik,
+        n=values.size,
+    )
+
+
+def fit_weibull(data: Iterable[float]) -> FitResult:
+    """MLE Weibull fit via Newton iteration on the shape equation.
+
+    Solves ``sum(x^k log x)/sum(x^k) - 1/k - mean(log x) = 0`` for the
+    shape ``k``, then ``scale = (mean(x^k))^(1/k)``.
+    """
+    values = _clean(data)
+    logs = np.log(values)
+    mean_log = float(logs.mean())
+
+    def g(k: float) -> float:
+        powered = np.power(values, k)
+        return float((powered * logs).sum() / powered.sum() - 1.0 / k - mean_log)
+
+    # g is increasing in k; bracket a root then bisect (robust for the
+    # heavy-tailed samples bursty failure data produces).
+    low, high = 1e-3, 1.0
+    for _ in range(200):
+        if g(high) > 0.0:
+            break
+        high *= 2.0
+    else:
+        raise FittingError("could not bracket the Weibull shape")
+    if g(low) > 0.0:
+        raise FittingError("could not bracket the Weibull shape from below")
+    for _ in range(_MAX_ITERATIONS):
+        mid = 0.5 * (low + high)
+        if g(mid) > 0.0:
+            high = mid
+        else:
+            low = mid
+        if high - low < _TOLERANCE * high:
+            break
+    shape = 0.5 * (low + high)
+    scale = float(np.power(np.power(values, shape).mean(), 1.0 / shape))
+    loglik = float(
+        np.sum(
+            math.log(shape)
+            - shape * math.log(scale)
+            + (shape - 1.0) * np.log(values)
+            - np.power(values / scale, shape)
+        )
+    )
+    return FitResult(
+        name="weibull",
+        params={"shape": shape, "scale": scale},
+        log_likelihood=loglik,
+        n=values.size,
+    )
+
+
+def cdf_function(name: str, params: Dict[str, float]) -> Callable[[np.ndarray], np.ndarray]:
+    """CDF evaluator for a named distribution and parameter dict."""
+    if name == "exponential":
+        rate = params["rate"]
+        return lambda x: 1.0 - np.exp(-rate * np.maximum(x, 0.0))
+    if name == "gamma":
+        shape, scale = params["shape"], params["scale"]
+        return lambda x: special.gammainc(shape, np.maximum(x, 0.0) / scale)
+    if name == "weibull":
+        shape, scale = params["shape"], params["scale"]
+        return lambda x: 1.0 - np.exp(-np.power(np.maximum(x, 0.0) / scale, shape))
+    raise FittingError("unknown distribution %r" % name)
+
+
+def fit_all(data: Iterable[float]) -> List[FitResult]:
+    """Fit all three candidates, best log-likelihood first."""
+    values = _clean(data)
+    fits = [fit_exponential(values), fit_gamma(values), fit_weibull(values)]
+    return sorted(fits, key=lambda fit: fit.log_likelihood, reverse=True)

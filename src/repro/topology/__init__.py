@@ -1,0 +1,31 @@
+"""Storage subsystem topology: disks, shelves, RAID groups, systems.
+
+The object model mirrors the paper's architecture figure (Fig. 1): a
+storage *system* contains a storage *subsystem* made of shelf enclosures
+(each hosting up to 14 disks), disks, host adapters and cables, with RAID
+groups laid out over disk slots — typically spanning about three shelves
+(Fig. 8) so that one shelf is not a single point of failure for a group.
+"""
+
+from repro.topology.classes import SystemClass, SYSTEM_CLASS_ORDER
+from repro.topology.models import DiskModel, ShelfModel
+from repro.topology.components import Disk, DiskSlot, Shelf, MAX_DISKS_PER_SHELF
+from repro.topology.raidgroup import RAIDGroup, RaidType
+from repro.topology.system import StorageSystem
+from repro.topology.layout import LayoutPolicy, assign_raid_groups
+
+__all__ = [
+    "SystemClass",
+    "SYSTEM_CLASS_ORDER",
+    "DiskModel",
+    "ShelfModel",
+    "Disk",
+    "DiskSlot",
+    "Shelf",
+    "MAX_DISKS_PER_SHELF",
+    "RAIDGroup",
+    "RaidType",
+    "StorageSystem",
+    "LayoutPolicy",
+    "assign_raid_groups",
+]

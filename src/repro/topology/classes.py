@@ -1,0 +1,58 @@
+"""Storage system classes (§2.2): near-line, low-end, mid-range, high-end.
+
+Near-line systems are SATA-based secondary (backup/archival) storage;
+low/mid/high-end are FC-based primary storage with increasing scale and
+redundancy (only mid-range and high-end support dual-path FC networks).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SystemClass(enum.Enum):
+    """Capability/usage class of a storage system."""
+
+    NEARLINE = "nearline"
+    LOW_END = "low_end"
+    MID_RANGE = "mid_range"
+    HIGH_END = "high_end"
+
+    @property
+    def label(self) -> str:
+        """Display label as used in the paper's figures."""
+        return _LABELS[self]
+
+    @property
+    def is_primary(self) -> bool:
+        """True for primary-storage classes (everything but near-line)."""
+        return self is not SystemClass.NEARLINE
+
+    @property
+    def supports_dual_path(self) -> bool:
+        """Whether the class's FC drivers support active/passive multipath."""
+        return self in (SystemClass.MID_RANGE, SystemClass.HIGH_END)
+
+    @property
+    def disk_interface(self) -> str:
+        """Dominant disk interface for the class (``"SATA"`` or ``"FC"``)."""
+        return "SATA" if self is SystemClass.NEARLINE else "FC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+_LABELS = {
+    SystemClass.NEARLINE: "Nearline",
+    SystemClass.LOW_END: "Low-end",
+    SystemClass.MID_RANGE: "Mid-range",
+    SystemClass.HIGH_END: "High-end",
+}
+
+#: Presentation order used throughout the paper's tables and figures.
+SYSTEM_CLASS_ORDER = (
+    SystemClass.NEARLINE,
+    SystemClass.LOW_END,
+    SystemClass.MID_RANGE,
+    SystemClass.HIGH_END,
+)

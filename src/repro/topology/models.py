@@ -1,0 +1,83 @@
+"""Anonymized hardware model descriptors (disk models, shelf models).
+
+The paper anonymizes disk products as *family-capacity* pairs — e.g. disk
+model ``A-2`` is family ``A`` at its second-smallest capacity — and shelf
+enclosure products as single letters.  We reproduce the same convention.
+Per-model reliability multipliers live with the fleet calibration
+(:mod:`repro.fleet.calibration`), not here; these classes are pure
+descriptors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_MODEL_NAME_RE = re.compile(r"^([A-Z])-(\d+)$")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class DiskModel:
+    """A disk family plus a capacity rank, e.g. ``DiskModel("H", 2)``.
+
+    Attributes:
+        family: single-letter anonymized family name (a disk *product*,
+            e.g. "Seagate Cheetah 10k.7" in the paper's example).
+        capacity_rank: 1-based rank of the capacity within the family;
+            within a family larger rank means larger capacity.
+        interface: ``"FC"`` or ``"SATA"``.
+        capacity_gb: nominal capacity, used by the RAID rebuild model.
+    """
+
+    family: str
+    capacity_rank: int
+    interface: str = "FC"
+    capacity_gb: int = 0
+
+    def __post_init__(self) -> None:
+        if not (len(self.family) == 1 and self.family.isupper()):
+            raise ValueError("disk family must be a single capital letter")
+        if self.capacity_rank < 1:
+            raise ValueError("capacity_rank is 1-based")
+        if self.interface not in ("FC", "SATA"):
+            raise ValueError("interface must be 'FC' or 'SATA'")
+
+    @property
+    def name(self) -> str:
+        """Canonical anonymized name, e.g. ``"A-2"``."""
+        return "%s-%d" % (self.family, self.capacity_rank)
+
+    @classmethod
+    def parse(cls, name: str, interface: str = "FC", capacity_gb: int = 0) -> "DiskModel":
+        """Parse a canonical name like ``"H-1"`` back into a model."""
+        match = _MODEL_NAME_RE.match(name)
+        if match is None:
+            raise ValueError("not a disk model name: %r" % name)
+        return cls(
+            family=match.group(1),
+            capacity_rank=int(match.group(2)),
+            interface=interface,
+            capacity_gb=capacity_gb,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class ShelfModel:
+    """An anonymized shelf enclosure model, e.g. ``ShelfModel("B")``.
+
+    All shelf enclosure models studied in the paper host at most 14 disks;
+    per-model differences (power supply, cooling, backplane design) are
+    captured as rate multipliers in the fleet calibration.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not (len(self.name) == 1 and self.name.isupper()):
+            raise ValueError("shelf model must be a single capital letter")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

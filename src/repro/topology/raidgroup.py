@@ -1,0 +1,69 @@
+"""RAID groups: membership over disk slots, RAID level metadata.
+
+A RAID group is defined over *slots* rather than disks, because disks are
+replaced over the study window while group membership (which bays form
+the group) is stable.  The analyses that group failures "by RAID group"
+attribute a failure to the group owning the affected disk's slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Set
+
+
+class RaidType(enum.Enum):
+    """RAID resiliency level used by a group (the study saw RAID4/RAID6)."""
+
+    RAID4 = "RAID4"
+    RAID6 = "RAID6"  # NetApp RAID-DP: row-diagonal double parity
+
+    @property
+    def parity_disks(self) -> int:
+        """Number of parity disks the level dedicates per group."""
+        return 1 if self is RaidType.RAID4 else 2
+
+    @property
+    def tolerated_failures(self) -> int:
+        """Concurrent whole-disk failures the level can tolerate."""
+        return self.parity_disks
+
+
+@dataclasses.dataclass
+class RAIDGroup:
+    """A RAID group spanning one or more shelves (Fig. 8).
+
+    Attributes:
+        raid_group_id: fleet-unique identifier.
+        system_id: hosting storage system.
+        raid_type: RAID4 or RAID6 (RAID-DP).
+        slot_keys: stable bay identifiers (``"<shelf_id>/<slot>"``) of the
+            member slots, data and parity alike.
+        shelf_ids: the distinct shelves the group spans.
+    """
+
+    raid_group_id: str
+    system_id: str
+    raid_type: RaidType
+    slot_keys: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total member disks (data + parity)."""
+        return len(self.slot_keys)
+
+    @property
+    def data_disks(self) -> int:
+        """Number of data (non-parity) disks in the group."""
+        return max(0, self.size - self.raid_type.parity_disks)
+
+    @property
+    def shelf_ids(self) -> Set[str]:
+        """The distinct shelves this group spans."""
+        return {key.rsplit("/", 1)[0] for key in self.slot_keys}
+
+    @property
+    def span(self) -> int:
+        """How many shelves the group spans (1 = single point of failure)."""
+        return len(self.shelf_ids)

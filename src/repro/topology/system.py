@@ -1,0 +1,108 @@
+"""The storage system: shelves + RAID groups + path configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.classes import SystemClass
+from repro.topology.components import Disk, DiskSlot, Shelf
+from repro.topology.raidgroup import RAIDGroup
+
+
+@dataclasses.dataclass
+class StorageSystem:
+    """One commercially deployed storage system.
+
+    Attributes:
+        system_id: fleet-unique identifier.
+        system_class: near-line / low-end / mid-range / high-end.
+        shelf_model: anonymized shelf enclosure model used by the system
+            (systems in the study use one enclosure model throughout).
+        primary_disk_model: the disk model most bays were populated with.
+        dual_path: True when the system connects shelves to two
+            independent FC networks (active/passive multipathing, §4.3).
+        deploy_time: seconds since study start when the system shipped;
+            exposure is accumulated from this point on.
+        shelves: the system's shelf enclosures.
+        raid_groups: the system's RAID groups.
+    """
+
+    system_id: str
+    system_class: SystemClass
+    shelf_model: str
+    primary_disk_model: str
+    dual_path: bool
+    deploy_time: float
+    shelves: List[Shelf] = dataclasses.field(default_factory=list)
+    raid_groups: List[RAIDGroup] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dual_path and not self.system_class.supports_dual_path:
+            raise TopologyError(
+                "system class %s does not support dual-path FC"
+                % self.system_class.value
+            )
+
+    # -- lookups ---------------------------------------------------------
+
+    def slot_by_key(self, slot_key: str) -> DiskSlot:
+        """Resolve a stable bay key (``"<shelf_id>/<slot>"``) to its slot."""
+        index = self._slot_index()
+        try:
+            return index[slot_key]
+        except KeyError:
+            raise TopologyError(
+                "system %s has no slot %s" % (self.system_id, slot_key)
+            ) from None
+
+    def _slot_index(self) -> Dict[str, DiskSlot]:
+        cached = getattr(self, "_slot_index_cache", None)
+        if cached is None or len(cached) != sum(len(s.slots) for s in self.shelves):
+            cached = {
+                slot.slot_key: slot
+                for shelf in self.shelves
+                for slot in shelf.slots
+            }
+            object.__setattr__(self, "_slot_index_cache", cached)
+        return cached
+
+    def raid_group_by_id(self, raid_group_id: str) -> RAIDGroup:
+        """Find a RAID group by id."""
+        for group in self.raid_groups:
+            if group.raid_group_id == raid_group_id:
+                return group
+        raise TopologyError(
+            "system %s has no RAID group %s" % (self.system_id, raid_group_id)
+        )
+
+    # -- iteration & accounting ------------------------------------------
+
+    def iter_slots(self) -> Iterator[DiskSlot]:
+        """All disk bays across all shelves."""
+        for shelf in self.shelves:
+            yield from shelf.slots
+
+    def iter_disks(self) -> Iterator[Disk]:
+        """All disks ever installed in the system."""
+        for shelf in self.shelves:
+            yield from shelf.iter_disks()
+
+    @property
+    def disk_count_ever(self) -> int:
+        """Disks ever installed during the window (Table 1 convention)."""
+        return sum(shelf.disk_count_ever for shelf in self.shelves)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of populated disk bays."""
+        return sum(len(shelf.slots) for shelf in self.shelves)
+
+    def disk_exposure_seconds(self, window_end: float) -> float:
+        """Summed in-service disk time (disk-seconds) up to ``window_end``."""
+        return sum(d.service_seconds(window_end) for d in self.iter_disks())
+
+    def age_at(self, time: float) -> float:
+        """Seconds in the field at ``time`` (0 if not yet deployed)."""
+        return max(0.0, time - self.deploy_time)

@@ -1,0 +1,77 @@
+"""Time units and rate conversions used across the library.
+
+The simulator's base time unit is the **second** (the paper's Figure 9
+plots time-between-failures in seconds).  Failure rates are expressed as
+annualized failure rates (AFR), i.e. expected failures per disk-year,
+usually quoted in percent.  This module centralises the conversions so no
+other module hard-codes ``86400``-style constants.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+#: Julian year, the denominator used for "annualized" failure rates.
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+SECONDS_PER_MONTH = SECONDS_PER_YEAR / 12.0
+
+#: The paper's observation window: January 2004 through August 2007.
+STUDY_MONTHS = 44
+STUDY_DURATION_SECONDS = STUDY_MONTHS * SECONDS_PER_MONTH
+
+#: Proactive data-verification (scrub) period; the paper states failures
+#: are detected at most about an hour after they occur.
+SCRUB_PERIOD_SECONDS = SECONDS_PER_HOUR
+
+#: The "bursty" threshold the paper uses when reading Figure 9: the
+#: fraction of inter-failure gaps below 10,000 seconds.
+BURST_GAP_SECONDS = 10_000.0
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert a duration in years to seconds."""
+    return years * SECONDS_PER_YEAR
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert a duration in seconds to years."""
+    return seconds / SECONDS_PER_YEAR
+
+
+def afr_percent_to_rate_per_second(afr_percent: float) -> float:
+    """Convert an AFR in percent per year to events per second.
+
+    >>> round(afr_percent_to_rate_per_second(100.0) * SECONDS_PER_YEAR, 9)
+    1.0
+    """
+    return (afr_percent / 100.0) / SECONDS_PER_YEAR
+
+
+def rate_per_second_to_afr_percent(rate: float) -> float:
+    """Convert an event rate per second to AFR percent per year."""
+    return rate * SECONDS_PER_YEAR * 100.0
+
+
+def afr_percent(event_count: float, exposure_seconds: float) -> float:
+    """Annualized failure rate in percent from a count and an exposure.
+
+    ``exposure_seconds`` is the summed in-service time (e.g. disk-seconds).
+    Returns ``0.0`` for zero exposure rather than dividing by zero, which
+    keeps empty analysis groups well-defined.
+    """
+    if exposure_seconds <= 0.0:
+        return 0.0
+    return 100.0 * event_count / seconds_to_years(exposure_seconds)
+
+
+def mttf_hours_to_afr_percent(mttf_hours: float) -> float:
+    """Convert a datasheet MTTF (hours) to the implied AFR in percent.
+
+    Uses the small-rate approximation AFR = hours-per-year / MTTF, the same
+    convention disk vendors use (1,000,000 h MTTF ~ 0.88% AFR).
+    """
+    if mttf_hours <= 0.0:
+        raise ValueError("MTTF must be positive, got %r" % mttf_hours)
+    hours_per_year = SECONDS_PER_YEAR / SECONDS_PER_HOUR
+    return 100.0 * hours_per_year / mttf_hours

@@ -1,0 +1,64 @@
+"""Shared fixtures: small simulated fleets reused across test modules.
+
+Simulation is the expensive step, so the fixtures are session-scoped;
+tests must treat the shared datasets as read-only (filtering helpers
+return new datasets, so this is the natural usage anyway).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.builder import build_fleet
+from repro.fleet.spec import FleetSpec
+from repro.rng import RandomSource
+from repro.simulate.engine import SimulationEngine
+from repro.simulate.scenario import run_scenario
+
+
+@pytest.fixture
+def rs() -> RandomSource:
+    """A fresh deterministic random source."""
+    return RandomSource(123)
+
+
+@pytest.fixture
+def tiny_fleet():
+    """A small freshly-built (mutable) fleet: ~8 systems, no failures."""
+    spec = FleetSpec.paper_default(scale=0.0003)
+    return build_fleet(spec, RandomSource(42))
+
+
+@pytest.fixture(scope="session")
+def small_sim():
+    """A session-shared paper-default simulation (read-only)."""
+    return run_scenario("paper-default", scale=0.005, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_sim):
+    """The session simulation's dataset (read-only)."""
+    return small_sim.dataset
+
+
+@pytest.fixture(scope="session")
+def logged_sim():
+    """A session-shared simulation routed through the log pipeline."""
+    return run_scenario("paper-default", scale=0.002, seed=9, via_logs=True)
+
+
+@pytest.fixture(scope="session")
+def midsize_dataset():
+    """A larger session dataset for statistics-hungry tests."""
+    return run_scenario("paper-default", scale=0.02, seed=1).dataset
+
+
+@pytest.fixture(scope="session")
+def independent_dataset():
+    """The no-shocks (independence ablation) dataset."""
+    return run_scenario("no-shocks", scale=0.02, seed=1).dataset
+
+
+def make_engine(scale: float = 0.002, **spec_overrides) -> SimulationEngine:
+    """Helper for tests needing their own (mutable) simulation."""
+    return SimulationEngine(FleetSpec.paper_default(scale=scale, **spec_overrides))

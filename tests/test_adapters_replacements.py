@@ -1,0 +1,108 @@
+"""Tests for the replacement-log adapter."""
+
+import pytest
+
+from repro.adapters.replacements import (
+    ReplacementPolicy,
+    cause_breakdown,
+    derive_replacement_log,
+    format_replacement_log,
+    parse_replacement_log,
+    replacement_rate_percent,
+)
+from repro.errors import AnalysisError, LogFormatError
+from repro.failures.types import FailureType
+
+
+@pytest.fixture(scope="module")
+def records(midsize_dataset):
+    return derive_replacement_log(midsize_dataset, seed=1)
+
+
+class TestDerivation:
+    def test_sorted_by_time(self, records):
+        times = [record.time for record in records]
+        assert times == sorted(times)
+
+    def test_every_disk_failure_replaced(self, midsize_dataset, records):
+        disk_failures = midsize_dataset.deduplicated().counts_by_type()[
+            FailureType.DISK
+        ]
+        disk_replacements = sum(
+            1 for record in records if record.true_cause is FailureType.DISK
+        )
+        assert disk_replacements == disk_failures
+
+    def test_other_types_subsampled(self, midsize_dataset, records):
+        counts = midsize_dataset.deduplicated().counts_by_type()
+        phys_replacements = sum(
+            1
+            for record in records
+            if record.true_cause is FailureType.PHYSICAL_INTERCONNECT
+        )
+        assert 0 < phys_replacements < counts[FailureType.PHYSICAL_INTERCONNECT]
+        assert phys_replacements == pytest.approx(
+            0.6 * counts[FailureType.PHYSICAL_INTERCONNECT], rel=0.15
+        )
+
+    def test_deterministic(self, midsize_dataset):
+        a = derive_replacement_log(midsize_dataset, seed=2)
+        b = derive_replacement_log(midsize_dataset, seed=2)
+        assert [r.disk_id for r in a] == [r.disk_id for r in b]
+
+    def test_zero_policy_drops_type(self, midsize_dataset):
+        policy = ReplacementPolicy(
+            replace_probability={
+                FailureType.DISK: 1.0,
+                FailureType.PHYSICAL_INTERCONNECT: 0.0,
+                FailureType.PROTOCOL: 0.0,
+                FailureType.PERFORMANCE: 0.0,
+            }
+        )
+        records = derive_replacement_log(midsize_dataset, policy)
+        assert all(r.true_cause is FailureType.DISK for r in records)
+
+    def test_policy_validation(self):
+        with pytest.raises(AnalysisError):
+            ReplacementPolicy(replace_probability={FailureType.DISK: 1.5})
+
+
+class TestRates:
+    def test_rate(self, records, midsize_dataset):
+        rate = replacement_rate_percent(records, midsize_dataset.exposure_years())
+        assert rate > 0.0
+
+    def test_rate_validation(self, records):
+        with pytest.raises(AnalysisError):
+            replacement_rate_percent(records, 0.0)
+
+    def test_cause_breakdown_sums_to_one(self, records):
+        shares = cause_breakdown(records)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_cause_breakdown_empty(self):
+        assert cause_breakdown([]) == {}
+
+
+class TestTextFormat:
+    def test_roundtrip(self, records):
+        text = format_replacement_log(records[:50])
+        parsed = parse_replacement_log(text)
+        assert len(parsed) == 50
+        for original, parsed_record in zip(records[:50], parsed):
+            assert parsed_record.disk_id == original.disk_id
+            assert parsed_record.system_id == original.system_id
+            assert parsed_record.time == pytest.approx(original.time, abs=1.0)
+
+    def test_causes_withheld(self, records):
+        parsed = parse_replacement_log(format_replacement_log(records[:10]))
+        # The text format cannot carry causes: everything reads as disk.
+        assert all(r.true_cause is FailureType.DISK for r in parsed)
+
+    def test_bad_header(self):
+        with pytest.raises(LogFormatError):
+            parse_replacement_log("nope\n")
+
+    def test_bad_row(self):
+        with pytest.raises(LogFormatError):
+            parse_replacement_log("timestamp,system,disk\nonly-one-field\n")

@@ -1,0 +1,79 @@
+"""Tests for log-line rendering and parsing."""
+
+import pytest
+
+from repro.autosupport.messages import format_line, parse_line
+from repro.errors import LogFormatError
+from repro.simulate.clock import SimulationClock
+
+CLOCK = SimulationClock()
+DISK = "sh-mr-00012-03/07#0"
+
+
+class TestFormat:
+    def test_shape(self):
+        line = format_line(CLOCK, 3600.0, "fci.device.timeout", DISK)
+        assert "[fci.device.timeout:error]" in line
+        assert DISK in line
+
+    def test_raid_lines_carry_serial(self):
+        line = format_line(
+            CLOCK, 0.0, "raid.config.filesystem.disk.missing", DISK, "S1234ABCD"
+        )
+        assert "S/N [S1234ABCD]" in line
+        assert "is missing" in line
+
+    def test_severity_defaults(self):
+        assert ":info]" in format_line(CLOCK, 0.0, "raid.disk.failed", DISK)
+        assert ":error]" in format_line(CLOCK, 0.0, "scsi.cmd.noMorePaths", DISK)
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(LogFormatError):
+            format_line(CLOCK, 0.0, "x.y", DISK, severity="fatal")
+
+    def test_unknown_event_has_fallback_prose(self):
+        line = format_line(CLOCK, 0.0, "fci.new.event", DISK)
+        assert "fci.new.event" in line
+
+
+class TestParse:
+    def test_roundtrip(self):
+        line = format_line(CLOCK, 86_461.0, "scsi.cmd.noMorePaths", DISK)
+        parsed = parse_line(CLOCK, line)
+        assert parsed.time == pytest.approx(86_461.0)
+        assert parsed.event == "scsi.cmd.noMorePaths"
+        assert parsed.severity == "error"
+        assert parsed.disk_id == DISK
+        assert not parsed.is_raid_event
+
+    def test_time_truncated_to_seconds(self):
+        line = format_line(CLOCK, 100.7, "disk.slowIO", DISK)
+        assert parse_line(CLOCK, line).time == pytest.approx(100.0)
+
+    def test_raid_event_flag(self):
+        line = format_line(CLOCK, 0.0, "raid.disk.failed", DISK, "S1")
+        parsed = parse_line(CLOCK, line)
+        assert parsed.is_raid_event
+        assert parsed.layer == "raid"
+        assert parsed.serial == "S1"
+
+    def test_every_template_roundtrips(self):
+        from repro.autosupport.messages import _TEMPLATES
+
+        for event in _TEMPLATES:
+            line = format_line(CLOCK, 1234.0, event, DISK, "SABC")
+            parsed = parse_line(CLOCK, line)
+            assert parsed.event == event
+            assert parsed.disk_id == DISK
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_line(CLOCK, "not a log line at all")
+
+    def test_bad_timestamp_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_line(CLOCK, "Xxx Yyy 99 99:99:99 2004 [a.b:error]: hello")
+
+    def test_whitespace_tolerated(self):
+        line = "  " + format_line(CLOCK, 0.0, "disk.slowIO", DISK) + "  \n"
+        assert parse_line(CLOCK, line).event == "disk.slowIO"

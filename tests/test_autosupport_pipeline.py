@@ -1,0 +1,159 @@
+"""Tests for the log writer + parser pipeline (end to end)."""
+
+import pytest
+
+from repro.autosupport.parser import parse_archive, parse_system_log
+from repro.autosupport.writer import LogArchive, write_logs
+from repro.failures.types import FailureType
+from repro.simulate.clock import SimulationClock
+
+
+@pytest.fixture(scope="module")
+def archive(logged_sim):
+    return logged_sim.archive
+
+
+class TestWriter:
+    def test_one_log_per_system(self, archive, logged_sim):
+        assert set(archive.logs) == {
+            s.system_id for s in logged_sim.fleet.systems
+        }
+
+    def test_cascades_precede_raid_events(self, archive):
+        clock = SimulationClock()
+        from repro.autosupport.messages import parse_line
+
+        for text in archive.logs.values():
+            lines = [parse_line(clock, raw) for raw in text.splitlines()]
+            times = [line.time for line in lines]
+            assert times == sorted(times)
+
+    def test_raid_event_count_matches_truth(self, archive, logged_sim):
+        raid_lines = sum(
+            1
+            for text in archive.logs.values()
+            for raw in text.splitlines()
+            if "[raid." in raw
+        )
+        assert raid_lines == len(logged_sim.injection.events)
+
+    def test_recovered_incidents_present_without_raid_lines(self, archive):
+        failovers = sum(
+            text.count("fci.path.failover") for text in archive.logs.values()
+        )
+        retries = sum(
+            text.count("scsi.cmd.retrySuccess") for text in archive.logs.values()
+        )
+        assert failovers + retries > 0
+
+    def test_snapshot_attached(self, archive):
+        assert archive.snapshot.startswith("[meta]")
+
+
+class TestRoundTripViaDisk(object):
+    def test_save_and_load(self, archive, tmp_path):
+        archive.save_to(str(tmp_path / "logs"))
+        reloaded = LogArchive.load_from(str(tmp_path / "logs"))
+        assert reloaded.logs == archive.logs
+        assert reloaded.snapshot == archive.snapshot
+
+    def test_load_missing_snapshot(self, tmp_path):
+        from repro.errors import LogFormatError
+
+        with pytest.raises(LogFormatError):
+            LogArchive.load_from(str(tmp_path))
+
+    def test_gzip_roundtrip(self, archive, tmp_path):
+        archive.save_to(str(tmp_path / "gz"), compress=True)
+        reloaded = LogArchive.load_from(str(tmp_path / "gz"))
+        assert reloaded.logs == archive.logs
+
+    def test_mixed_plain_and_gzip_rejected(self, archive, tmp_path):
+        from repro.errors import LogFormatError
+
+        target = tmp_path / "mixed"
+        archive.save_to(str(target), compress=False)
+        archive.save_to(str(target), compress=True)
+        with pytest.raises(LogFormatError):
+            LogArchive.load_from(str(target))
+
+    def test_gzip_files_smaller(self, archive, tmp_path):
+        import pathlib
+
+        archive.save_to(str(tmp_path / "plain"), compress=False)
+        archive.save_to(str(tmp_path / "zipped"), compress=True)
+        plain = sum(
+            f.stat().st_size for f in pathlib.Path(tmp_path / "plain").glob("*.log")
+        )
+        zipped = sum(
+            f.stat().st_size
+            for f in pathlib.Path(tmp_path / "zipped").glob("*.log.gz")
+        )
+        assert zipped < plain
+
+
+class TestParser:
+    def test_mined_counts_match_ground_truth(self, archive, logged_sim):
+        mined = parse_archive(archive, fleet=logged_sim.fleet, strict=True)
+        assert mined.counts_by_type() == logged_sim.dataset.counts_by_type()
+
+    def test_mined_events_match_detection_times(self, archive, logged_sim):
+        mined = parse_archive(archive, fleet=logged_sim.fleet)
+        truth = logged_sim.injection.events
+        mined_keys = sorted(
+            (e.disk_id, e.failure_type.value, round(e.detect_time))
+            for e in mined.events
+        )
+        truth_keys = sorted(
+            (e.disk_id, e.failure_type.value, int(e.detect_time))
+            for e in truth
+        )
+        assert mined_keys == truth_keys
+
+    def test_parse_without_fleet_uses_snapshot(self, archive, logged_sim):
+        mined = parse_archive(archive)  # rebuilds the fleet from text
+        assert mined.fleet.system_count == logged_sim.fleet.system_count
+        assert len(mined.events) == len(logged_sim.injection.events)
+
+    def test_onset_before_detection(self, archive, logged_sim):
+        mined = parse_archive(archive, fleet=logged_sim.fleet)
+        for event in mined.events:
+            assert event.occur_time <= event.detect_time
+
+    def test_noise_lines_skipped_leniently(self, logged_sim):
+        system = logged_sim.fleet.systems[0]
+        text = "GARBAGE LINE\n" + logged_sim.archive.logs[system.system_id]
+        events = parse_system_log(text, system)  # lenient by default
+        assert isinstance(events, list)
+
+    def test_noise_lines_raise_in_strict_mode(self, logged_sim):
+        from repro.errors import LogFormatError
+
+        system = logged_sim.fleet.systems[0]
+        text = "GARBAGE LINE\n" + logged_sim.archive.logs[system.system_id]
+        with pytest.raises(LogFormatError):
+            parse_system_log(text, system, strict=True)
+
+    def test_duplicate_raid_events_deduplicated(self, logged_sim):
+        system_id = max(
+            logged_sim.archive.logs, key=lambda sid: logged_sim.archive.logs[sid].count("[raid.")
+        )
+        system = logged_sim.fleet.system(system_id)
+        text = logged_sim.archive.logs[system_id]
+        raid_lines = [raw for raw in text.splitlines() if "[raid." in raw]
+        assert raid_lines
+        doubled = text + raid_lines[0] + "\n"
+        base = parse_system_log(text, system)
+        withdup = parse_system_log(doubled, system)
+        # Appending a copy of an existing RAID line within the dedup
+        # window must not add an event.
+        assert len(withdup) <= len(base) + 1
+
+    def test_disk_topology_attributes_populated(self, archive, logged_sim):
+        mined = parse_archive(archive, fleet=logged_sim.fleet)
+        for event in mined.events[:50]:
+            system = logged_sim.fleet.system(event.system_id)
+            assert event.shelf_model == system.shelf_model
+            assert event.system_class == system.system_class.value
+            assert event.raid_group_id
+            assert event.disk_model

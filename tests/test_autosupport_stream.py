@@ -1,0 +1,84 @@
+"""Tests for the streaming log parser."""
+
+import pytest
+
+from repro.autosupport.parser import parse_system_log
+from repro.autosupport.stream import StreamingLogParser, stream_system_log
+from repro.errors import LogFormatError
+
+
+@pytest.fixture(scope="module")
+def busiest(logged_sim):
+    system_id = max(
+        logged_sim.archive.logs,
+        key=lambda sid: logged_sim.archive.logs[sid].count("[raid."),
+    )
+    return logged_sim.fleet.system(system_id), logged_sim.archive.logs[system_id]
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 4096, 10**9])
+    def test_matches_batch_parser_any_chunking(self, busiest, chunk_size):
+        system, text = busiest
+        batch = parse_system_log(text, system)
+        streamed = stream_system_log(text, system, chunk_size=chunk_size)
+        assert len(streamed) == len(batch)
+        for a, b in zip(batch, streamed):
+            assert (a.disk_id, a.failure_type, a.detect_time) == (
+                b.disk_id, b.failure_type, b.detect_time,
+            )
+
+    def test_whole_archive_equivalence(self, logged_sim):
+        total_batch = 0
+        total_stream = 0
+        for system_id, text in logged_sim.archive.logs.items():
+            system = logged_sim.fleet.system(system_id)
+            total_batch += len(parse_system_log(text, system))
+            total_stream += len(stream_system_log(text, system, chunk_size=333))
+        assert total_stream == total_batch
+        assert total_batch == len(logged_sim.injection.events)
+
+
+class TestIncrementalBehavior:
+    def test_partial_line_buffered(self, busiest):
+        system, text = busiest
+        line = next(raw for raw in text.splitlines() if "[raid." in raw)
+        parser = StreamingLogParser(system)
+        half = len(line) // 2
+        assert list(parser.feed(line[:half])) == []
+        events = list(parser.feed(line[half:] + "\n"))
+        assert len(events) == 1
+
+    def test_close_flushes_trailing_line(self, busiest):
+        system, text = busiest
+        line = next(raw for raw in text.splitlines() if "[raid." in raw)
+        parser = StreamingLogParser(system)
+        assert list(parser.feed(line)) == []  # no newline yet
+        assert len(list(parser.close())) == 1
+
+    def test_events_emitted_counter(self, busiest):
+        system, text = busiest
+        parser = StreamingLogParser(system)
+        events = list(parser.feed(text))
+        events.extend(parser.close())
+        assert parser.events_emitted == len(events)
+
+    def test_noise_tolerated_by_default(self, busiest):
+        system, _text = busiest
+        parser = StreamingLogParser(system)
+        assert list(parser.feed("garbage line\n")) == []
+
+    def test_strict_mode_raises(self, busiest):
+        system, _text = busiest
+        parser = StreamingLogParser(system, strict=True)
+        with pytest.raises(LogFormatError):
+            list(parser.feed("garbage line\n"))
+
+    def test_duplicate_raid_lines_suppressed(self, busiest):
+        system, text = busiest
+        line = next(raw for raw in text.splitlines() if "[raid." in raw)
+        parser = StreamingLogParser(system)
+        first = list(parser.feed(line + "\n"))
+        second = list(parser.feed(line + "\n"))
+        assert len(first) == 1
+        assert second == []

@@ -1,0 +1,112 @@
+"""Tests for burst detection."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.bursts import find_bursts, summarize_bursts, worst_burst
+from repro.core.dataset import FailureDataset
+from repro.errors import AnalysisError
+from repro.failures.types import FailureType
+
+
+class TestFindBursts:
+    def test_bursts_exist_in_correlated_fleet(self, midsize_dataset):
+        bursts = find_bursts(midsize_dataset, "shelf")
+        assert bursts
+
+    def test_burst_members_share_scope(self, midsize_dataset):
+        for burst in find_bursts(midsize_dataset, "shelf")[:50]:
+            assert len({event.shelf_id for event in burst.events}) == 1
+
+    def test_burst_gaps_under_threshold(self, midsize_dataset):
+        threshold = 10_000.0
+        for burst in find_bursts(midsize_dataset, "shelf", threshold)[:50]:
+            times = [event.detect_time for event in burst.events]
+            assert all(b - a < threshold for a, b in zip(times, times[1:]))
+
+    def test_maximality(self, midsize_dataset):
+        # No event immediately before/after a burst may be within the
+        # threshold (otherwise the run was not maximal).
+        threshold = 10_000.0
+        deduped = midsize_dataset.deduplicated()
+        by_shelf = deduped.events_by_scope("shelf")
+        for burst in find_bursts(midsize_dataset, "shelf", threshold)[:30]:
+            events = sorted(by_shelf[burst.scope_id], key=lambda e: e.detect_time)
+            first = burst.events[0]
+            last = burst.events[-1]
+            index_first = events.index(first)
+            index_last = events.index(last)
+            if index_first > 0:
+                assert (
+                    first.detect_time - events[index_first - 1].detect_time
+                    >= threshold
+                )
+            if index_last + 1 < len(events):
+                assert (
+                    events[index_last + 1].detect_time - last.detect_time
+                    >= threshold
+                )
+
+    def test_sorted_by_size(self, midsize_dataset):
+        sizes = [b.size for b in find_bursts(midsize_dataset, "shelf")]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_fewer_bursts_with_tighter_threshold(self, midsize_dataset):
+        wide = find_bursts(midsize_dataset, "shelf", 10_000.0)
+        tight = find_bursts(midsize_dataset, "shelf", 10.0)
+        assert sum(b.size for b in tight) <= sum(b.size for b in wide)
+
+    def test_validation(self, midsize_dataset):
+        with pytest.raises(AnalysisError):
+            find_bursts(midsize_dataset, "shelf", gap_threshold=0.0)
+        with pytest.raises(AnalysisError):
+            find_bursts(midsize_dataset, "shelf", min_size=1)
+
+
+class TestBurstProperties:
+    def test_dominant_type_is_interconnect_heavy(self, midsize_dataset):
+        # Shock-driven interconnect failures should dominate the big
+        # bursts (the paper's most bursty type).
+        bursts = find_bursts(midsize_dataset, "shelf")[:10]
+        dominant = [b.dominant_type for b in bursts]
+        assert FailureType.PHYSICAL_INTERCONNECT in dominant
+
+    def test_span_and_disks(self, midsize_dataset):
+        for burst in find_bursts(midsize_dataset, "shelf")[:20]:
+            assert burst.span_seconds >= 0.0
+            assert 1 <= burst.distinct_disks <= burst.size
+
+    def test_pure_flag(self, midsize_dataset):
+        for burst in find_bursts(midsize_dataset, "shelf")[:20]:
+            types = {event.failure_type for event in burst.events}
+            assert burst.pure == (len(types) == 1)
+
+
+class TestSummary:
+    def test_counts_consistent(self, midsize_dataset):
+        summary = summarize_bursts(midsize_dataset, "shelf")
+        assert summary.n_bursts == sum(summary.size_histogram.values())
+        assert summary.events_in_bursts == sum(
+            size * count for size, count in summary.size_histogram.items()
+        )
+        assert 0.0 <= summary.burst_event_share <= 1.0
+
+    def test_correlated_fleet_has_high_burst_share(
+        self, midsize_dataset, independent_dataset
+    ):
+        correlated = summarize_bursts(midsize_dataset, "shelf")
+        independent = summarize_bursts(independent_dataset, "shelf")
+        assert correlated.burst_event_share > 2 * independent.burst_event_share
+
+    def test_worst_burst(self, midsize_dataset):
+        burst = worst_burst(midsize_dataset, "shelf")
+        assert burst is not None
+        assert burst.size == summarize_bursts(midsize_dataset, "shelf").max_size
+
+    def test_no_bursts_in_empty_dataset(self, midsize_dataset):
+        empty = FailureDataset(events=[], fleet=midsize_dataset.fleet)
+        assert worst_burst(empty, "shelf") is None
+        summary = summarize_bursts(empty, "shelf")
+        assert summary.n_bursts == 0
+        assert summary.burst_event_share == 0.0

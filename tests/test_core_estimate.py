@@ -1,0 +1,86 @@
+"""Tests for inverse calibration (recovering shock parameters)."""
+
+import pytest
+
+from repro.core.estimate import (
+    estimate_hit_probability,
+    estimate_shock_parameters,
+    estimate_shock_share,
+)
+from repro.core.dataset import FailureDataset
+from repro.errors import AnalysisError
+from repro.failures.types import FailureType
+from repro.fleet.calibration import SHOCK_PARAMS
+
+
+class TestShockShare:
+    def test_interconnect_share_recovered(self, midsize_dataset):
+        true_rho = SHOCK_PARAMS[FailureType.PHYSICAL_INTERCONNECT].rho
+        estimate = estimate_shock_share(
+            midsize_dataset, FailureType.PHYSICAL_INTERCONNECT
+        )
+        # Biased low (single-hit shocks invisible), but in the ballpark.
+        assert 0.6 * true_rho <= estimate <= 1.1 * true_rho
+
+    def test_disk_share_needs_window_matched_threshold(self, midsize_dataset):
+        true_rho = SHOCK_PARAMS[FailureType.DISK].rho
+        # The default 10^4 s threshold misses disk shocks (their spread
+        # window is ~2 days); a window-matched threshold recovers rho.
+        narrow = estimate_shock_share(midsize_dataset, FailureType.DISK)
+        wide = estimate_shock_share(midsize_dataset, FailureType.DISK, 1e6)
+        assert narrow < 0.5 * true_rho
+        assert wide == pytest.approx(true_rho, abs=0.15)
+
+    def test_independent_fleet_estimates_near_zero(self, independent_dataset):
+        estimate = estimate_shock_share(
+            independent_dataset, FailureType.PHYSICAL_INTERCONNECT
+        )
+        assert estimate < 0.15
+
+    def test_no_events_rejected(self, midsize_dataset):
+        empty = FailureDataset(events=[], fleet=midsize_dataset.fleet)
+        with pytest.raises(AnalysisError):
+            estimate_shock_share(empty, FailureType.DISK)
+
+
+class TestHitProbability:
+    def test_interconnect_hit_recovered(self, midsize_dataset):
+        true_hit = SHOCK_PARAMS[FailureType.PHYSICAL_INTERCONNECT].hit_prob
+        estimate = estimate_hit_probability(
+            midsize_dataset, FailureType.PHYSICAL_INTERCONNECT
+        )
+        assert estimate is not None
+        # Mixed shelf sizes (7-14 bays) and invisible singletons bias
+        # the inversion; order of magnitude must hold.
+        assert 0.4 * true_hit <= estimate <= 1.6 * true_hit
+
+    def test_none_with_too_few_bursts(self, midsize_dataset):
+        few = FailureDataset(
+            events=list(midsize_dataset.events[:5]), fleet=midsize_dataset.fleet
+        )
+        assert (
+            estimate_hit_probability(few, FailureType.PHYSICAL_INTERCONNECT)
+            is None
+        )
+
+
+class TestBundle:
+    def test_estimates_bundled(self, midsize_dataset):
+        estimate = estimate_shock_parameters(
+            midsize_dataset, FailureType.PROTOCOL
+        )
+        assert estimate.failure_type is FailureType.PROTOCOL
+        assert 0.0 <= estimate.shock_share <= 1.0
+        assert estimate.n_events > 0
+        assert estimate.n_bursts > 0
+
+    def test_ordering_matches_calibration(self, midsize_dataset):
+        # Interconnect is the most shock-driven type; its estimated
+        # share should exceed performance's.
+        phys = estimate_shock_parameters(
+            midsize_dataset, FailureType.PHYSICAL_INTERCONNECT
+        )
+        perf = estimate_shock_parameters(
+            midsize_dataset, FailureType.PERFORMANCE
+        )
+        assert phys.shock_share > perf.shock_share

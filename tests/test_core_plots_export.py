@@ -1,0 +1,108 @@
+"""Tests for ASCII plots and CSV export."""
+
+import pytest
+
+from repro.core.dataset import FailureDataset
+from repro.core.export import CSV_COLUMNS, events_from_csv, events_to_csv
+from repro.core.plots import ascii_cdf_plot, figure9_ascii
+from repro.errors import AnalysisError, LogFormatError
+from repro.stats.ecdf import ECDF
+
+
+class TestAsciiPlot:
+    @pytest.fixture
+    def series(self):
+        return {
+            "fast": ECDF([10.0, 100.0, 1_000.0]),
+            "slow": ECDF([1e6, 1e7, 1e8]),
+        }
+
+    def test_dimensions(self, series):
+        text = ascii_cdf_plot(series, width=40, height=10, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        grid_lines = [line for line in lines if "|" in line]
+        assert len(grid_lines) == 10
+        assert all(len(line) == 6 + 40 for line in grid_lines)
+
+    def test_legend_present(self, series):
+        text = ascii_cdf_plot(series)
+        assert "o  fast" in text
+        assert "x  slow" in text
+
+    def test_fast_series_rises_before_slow(self, series):
+        text = ascii_cdf_plot(series, width=60, height=12)
+        lines = [line[6:] for line in text.splitlines() if "|" in line]
+        top_row = lines[0]
+        # At the left half of the top row only the fast series is at 1.0.
+        assert "o" in top_row[:30]
+        assert "x" not in top_row[:30]
+
+    def test_axis_ticks(self, series):
+        text = ascii_cdf_plot(series, x_min=1.0, x_max=1e8)
+        assert "1e0" in text
+        assert "1e8" in text
+
+    def test_validation(self, series):
+        with pytest.raises(AnalysisError):
+            ascii_cdf_plot({})
+        with pytest.raises(AnalysisError):
+            ascii_cdf_plot(series, width=5)
+        with pytest.raises(AnalysisError):
+            ascii_cdf_plot(series, x_min=10.0, x_max=1.0)
+
+    def test_figure9_wrapper(self, midsize_dataset):
+        text = figure9_ascii(midsize_dataset, "shelf", width=60)
+        assert "Disk Failure" in text
+        assert "|" in text
+
+
+class TestCsvRoundTrip:
+    def test_header(self, small_dataset):
+        text = events_to_csv(small_dataset)
+        assert text.splitlines()[0] == ",".join(CSV_COLUMNS)
+
+    def test_roundtrip_preserves_events(self, small_dataset):
+        text = events_to_csv(small_dataset)
+        rebuilt = events_from_csv(text, small_dataset.fleet)
+        assert len(rebuilt.events) == len(small_dataset.events)
+        for a, b in zip(small_dataset.events, rebuilt.events):
+            assert a == b
+
+    def test_roundtrip_preserves_analyses(self, small_dataset):
+        from repro.core.afr import dataset_afr
+
+        rebuilt = events_from_csv(
+            events_to_csv(small_dataset), small_dataset.fleet
+        )
+        assert dataset_afr(rebuilt).percent == pytest.approx(
+            dataset_afr(small_dataset).percent
+        )
+
+    def test_empty_dataset(self, small_dataset):
+        empty = FailureDataset(events=[], fleet=small_dataset.fleet)
+        rebuilt = events_from_csv(events_to_csv(empty), small_dataset.fleet)
+        assert rebuilt.events == []
+
+    def test_bad_header_rejected(self, small_dataset):
+        with pytest.raises(LogFormatError):
+            events_from_csv("a,b,c\n1,2,3\n", small_dataset.fleet)
+
+    def test_bad_row_rejected(self, small_dataset):
+        text = ",".join(CSV_COLUMNS) + "\n" + "not,enough,columns\n"
+        with pytest.raises(LogFormatError):
+            events_from_csv(text, small_dataset.fleet)
+
+    def test_garbage_value_rejected(self, small_dataset):
+        good = events_to_csv(small_dataset).splitlines()
+        if len(good) < 2:
+            pytest.skip("no events")
+        broken = good[1].split(",")
+        broken[0] = "yesterday"
+        text = "\n".join([good[0], ",".join(broken)]) + "\n"
+        with pytest.raises(LogFormatError):
+            events_from_csv(text, small_dataset.fleet)
+
+    def test_empty_text_rejected(self, small_dataset):
+        with pytest.raises(LogFormatError):
+            events_from_csv("", small_dataset.fleet)

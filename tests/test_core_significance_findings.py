@@ -1,0 +1,99 @@
+"""Tests for significance comparisons and the findings engine."""
+
+import pytest
+
+from repro.core.findings import capacity_trend, evaluate_findings
+from repro.core.significance import compare_rates
+from repro.errors import AnalysisError
+from repro.failures.types import FailureType
+from repro.topology.classes import SystemClass
+
+
+class TestCompareRates:
+    def test_groups_computed(self, midsize_dataset):
+        comparison = compare_rates(
+            midsize_dataset,
+            lambda s: s.system_class is SystemClass.NEARLINE,
+            lambda s: s.system_class is SystemClass.LOW_END,
+            FailureType.DISK,
+            description="nearline vs low-end disks",
+        )
+        assert comparison.group_a.count > 0
+        assert comparison.group_b.count > 0
+        assert comparison.group_a.percent > comparison.group_b.percent
+
+    def test_reduction(self, midsize_dataset):
+        comparison = compare_rates(
+            midsize_dataset,
+            lambda s: s.system_class is SystemClass.HIGH_END and not s.dual_path,
+            lambda s: s.system_class is SystemClass.HIGH_END and s.dual_path,
+            FailureType.PHYSICAL_INTERCONNECT,
+        )
+        assert 0.0 < comparison.reduction < 1.0
+
+    def test_summary_text(self, midsize_dataset):
+        comparison = compare_rates(
+            midsize_dataset,
+            lambda s: s.system_class is SystemClass.NEARLINE,
+            lambda s: s.system_class is SystemClass.LOW_END,
+            FailureType.DISK,
+            description="demo",
+        )
+        assert "demo" in comparison.summary()
+        assert "Disk Failure" in comparison.summary()
+
+
+class TestCompareRatesEmptyGroup:
+    def test_empty_group_raises(self, midsize_dataset):
+        with pytest.raises(AnalysisError):
+            compare_rates(
+                midsize_dataset,
+                lambda s: s.system_id == "no-such-system",
+                lambda s: True,
+            )
+
+
+class TestFindingsEngine:
+    @pytest.fixture(scope="class")
+    def findings(self, midsize_dataset):
+        return evaluate_findings(midsize_dataset)
+
+    def test_eleven_findings(self, findings):
+        assert [f.number for f in findings] == list(range(1, 12))
+
+    def test_all_pass_on_default_seed(self, findings):
+        failed = [f.number for f in findings if not f.passed]
+        assert failed == []
+
+    def test_details_populated(self, findings):
+        for finding in findings:
+            assert finding.details
+            assert all(isinstance(v, float) for v in finding.details.values())
+
+    def test_skip(self, midsize_dataset):
+        subset = evaluate_findings(midsize_dataset, skip=[4, 5, 6])
+        assert [f.number for f in subset] == [1, 2, 3, 7, 8, 9, 10, 11]
+
+    def test_str(self, findings):
+        assert "Finding" in str(findings[0])
+        assert "PASS" in str(findings[0]) or "FAIL" in str(findings[0])
+
+    def test_independent_fleet_fails_correlation_finding(
+        self, independent_dataset
+    ):
+        # Finding 11 should NOT hold on the independence ablation — the
+        # engine must be able to say "no".
+        findings = evaluate_findings(independent_dataset, skip=list(range(1, 11)))
+        finding11 = findings[0]
+        assert finding11.number == 11
+        assert not finding11.passed
+
+
+class TestCapacityTrend:
+    def test_trend_keys(self, midsize_dataset):
+        trend = capacity_trend(midsize_dataset)
+        assert "mean" in trend
+        assert len(trend) > 2
+
+    def test_no_upward_trend(self, midsize_dataset):
+        assert capacity_trend(midsize_dataset)["mean"] <= 0.05

@@ -1,0 +1,154 @@
+"""Tests for counterfactual analyses and the dataset validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.afr import dataset_afr
+from repro.core.dataset import FailureDataset
+from repro.core.validate import doctor, validate_calibration, validate_dataset
+from repro.core.whatif import (
+    counterfactual_dual_path_everywhere,
+    counterfactual_without_family,
+    expected_dual_path_everywhere_reduction,
+)
+from repro.errors import AnalysisError
+from repro.failures.types import FailureType
+
+
+class TestDualPathCounterfactual:
+    def test_reduces_interconnect_failures(self, midsize_dataset):
+        counterfactual = counterfactual_dual_path_everywhere(midsize_dataset)
+        before = midsize_dataset.counts_by_type()[FailureType.PHYSICAL_INTERCONNECT]
+        after = counterfactual.counts_by_type()[FailureType.PHYSICAL_INTERCONNECT]
+        assert after < before
+
+    def test_other_types_untouched(self, midsize_dataset):
+        counterfactual = counterfactual_dual_path_everywhere(midsize_dataset)
+        for failure_type in (
+            FailureType.DISK, FailureType.PROTOCOL, FailureType.PERFORMANCE,
+        ):
+            assert (
+                counterfactual.counts_by_type()[failure_type]
+                == midsize_dataset.counts_by_type()[failure_type]
+            )
+
+    def test_dual_path_events_kept(self, midsize_dataset):
+        counterfactual = counterfactual_dual_path_everywhere(
+            midsize_dataset, mask_probability=1.0
+        )
+        dual_before = sum(
+            1
+            for e in midsize_dataset.events
+            if e.failure_type is FailureType.PHYSICAL_INTERCONNECT and e.dual_path
+        )
+        dual_after = sum(
+            1
+            for e in counterfactual.events
+            if e.failure_type is FailureType.PHYSICAL_INTERCONNECT and e.dual_path
+        )
+        assert dual_after == dual_before
+
+    def test_sampled_matches_expectation(self, midsize_dataset):
+        expected = expected_dual_path_everywhere_reduction(midsize_dataset)
+        counterfactual = counterfactual_dual_path_everywhere(
+            midsize_dataset, seed=5
+        )
+        actual = 1.0 - len(counterfactual.events) / len(midsize_dataset.events)
+        assert actual == pytest.approx(expected, abs=0.02)
+
+    def test_zero_probability_is_identity(self, midsize_dataset):
+        counterfactual = counterfactual_dual_path_everywhere(
+            midsize_dataset, mask_probability=0.0
+        )
+        assert len(counterfactual.events) == len(midsize_dataset.events)
+
+    def test_deterministic(self, midsize_dataset):
+        a = counterfactual_dual_path_everywhere(midsize_dataset, seed=3)
+        b = counterfactual_dual_path_everywhere(midsize_dataset, seed=3)
+        assert len(a.events) == len(b.events)
+
+    def test_afr_improves(self, midsize_dataset):
+        counterfactual = counterfactual_dual_path_everywhere(midsize_dataset)
+        assert dataset_afr(counterfactual).percent < dataset_afr(
+            midsize_dataset
+        ).percent
+
+    def test_validation(self, midsize_dataset):
+        with pytest.raises(AnalysisError):
+            counterfactual_dual_path_everywhere(
+                midsize_dataset, mask_probability=1.5
+            )
+
+    def test_without_family(self, midsize_dataset):
+        counterfactual = counterfactual_without_family(midsize_dataset)
+        assert all(
+            not s.primary_disk_model.startswith("H-")
+            for s in counterfactual.fleet.systems
+        )
+
+
+class TestValidator:
+    def test_clean_dataset_no_issues(self, small_dataset):
+        assert validate_dataset(small_dataset) == []
+
+    def test_calibration_tables_clean(self):
+        assert validate_calibration() == []
+
+    def test_doctor_reports_clean(self, small_dataset):
+        assert "no issues" in doctor(small_dataset)
+
+    def test_detects_unknown_system(self, small_dataset):
+        event = dataclasses.replace(small_dataset.events[0], system_id="ghost")
+        broken = FailureDataset(
+            events=[event], fleet=small_dataset.fleet
+        )
+        issues = validate_dataset(broken)
+        assert any("unknown system" in issue.message for issue in issues)
+
+    def test_detects_unknown_disk(self, small_dataset):
+        original = small_dataset.events[0]
+        event = dataclasses.replace(
+            original,
+            disk_id=original.disk_id.rsplit("#", 1)[0] + "#99",
+        )
+        broken = FailureDataset(events=[event], fleet=small_dataset.fleet)
+        issues = validate_dataset(broken)
+        assert any("unknown disk" in issue.message for issue in issues)
+
+    def test_detects_class_mismatch(self, small_dataset):
+        event = dataclasses.replace(
+            small_dataset.events[0], system_class="high_end"
+        )
+        if event.system_class == small_dataset.events[0].system_class:
+            event = dataclasses.replace(
+                small_dataset.events[0], system_class="nearline"
+            )
+        broken = FailureDataset(events=[event], fleet=small_dataset.fleet)
+        issues = validate_dataset(broken)
+        assert any("mismatch" in issue.message for issue in issues)
+
+    def test_detects_duplicates_as_warning(self, small_dataset):
+        event = small_dataset.events[0]
+        dup = event.with_detect_time(event.detect_time + 1.0)
+        noisy = FailureDataset(
+            events=list(small_dataset.events) + [dup],
+            fleet=small_dataset.fleet,
+        )
+        issues = validate_dataset(noisy)
+        assert any(issue.severity == "warning" for issue in issues)
+
+    def test_truncation(self, small_dataset):
+        events = [
+            dataclasses.replace(e, system_id="ghost")
+            for e in small_dataset.events[:100]
+        ]
+        broken = FailureDataset(events=events, fleet=small_dataset.fleet)
+        issues = validate_dataset(broken, max_issues=10)
+        assert len(issues) == 10
+
+    def test_doctor_lists_issues(self, small_dataset):
+        event = dataclasses.replace(small_dataset.events[0], system_id="ghost")
+        broken = FailureDataset(events=[event], fleet=small_dataset.fleet)
+        text = doctor(broken)
+        assert "issue(s) found" in text

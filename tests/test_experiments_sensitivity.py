@@ -1,0 +1,48 @@
+"""Tests for the sensitivity-sweep experiments (small scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_experiment
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=0.015, seed=1)
+
+
+class TestMultipathSweep:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return run_experiment("sweep-multipath", context)
+
+    def test_monotone(self, result):
+        reductions = result.data["reductions"]
+        ordered = [reductions[key] for key in sorted(reductions)]
+        assert ordered == sorted(ordered)
+
+    def test_zero_mask_near_zero_benefit(self, result):
+        assert abs(result.data["reductions"][0.0]) < 0.25
+
+    def test_high_mask_large_benefit(self, result):
+        assert result.data["reductions"][0.95] > 0.35
+
+    def test_passes(self, result):
+        assert result.passed, result.failed_checks()
+
+
+class TestBurstinessSweep:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return run_experiment("sweep-burstiness", context)
+
+    def test_burst_monotone(self, result):
+        burst = result.data["burst"]
+        ordered = [burst[key] for key in sorted(burst)]
+        assert ordered == sorted(ordered)
+
+    def test_inflation_grows(self, result):
+        inflation = result.data["inflation"]
+        assert inflation[1.0] > inflation[0.25]
+
+    def test_passes(self, result):
+        assert result.passed, result.failed_checks()

@@ -1,0 +1,83 @@
+"""Tests for failure event records."""
+
+import dataclasses
+
+import pytest
+
+from repro.failures.events import ComponentError, FailureEvent
+from repro.failures.types import FailureType, InterconnectCause
+
+
+def make_event(**overrides):
+    fields = dict(
+        occur_time=100.0,
+        detect_time=150.0,
+        failure_type=FailureType.DISK,
+        disk_id="sh-x-00/00#0",
+        shelf_id="sh-x-00",
+        raid_group_id="rg-0",
+        system_id="x",
+        system_class="nearline",
+        disk_model="J-1",
+        shelf_model="C",
+        dual_path=False,
+    )
+    fields.update(overrides)
+    return FailureEvent(**fields)
+
+
+class TestFailureEvent:
+    def test_detection_after_occurrence_enforced(self):
+        with pytest.raises(ValueError):
+            make_event(occur_time=200.0, detect_time=100.0)
+
+    def test_equal_times_allowed(self):
+        event = make_event(occur_time=100.0, detect_time=100.0)
+        assert event.detect_time == event.occur_time
+
+    def test_frozen(self):
+        event = make_event()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.detect_time = 0.0  # type: ignore[misc]
+
+    def test_with_detect_time(self):
+        event = make_event()
+        shifted = event.with_detect_time(200.0)
+        assert shifted.detect_time == 200.0
+        assert shifted.disk_id == event.disk_id
+        assert event.detect_time == 150.0  # original untouched
+
+    def test_with_detect_time_validates(self):
+        event = make_event()
+        with pytest.raises(ValueError):
+            event.with_detect_time(50.0)
+
+    def test_cause_default_none(self):
+        assert make_event().cause is None
+
+    def test_cause_carried(self):
+        event = make_event(
+            failure_type=FailureType.PHYSICAL_INTERCONNECT,
+            cause=InterconnectCause.BACKPLANE,
+        )
+        assert event.cause is InterconnectCause.BACKPLANE
+
+
+class TestComponentError:
+    def test_defaults(self):
+        error = ComponentError(
+            time=10.0,
+            layer="scsi",
+            disk_id="d",
+            failure_type=FailureType.PROTOCOL,
+        )
+        assert not error.recovered
+        assert error.event == ""
+        assert error.cause is None
+
+    def test_frozen(self):
+        error = ComponentError(
+            time=10.0, layer="fci", disk_id="d", failure_type=FailureType.DISK
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            error.time = 0.0  # type: ignore[misc]

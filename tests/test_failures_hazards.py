@@ -1,0 +1,114 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecificationError
+from repro.failures.hazards import (
+    ExponentialInterarrival,
+    GammaInterarrival,
+    WeibullInterarrival,
+    poisson_arrivals,
+    renewal_arrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestPoissonArrivals:
+    def test_sorted(self, rng):
+        times = poisson_arrivals(rng, 0.01, 0.0, 10_000.0)
+        assert np.all(np.diff(times) >= 0.0)
+
+    def test_within_bounds(self, rng):
+        times = poisson_arrivals(rng, 0.01, 500.0, 10_000.0)
+        assert times.size > 0
+        assert times.min() >= 500.0
+        assert times.max() < 10_000.0
+
+    def test_zero_rate(self, rng):
+        assert poisson_arrivals(rng, 0.0, 0.0, 1000.0).size == 0
+
+    def test_empty_window(self, rng):
+        assert poisson_arrivals(rng, 1.0, 100.0, 100.0).size == 0
+        assert poisson_arrivals(rng, 1.0, 100.0, 50.0).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(SpecificationError):
+            poisson_arrivals(rng, -1.0, 0.0, 10.0)
+
+    def test_mean_count_matches_rate(self):
+        rng = np.random.default_rng(1)
+        counts = [
+            poisson_arrivals(rng, 0.002, 0.0, 10_000.0).size for _ in range(300)
+        ]
+        # Expected 20 arrivals; the sample mean should be close.
+        assert np.mean(counts) == pytest.approx(20.0, rel=0.1)
+
+    @given(rate=st.floats(min_value=1e-6, max_value=0.01), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounds(self, rate, seed):
+        rng = np.random.default_rng(seed)
+        times = poisson_arrivals(rng, rate, 10.0, 5_000.0)
+        assert np.all((times >= 10.0) & (times < 5_000.0))
+
+
+class TestInterarrivalFamilies:
+    def test_exponential_mean(self, rng):
+        dist = ExponentialInterarrival(mean_seconds=100.0)
+        sample = dist.sample(rng, 20_000)
+        assert sample.mean() == pytest.approx(100.0, rel=0.05)
+        assert dist.mean == 100.0
+
+    def test_gamma_from_mean(self, rng):
+        dist = GammaInterarrival.from_mean(shape=0.7, mean_seconds=500.0)
+        assert dist.mean == pytest.approx(500.0)
+        sample = dist.sample(rng, 20_000)
+        assert sample.mean() == pytest.approx(500.0, rel=0.07)
+
+    def test_weibull_from_mean(self, rng):
+        dist = WeibullInterarrival.from_mean(shape=0.8, mean_seconds=500.0)
+        assert dist.mean == pytest.approx(500.0)
+        sample = dist.sample(rng, 20_000)
+        assert sample.mean() == pytest.approx(500.0, rel=0.07)
+
+    def test_gamma_shape_below_one_is_bursty(self, rng):
+        # CV > 1 marks clustering relative to exponential.
+        dist = GammaInterarrival.from_mean(shape=0.5, mean_seconds=100.0)
+        sample = dist.sample(rng, 20_000)
+        assert sample.std() / sample.mean() > 1.2
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            ExponentialInterarrival(mean_seconds=0.0)
+        with pytest.raises(SpecificationError):
+            GammaInterarrival(shape=-1.0, scale_seconds=1.0)
+        with pytest.raises(SpecificationError):
+            WeibullInterarrival(shape=1.0, scale_seconds=0.0)
+
+
+class TestRenewalArrivals:
+    def test_within_bounds_and_sorted(self, rng):
+        dist = ExponentialInterarrival(mean_seconds=50.0)
+        times = renewal_arrivals(rng, dist, 100.0, 2_000.0)
+        assert all(100.0 < t < 2_000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_empty_window(self, rng):
+        dist = ExponentialInterarrival(mean_seconds=50.0)
+        assert renewal_arrivals(rng, dist, 100.0, 100.0) == []
+
+    def test_exponential_renewal_matches_poisson_rate(self):
+        rng = np.random.default_rng(3)
+        dist = ExponentialInterarrival(mean_seconds=100.0)
+        counts = [len(renewal_arrivals(rng, dist, 0.0, 10_000.0)) for _ in range(200)]
+        assert np.mean(counts) == pytest.approx(100.0, rel=0.05)
+
+    def test_first_arrival_after_start(self, rng):
+        dist = GammaInterarrival.from_mean(shape=0.6, mean_seconds=10.0)
+        times = renewal_arrivals(rng, dist, 1_000.0, 1_100.0)
+        assert all(t > 1_000.0 for t in times)

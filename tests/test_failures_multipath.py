@@ -1,0 +1,70 @@
+"""Tests for multipath masking."""
+
+import numpy as np
+import pytest
+
+from repro.failures.multipath import MultipathModel
+from repro.failures.types import InterconnectCause
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestMasking:
+    def test_single_path_never_masks(self, rng):
+        model = MultipathModel(mask_probability=1.0)
+        assert not any(
+            model.masks(rng, False, InterconnectCause.NETWORK_PATH)
+            for _ in range(100)
+        )
+
+    def test_backplane_never_masked(self, rng):
+        model = MultipathModel(mask_probability=1.0)
+        assert not any(
+            model.masks(rng, True, InterconnectCause.BACKPLANE) for _ in range(100)
+        )
+
+    def test_shared_hba_never_masked(self, rng):
+        model = MultipathModel(mask_probability=1.0)
+        assert not any(
+            model.masks(rng, True, InterconnectCause.SHARED_HBA) for _ in range(100)
+        )
+
+    def test_network_path_masked_at_probability(self):
+        rng = np.random.default_rng(3)
+        model = MultipathModel(mask_probability=0.7)
+        masked = sum(
+            model.masks(rng, True, InterconnectCause.NETWORK_PATH)
+            for _ in range(5_000)
+        )
+        assert masked / 5_000 == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_probability_masks_nothing(self, rng):
+        model = MultipathModel(mask_probability=0.0)
+        assert not any(
+            model.masks(rng, True, InterconnectCause.NETWORK_PATH)
+            for _ in range(100)
+        )
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            MultipathModel(mask_probability=1.5)
+        with pytest.raises(ValueError):
+            MultipathModel(mask_probability=-0.1)
+
+
+class TestExpectedReduction:
+    def test_paper_band(self):
+        # 60% network share x 0.9 masking = 54%: Finding 7's 50-60%.
+        model = MultipathModel()
+        assert 0.5 <= model.expected_reduction(0.6) <= 0.6
+
+    def test_linear_in_share(self):
+        model = MultipathModel(mask_probability=0.5)
+        assert model.expected_reduction(0.4) == pytest.approx(0.2)
+
+    def test_share_validated(self):
+        with pytest.raises(ValueError):
+            MultipathModel().expected_reduction(1.2)

@@ -1,0 +1,71 @@
+"""Tests for the RAID-layer cascade vocabulary."""
+
+import pytest
+
+from repro.failures.raidlayer import (
+    CASCADES,
+    RECOVERY_EVENTS,
+    classify_cascade,
+    component_errors_for_failure,
+    component_errors_for_recovery,
+)
+from repro.failures.types import FailureType
+
+
+class TestCascades:
+    def test_every_type_has_a_cascade(self):
+        assert set(CASCADES) == set(FailureType)
+
+    def test_interconnect_cascade_matches_fig3(self):
+        # Fig. 3's shape: FC timeout, adapter reset, SCSI aborts/timeouts,
+        # no-more-paths — then the RAID disk.missing event.
+        events = [event for _layer, event, _lead in CASCADES[FailureType.PHYSICAL_INTERCONNECT]]
+        assert events[0] == "fci.device.timeout"
+        assert events[-1] == "scsi.cmd.noMorePaths"
+
+    def test_leads_decrease_toward_raid_event(self):
+        for cascade in CASCADES.values():
+            leads = [lead for _layer, _event, lead in cascade]
+            assert leads == sorted(leads, reverse=True)
+            assert all(lead > 0 for lead in leads)
+
+    def test_recovery_events_defined(self):
+        assert set(RECOVERY_EVENTS) == set(FailureType)
+
+
+class TestComponentErrorGeneration:
+    def test_failure_cascade_times(self):
+        errors = component_errors_for_failure(
+            FailureType.PHYSICAL_INTERCONNECT, "d-1", 1000.0
+        )
+        assert all(error.time < 1000.0 for error in errors)
+        assert all(not error.recovered for error in errors)
+        assert all(error.disk_id == "d-1" for error in errors)
+        assert all(error.event for error in errors)
+
+    def test_recovery_cascade_marked_recovered(self):
+        errors = component_errors_for_recovery(FailureType.DISK, "d-2", 500.0)
+        assert all(error.recovered for error in errors)
+        assert errors[-1].time == 500.0
+        assert errors[-1].event == RECOVERY_EVENTS[FailureType.DISK][1]
+
+    def test_recovery_cascade_is_a_prefix_plus_recovery(self):
+        errors = component_errors_for_recovery(
+            FailureType.PHYSICAL_INTERCONNECT, "d", 100.0
+        )
+        cascade_events = [e for _l, e, _t in CASCADES[FailureType.PHYSICAL_INTERCONNECT]]
+        assert [error.event for error in errors[:-1]] == cascade_events[:2]
+        assert errors[-1].event == "fci.path.failover"
+
+
+class TestClassification:
+    def test_raid_event_classifies(self):
+        for failure_type in FailureType:
+            assert classify_cascade(failure_type.raid_event) is failure_type
+
+    def test_no_raid_event_means_recovered(self):
+        assert classify_cascade(None) is None
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(ValueError):
+            classify_cascade("raid.unknown.event")

@@ -1,0 +1,63 @@
+"""Tests for failure-type vocabulary."""
+
+import pytest
+
+from repro.failures.types import (
+    FAILURE_TYPE_ORDER,
+    FailureType,
+    InterconnectCause,
+)
+
+
+class TestFailureType:
+    def test_four_types(self):
+        assert len(FailureType) == 4
+
+    def test_order_is_the_papers_stacking_order(self):
+        assert FAILURE_TYPE_ORDER == (
+            FailureType.DISK,
+            FailureType.PHYSICAL_INTERCONNECT,
+            FailureType.PROTOCOL,
+            FailureType.PERFORMANCE,
+        )
+
+    def test_labels_match_figures(self):
+        assert FailureType.DISK.label == "Disk Failure"
+        assert (
+            FailureType.PHYSICAL_INTERCONNECT.label
+            == "Physical Interconnect Failure"
+        )
+        assert FailureType.PROTOCOL.label == "Protocol Failure"
+        assert FailureType.PERFORMANCE.label == "Performance Failure"
+
+    def test_interconnect_raid_event_matches_fig3(self):
+        # The paper's log excerpt ends in this exact RAID event.
+        assert (
+            FailureType.PHYSICAL_INTERCONNECT.raid_event
+            == "raid.config.filesystem.disk.missing"
+        )
+
+    def test_raid_event_roundtrip(self):
+        for failure_type in FailureType:
+            assert FailureType.from_raid_event(failure_type.raid_event) is failure_type
+
+    def test_raid_events_unique(self):
+        events = {ft.raid_event for ft in FailureType}
+        assert len(events) == 4
+
+    def test_unknown_raid_event_rejected(self):
+        with pytest.raises(ValueError):
+            FailureType.from_raid_event("raid.something.else")
+
+    def test_str_is_label(self):
+        assert str(FailureType.DISK) == "Disk Failure"
+
+
+class TestInterconnectCause:
+    def test_only_network_path_maskable(self):
+        assert InterconnectCause.NETWORK_PATH.maskable_by_multipath
+        assert not InterconnectCause.BACKPLANE.maskable_by_multipath
+        assert not InterconnectCause.SHARED_HBA.maskable_by_multipath
+
+    def test_three_causes(self):
+        assert len(InterconnectCause) == 3

@@ -1,0 +1,160 @@
+"""Tests for the paper-calibrated constants."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType, InterconnectCause
+from repro.fleet import calibration
+from repro.topology.classes import SystemClass
+
+
+class TestClassRates:
+    def test_all_classes_calibrated(self):
+        for system_class in SystemClass:
+            rates = calibration.class_rates(system_class)
+            assert rates.total > 0.0
+
+    def test_totals_match_paper_band(self):
+        # Fig. 4's y-axis tops out at 8%; all classes sit between 2-8%.
+        totals = calibration.validate()
+        assert all(2.0 <= value <= 8.0 for value in totals.values())
+
+    def test_nearline_disks_worst_subsystem_not(self):
+        # Finding 2, encoded directly in the calibration.
+        nearline = calibration.class_rates(SystemClass.NEARLINE)
+        low_end = calibration.class_rates(SystemClass.LOW_END)
+        assert nearline.disk > low_end.disk
+        assert nearline.total < low_end.total
+
+    def test_fc_disk_rates_under_one_percent(self):
+        for system_class in (SystemClass.LOW_END, SystemClass.MID_RANGE, SystemClass.HIGH_END):
+            assert calibration.class_rates(system_class).disk < 1.0
+
+    def test_rate_lookup_by_type(self):
+        rates = calibration.class_rates(SystemClass.NEARLINE)
+        assert rates.rate(FailureType.DISK) == rates.disk
+        assert rates.rate(FailureType.PHYSICAL_INTERCONNECT) == rates.interconnect
+        assert rates.rate(FailureType.PROTOCOL) == rates.protocol
+        assert rates.rate(FailureType.PERFORMANCE) == rates.performance
+
+    def test_total_is_sum(self):
+        rates = calibration.class_rates(SystemClass.HIGH_END)
+        assert rates.total == pytest.approx(
+            sum(rates.rate(ft) for ft in FAILURE_TYPE_ORDER)
+        )
+
+
+class TestDiskModelEffects:
+    def test_h_family_is_problematic(self):
+        # Finding 3: Disk H elevates disk, protocol, and performance.
+        for model in ("H-1", "H-2"):
+            effect = calibration.disk_model_effect(model)
+            assert effect.disk >= 2.0
+            assert effect.protocol > 1.5
+            assert effect.performance > 1.5
+
+    def test_unknown_model_is_identity(self):
+        effect = calibration.disk_model_effect("Z-9")
+        assert effect.disk == effect.protocol == effect.performance == 1.0
+
+    def test_normal_models_are_mild(self):
+        for name, effect in calibration.DISK_MODEL_EFFECTS.items():
+            if name.startswith("H-"):
+                continue
+            assert 0.7 <= effect.disk <= 1.4
+
+    def test_capacity_non_trend_in_d_family(self):
+        # Finding 5's Fig. 5(e) observation: D-2 (larger) below D-1.
+        assert (
+            calibration.disk_model_effect("D-2").disk
+            < calibration.disk_model_effect("D-1").disk
+        )
+
+    def test_problematic_family_constant(self):
+        assert calibration.PROBLEMATIC_DISK_FAMILY == "H"
+
+
+class TestInterop:
+    def test_different_best_shelf_per_disk(self):
+        # Finding 6: B beats A for A-2; A beats B for A-3/D-2/D-3.
+        assert calibration.interop_multiplier("B", "A-2") < calibration.interop_multiplier("A", "A-2")
+        for model in ("A-3", "D-2", "D-3"):
+            assert calibration.interop_multiplier("A", model) < calibration.interop_multiplier("B", model)
+
+    def test_default_multiplier_is_one(self):
+        assert calibration.interop_multiplier("C", "J-1") == 1.0
+
+
+class TestShockParams:
+    def test_all_types_have_params(self):
+        assert set(calibration.SHOCK_PARAMS) == set(FailureType)
+
+    def test_disk_least_correlated(self):
+        disk = calibration.SHOCK_PARAMS[FailureType.DISK]
+        phys = calibration.SHOCK_PARAMS[FailureType.PHYSICAL_INTERCONNECT]
+        assert disk.rho < phys.rho
+
+    def test_disk_widest_window(self):
+        windows = {
+            ft: params.window_mean_seconds
+            for ft, params in calibration.SHOCK_PARAMS.items()
+        }
+        assert windows[FailureType.DISK] == max(windows.values())
+
+    def test_params_validated(self):
+        with pytest.raises(CalibrationError):
+            calibration.ShockParams(rho=1.5, hit_prob=0.5, window_mean_seconds=10.0)
+        with pytest.raises(CalibrationError):
+            calibration.ShockParams(rho=0.5, hit_prob=0.0, window_mean_seconds=10.0)
+        with pytest.raises(CalibrationError):
+            calibration.ShockParams(rho=0.5, hit_prob=0.5, window_mean_seconds=0.0)
+
+
+class TestDeliveredRates:
+    def test_disk_multiplier_applies_to_disk_only(self):
+        base = calibration.class_rates(SystemClass.MID_RANGE)
+        h1 = calibration.delivered_afr_percent(
+            SystemClass.MID_RANGE, FailureType.DISK, "H-1", "B"
+        )
+        assert h1 == pytest.approx(base.disk * calibration.disk_model_effect("H-1").disk)
+
+    def test_interop_applies_to_interconnect_only(self):
+        base = calibration.class_rates(SystemClass.LOW_END)
+        phys = calibration.delivered_afr_percent(
+            SystemClass.LOW_END, FailureType.PHYSICAL_INTERCONNECT, "A-2", "A"
+        )
+        assert phys == pytest.approx(
+            base.interconnect * calibration.interop_multiplier("A", "A-2")
+        )
+        disk = calibration.delivered_afr_percent(
+            SystemClass.LOW_END, FailureType.DISK, "A-2", "A"
+        )
+        assert disk == pytest.approx(base.disk * 1.0)
+
+    def test_protocol_multiplier(self):
+        base = calibration.class_rates(SystemClass.HIGH_END)
+        proto = calibration.delivered_afr_percent(
+            SystemClass.HIGH_END, FailureType.PROTOCOL, "H-2", "B"
+        )
+        assert proto == pytest.approx(
+            base.protocol * calibration.disk_model_effect("H-2").protocol
+        )
+
+
+class TestMultipathAndMisc:
+    def test_cause_mix_sums_to_one(self):
+        assert sum(calibration.INTERCONNECT_CAUSE_MIX.values()) == pytest.approx(1.0)
+
+    def test_network_share_times_mask_in_paper_band(self):
+        # Finding 7: 50-60% interconnect reduction on dual path.
+        reduction = (
+            calibration.INTERCONNECT_CAUSE_MIX[InterconnectCause.NETWORK_PATH]
+            * calibration.MULTIPATH_MASK_PROBABILITY
+        )
+        assert 0.5 <= reduction <= 0.6
+
+    def test_validate_passes(self):
+        calibration.validate()
+
+    def test_disk_renewal_shape_is_clustered(self):
+        assert 0.0 < calibration.DISK_RENEWAL_GAMMA_SHAPE < 1.0

@@ -1,0 +1,90 @@
+"""Tests for the hardware catalog."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.fleet import catalog
+from repro.topology.classes import SystemClass
+
+
+class TestDiskModels:
+    def test_twenty_disk_models(self):
+        # The paper: 20 disk models across the studied systems.
+        assert len(catalog.DISK_MODELS) == 20
+
+    def test_at_least_nine_families(self):
+        families = {model.family for model in catalog.DISK_MODELS.values()}
+        assert len(families) >= 9
+
+    def test_lookup(self):
+        model = catalog.disk_model("H-1")
+        assert model.family == "H"
+        assert model.interface == "FC"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(CalibrationError):
+            catalog.disk_model("Z-1")
+
+    def test_nearline_families_are_sata(self):
+        for name in ("I-1", "I-2", "J-1", "J-2", "K-1"):
+            assert catalog.disk_model(name).interface == "SATA"
+
+    def test_capacity_grows_with_rank(self):
+        assert catalog.disk_model("A-2").capacity_gb > catalog.disk_model("A-1").capacity_gb
+        assert catalog.disk_model("J-2").capacity_gb > catalog.disk_model("J-1").capacity_gb
+
+    def test_capacities_positive(self):
+        assert all(m.capacity_gb > 0 for m in catalog.DISK_MODELS.values())
+
+
+class TestShelfModels:
+    def test_three_shelf_models(self):
+        assert set(catalog.SHELF_MODELS) == {"A", "B", "C"}
+
+    def test_shelf_mix_per_class(self):
+        for system_class in SystemClass:
+            mix = catalog.shelf_models_for_class(system_class)
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_nearline_uses_shelf_c_only(self):
+        assert catalog.shelf_models_for_class(SystemClass.NEARLINE) == {"C": 1.0}
+
+    def test_highend_uses_shelf_b_only(self):
+        assert catalog.shelf_models_for_class(SystemClass.HIGH_END) == {"B": 1.0}
+
+
+class TestCombinations:
+    def test_six_panels(self):
+        # Fig. 5 has six class x shelf panels.
+        assert len(catalog.COMBINATIONS) == 6
+
+    def test_panel_composition_matches_figure(self):
+        assert set(catalog.COMBINATIONS[(SystemClass.NEARLINE, "C")]) == {
+            "I-1", "J-1", "J-2", "K-1", "I-2",
+        }
+        assert set(catalog.COMBINATIONS[(SystemClass.MID_RANGE, "C")]) == {
+            "B-1", "C-1", "G-1", "H-1",
+        }
+
+    def test_weights_sum_to_one(self):
+        for (system_class, shelf), _names in catalog.COMBINATIONS.items():
+            weights = catalog.disk_models_for(system_class, shelf)
+            assert sum(w for _, w in weights) == pytest.approx(1.0)
+
+    def test_h_family_weight(self):
+        weights = dict(catalog.disk_models_for(SystemClass.HIGH_END, "B"))
+        assert weights["H-1"] == pytest.approx(0.12)
+        assert weights["H-2"] == pytest.approx(0.12)
+
+    def test_unshipped_combination_rejected(self):
+        with pytest.raises(CalibrationError):
+            catalog.disk_models_for(SystemClass.NEARLINE, "A")
+
+    def test_validate_passes(self):
+        catalog.validate()
+
+    def test_interfaces_match_class(self):
+        for (system_class, _shelf), names in catalog.COMBINATIONS.items():
+            expected = "SATA" if system_class is SystemClass.NEARLINE else "FC"
+            for name in names:
+                assert catalog.disk_model(name).interface == expected

@@ -1,0 +1,106 @@
+"""Tests for fleet specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fleet.spec import PAPER_CLASS_SPECS, ClassSpec, FleetSpec
+from repro.topology.classes import SystemClass
+from repro.topology.layout import LayoutPolicy
+from repro.units import STUDY_DURATION_SECONDS
+
+
+class TestClassSpec:
+    def test_paper_system_counts(self):
+        # Table 1's per-class populations.
+        assert PAPER_CLASS_SPECS[SystemClass.NEARLINE].n_systems == 4_927
+        assert PAPER_CLASS_SPECS[SystemClass.LOW_END].n_systems == 22_031
+        assert PAPER_CLASS_SPECS[SystemClass.MID_RANGE].n_systems == 7_154
+        assert PAPER_CLASS_SPECS[SystemClass.HIGH_END].n_systems == 5_003
+
+    def test_nearline_shelves_fully_populated(self):
+        # Near-line: ~7 shelves, ~98 disks per system = 14 per shelf.
+        spec = PAPER_CLASS_SPECS[SystemClass.NEARLINE]
+        assert spec.slots_per_shelf == 14
+        assert spec.shelves_mean == pytest.approx(6.8)
+
+    def test_dual_path_fraction_only_mid_high(self):
+        assert PAPER_CLASS_SPECS[SystemClass.NEARLINE].dual_path_fraction == 0.0
+        assert PAPER_CLASS_SPECS[SystemClass.LOW_END].dual_path_fraction == 0.0
+        assert PAPER_CLASS_SPECS[SystemClass.MID_RANGE].dual_path_fraction == pytest.approx(1 / 3)
+        assert PAPER_CLASS_SPECS[SystemClass.HIGH_END].dual_path_fraction == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            ClassSpec(n_systems=0, shelves_mean=2, slots_per_shelf=5, raid_group_size=4)
+        with pytest.raises(SpecificationError):
+            ClassSpec(n_systems=1, shelves_mean=0.5, slots_per_shelf=5, raid_group_size=4)
+        with pytest.raises(SpecificationError):
+            ClassSpec(n_systems=1, shelves_mean=2, slots_per_shelf=15, raid_group_size=4)
+        with pytest.raises(SpecificationError):
+            ClassSpec(n_systems=1, shelves_mean=2, slots_per_shelf=5, raid_group_size=2)
+        with pytest.raises(SpecificationError):
+            ClassSpec(
+                n_systems=1, shelves_mean=2, slots_per_shelf=5,
+                raid_group_size=4, dual_path_fraction=1.5,
+            )
+
+
+class TestFleetSpec:
+    def test_paper_default(self):
+        spec = FleetSpec.paper_default(scale=0.01)
+        assert spec.scale == 0.01
+        assert spec.duration_seconds == STUDY_DURATION_SECONDS
+        assert len(spec.class_specs) == 4
+
+    def test_scaled_systems_at_least_one(self):
+        spec = FleetSpec.paper_default(scale=1e-9)
+        for system_class in spec.class_specs:
+            assert spec.scaled_systems(system_class) == 1
+
+    def test_scaled_systems_rounds(self):
+        spec = FleetSpec.paper_default(scale=0.01)
+        assert spec.scaled_systems(SystemClass.LOW_END) == 220
+
+    def test_single_class(self):
+        spec = FleetSpec.single_class(SystemClass.NEARLINE, n_systems=10)
+        assert list(spec.class_specs) == [SystemClass.NEARLINE]
+        assert spec.scaled_systems(SystemClass.NEARLINE) == 10
+
+    def test_deployment_spread_leaves_a_year(self):
+        spec = FleetSpec.paper_default()
+        remaining = spec.duration_seconds - spec.deployment_spread_seconds
+        assert remaining >= 365 * 86_400  # every system fielded >= 1 year
+
+    def test_expected_totals_scale(self):
+        small = FleetSpec.paper_default(scale=0.01).expected_totals()
+        large = FleetSpec.paper_default(scale=0.02).expected_totals()
+        assert large["disks"] == pytest.approx(2 * small["disks"], rel=0.05)
+
+    def test_full_scale_totals_match_table1(self):
+        totals = FleetSpec.paper_default(scale=1.0).expected_totals()
+        assert totals["systems"] == pytest.approx(39_115, rel=0.01)
+        assert totals["shelves"] == pytest.approx(155_000, rel=0.10)
+        # Initial population; "ever installed" adds replacements on top.
+        assert totals["disks"] == pytest.approx(1_680_000, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            FleetSpec(class_specs={}, scale=1.0)
+        with pytest.raises(SpecificationError):
+            FleetSpec.paper_default(scale=0.0)
+        with pytest.raises(SpecificationError):
+            FleetSpec(
+                class_specs=dict(PAPER_CLASS_SPECS),
+                deployment_spread_seconds=STUDY_DURATION_SECONDS + 1,
+            )
+
+    def test_layout_policy_override(self):
+        spec = FleetSpec.paper_default(layout_policy=LayoutPolicy.SINGLE_SHELF)
+        assert spec.layout_policy is LayoutPolicy.SINGLE_SHELF
+
+    def test_frozen(self):
+        spec = FleetSpec.paper_default()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.scale = 2.0  # type: ignore[misc]

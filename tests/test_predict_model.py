@@ -1,0 +1,128 @@
+"""Tests for the from-scratch logistic regression and the metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.predict.evaluate import lift_at_k, precision_recall, roc_auc
+from repro.predict.model import LogisticModel
+
+
+def make_separable(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    logits = 2.0 * x[:, 0] - 1.5 * x[:, 1] + 0.3
+    y = (rng.random(n) < 1.0 / (1.0 + np.exp(-logits))).astype(float)
+    return x, y
+
+
+class TestLogisticModel:
+    def test_learns_signs(self):
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y, feature_names=["a", "b", "c"])
+        weights = model.weight_report()
+        assert weights["a"] > 0.5
+        assert weights["b"] < -0.5
+        assert abs(weights["c"]) < 0.4
+
+    def test_probabilities_in_range(self):
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_beats_base_rate_log_loss(self):
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y)
+        p0 = np.clip(y.mean(), 1e-12, 1 - 1e-12)
+        baseline = -(y * np.log(p0) + (1 - y) * np.log(1 - p0)).mean()
+        assert model.log_loss(x, y) < baseline * 0.85
+
+    def test_l2_shrinks_weights(self):
+        x, y = make_separable()
+        loose = LogisticModel.fit(x, y, l2=1e-6)
+        tight = LogisticModel.fit(x, y, l2=1.0)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_single_row_prediction(self):
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y)
+        assert model.predict_proba(x[0]).shape == (1,)
+
+    def test_hard_predictions(self):
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y)
+        hard = model.predict(x, threshold=0.5)
+        assert set(np.unique(hard)) <= {0.0, 1.0}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            LogisticModel.fit(np.zeros((5, 2)), np.zeros(5))  # one class
+        with pytest.raises(AnalysisError):
+            LogisticModel.fit(np.zeros((5, 2)), np.array([0, 1, 0]))
+        x, y = make_separable()
+        model = LogisticModel.fit(x, y)
+        with pytest.raises(AnalysisError):
+            model.predict_proba(np.zeros((2, 7)))
+
+    def test_constant_feature_tolerated(self):
+        x, y = make_separable()
+        x = np.hstack([x, np.ones((x.shape[0], 1))])  # zero-variance col
+        model = LogisticModel.fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()
+
+    def test_deterministic(self):
+        x, y = make_separable()
+        a = LogisticModel.fit(x, y)
+        b = LogisticModel.fit(x, y)
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestMetrics:
+    def test_auc_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_auc_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = (rng.random(5000) < 0.3).astype(float)
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_auc_handles_ties(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_auc_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_auc_needs_both_classes(self):
+        with pytest.raises(AnalysisError):
+            roc_auc(np.ones(5), np.linspace(0, 1, 5))
+
+    def test_precision_recall(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.4, 0.8, 0.1])
+        pr = precision_recall(labels, scores, threshold=0.5)
+        assert pr["precision"] == pytest.approx(0.5)
+        assert pr["recall"] == pytest.approx(0.5)
+
+    def test_precision_recall_empty_predictions(self):
+        pr = precision_recall(np.array([1, 0]), np.array([0.1, 0.1]), 0.9)
+        assert pr["precision"] == 0.0
+        assert pr["recall"] == 0.0
+
+    def test_lift_perfect_ranking(self):
+        labels = np.array([1] * 10 + [0] * 90)
+        scores = np.linspace(1.0, 0.0, 100)
+        assert lift_at_k(labels, scores, 0.1) == pytest.approx(10.0)
+
+    def test_lift_validation(self):
+        with pytest.raises(AnalysisError):
+            lift_at_k(np.array([1, 0]), np.array([0.5, 0.5]), 0.0)
+        with pytest.raises(AnalysisError):
+            lift_at_k(np.zeros(5), np.linspace(0, 1, 5), 0.5)

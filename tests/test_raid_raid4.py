@@ -1,0 +1,129 @@
+"""Tests for the RAID4 substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RaidError
+from repro.raid.raid4 import Raid4Layout, split_into_blocks
+
+
+@pytest.fixture
+def layout():
+    return Raid4Layout(n_data=4, block_size=16)
+
+
+def random_data(layout, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        0, 256, size=(layout.n_data, layout.block_size), dtype=np.uint16
+    ).astype(np.uint8)
+
+
+class TestEncode:
+    def test_parity_is_xor(self, layout):
+        data = random_data(layout)
+        stripe = layout.encode(data)
+        expected = data[0] ^ data[1] ^ data[2] ^ data[3]
+        assert np.array_equal(stripe[layout.parity_index], expected)
+
+    def test_verify_accepts_consistent_stripe(self, layout):
+        assert layout.verify(layout.encode(random_data(layout)))
+
+    def test_verify_rejects_corruption(self, layout):
+        stripe = layout.encode(random_data(layout))
+        stripe[1, 3] ^= 0xFF
+        assert not layout.verify(stripe)
+
+    def test_shape_validation(self, layout):
+        with pytest.raises(RaidError):
+            layout.encode(np.zeros((3, 16), dtype=np.uint8))
+        with pytest.raises(RaidError):
+            layout.verify(np.zeros((4, 16), dtype=np.uint8))
+
+    def test_layout_validation(self):
+        with pytest.raises(RaidError):
+            Raid4Layout(n_data=1)
+        with pytest.raises(RaidError):
+            Raid4Layout(n_data=4, block_size=0)
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("failed", [0, 1, 2, 3, 4])
+    def test_any_single_failure_recovered(self, layout, failed):
+        stripe = layout.encode(random_data(layout, seed=failed))
+        broken = stripe.copy()
+        broken[failed] = 0
+        rebuilt = layout.reconstruct(broken, [failed])
+        assert np.array_equal(rebuilt, stripe)
+
+    def test_double_failure_rejected(self, layout):
+        stripe = layout.encode(random_data(layout))
+        with pytest.raises(RaidError):
+            layout.reconstruct(stripe, [0, 1])
+
+    def test_no_failure_is_noop(self, layout):
+        stripe = layout.encode(random_data(layout))
+        assert np.array_equal(layout.reconstruct(stripe, []), stripe)
+
+    def test_out_of_range_index(self, layout):
+        stripe = layout.encode(random_data(layout))
+        with pytest.raises(RaidError):
+            layout.reconstruct(stripe, [9])
+
+    def test_duplicate_failed_indices_collapse(self, layout):
+        stripe = layout.encode(random_data(layout))
+        broken = stripe.copy()
+        broken[2] = 0
+        rebuilt = layout.reconstruct(broken, [2, 2])
+        assert np.array_equal(rebuilt, stripe)
+
+    @given(
+        n_data=st.integers(min_value=2, max_value=10),
+        failed=st.integers(min_value=0, max_value=10),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_single_erasure_recovery(self, n_data, failed, seed):
+        failed = failed % (n_data + 1)
+        layout = Raid4Layout(n_data=n_data, block_size=8)
+        data = np.random.default_rng(seed).integers(
+            0, 256, size=(n_data, 8), dtype=np.uint16
+        ).astype(np.uint8)
+        stripe = layout.encode(data)
+        broken = stripe.copy()
+        broken[failed] = 123  # garbage, not zeros
+        rebuilt = layout.reconstruct(broken, [failed])
+        assert np.array_equal(rebuilt, stripe)
+
+
+class TestDegradedRead:
+    def test_healthy_read(self, layout):
+        stripe = layout.encode(random_data(layout))
+        assert np.array_equal(layout.degraded_read(stripe, 2), stripe[2])
+
+    def test_degraded_read_reconstructs(self, layout):
+        stripe = layout.encode(random_data(layout))
+        broken = stripe.copy()
+        broken[2] = 0
+        assert np.array_equal(
+            layout.degraded_read(broken, 2, failed=2), stripe[2]
+        )
+
+    def test_parity_index_not_readable_as_data(self, layout):
+        stripe = layout.encode(random_data(layout))
+        with pytest.raises(RaidError):
+            layout.degraded_read(stripe, layout.parity_index)
+
+
+class TestSplitIntoBlocks:
+    def test_padding_and_count(self, layout):
+        payload = b"x" * 100  # stripe holds 64 bytes
+        stripes = split_into_blocks(payload, layout)
+        assert len(stripes) == 2
+        assert all(s.shape == (4, 16) for s in stripes)
+
+    def test_content_preserved(self, layout):
+        payload = bytes(range(64))
+        stripes = split_into_blocks(payload, layout)
+        assert bytes(stripes[0].reshape(-1)) == payload

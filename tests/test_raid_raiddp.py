@@ -1,0 +1,135 @@
+"""Tests for RAID-DP (row-diagonal parity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RaidError
+from repro.raid.raiddp import RaidDPLayout, _is_prime
+
+
+def random_data(layout, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        0, 256, size=(layout.n_rows, layout.n_data, layout.block_size), dtype=np.uint16
+    ).astype(np.uint8)
+
+
+@pytest.fixture
+def layout():
+    return RaidDPLayout(p=5, block_size=8)
+
+
+class TestPrimality:
+    def test_prime_detection(self):
+        assert [_is_prime(n) for n in (2, 3, 4, 5, 9, 11, 13, 15)] == [
+            True, True, False, True, False, True, True, False,
+        ]
+
+    def test_layout_requires_prime(self):
+        with pytest.raises(RaidError):
+            RaidDPLayout(p=4)
+        with pytest.raises(RaidError):
+            RaidDPLayout(p=2)  # too small even though prime
+
+    def test_geometry(self, layout):
+        assert layout.n_data == 4
+        assert layout.n_disks == 6
+        assert layout.n_rows == 4
+        assert layout.row_parity_index == 4
+        assert layout.diag_parity_index == 5
+
+
+class TestEncode:
+    def test_row_parity_holds(self, layout):
+        stripe = layout.encode(random_data(layout))
+        for row in range(layout.n_rows):
+            xor = np.zeros(layout.block_size, dtype=np.uint8)
+            for col in range(layout.p):
+                xor ^= stripe[row, col]
+            assert not xor.any()
+
+    def test_diagonal_parity_holds(self, layout):
+        stripe = layout.encode(random_data(layout))
+        for diagonal in range(layout.p - 1):
+            xor = stripe[diagonal, layout.diag_parity_index].copy()
+            for col in range(layout.p):
+                row = (diagonal - col) % layout.p
+                if row < layout.n_rows:
+                    xor ^= stripe[row, col]
+            assert not xor.any()
+
+    def test_verify(self, layout):
+        stripe = layout.encode(random_data(layout))
+        assert layout.verify(stripe)
+        stripe[0, 0, 0] ^= 1
+        assert not layout.verify(stripe)
+
+    def test_shape_validation(self, layout):
+        with pytest.raises(RaidError):
+            layout.encode(np.zeros((1, 2, 3), dtype=np.uint8))
+
+    def test_diagonal_of_range_checks(self, layout):
+        with pytest.raises(RaidError):
+            layout.diagonal_of(99, 0)
+        with pytest.raises(RaidError):
+            layout.diagonal_of(0, layout.diag_parity_index)
+
+
+class TestReconstruct:
+    def test_all_single_failures(self, layout):
+        stripe = layout.encode(random_data(layout, 1))
+        for failed in range(layout.n_disks):
+            broken = stripe.copy()
+            broken[:, failed] = 7
+            assert np.array_equal(layout.reconstruct(broken, [failed]), stripe)
+
+    def test_all_double_failures(self, layout):
+        stripe = layout.encode(random_data(layout, 2))
+        for i in range(layout.n_disks):
+            for j in range(i + 1, layout.n_disks):
+                broken = stripe.copy()
+                broken[:, i] = 0
+                broken[:, j] = 0
+                rebuilt = layout.reconstruct(broken, [i, j])
+                assert np.array_equal(rebuilt, stripe), (i, j)
+
+    def test_triple_failure_rejected(self, layout):
+        stripe = layout.encode(random_data(layout))
+        with pytest.raises(RaidError):
+            layout.reconstruct(stripe, [0, 1, 2])
+
+    def test_no_failures_noop(self, layout):
+        stripe = layout.encode(random_data(layout))
+        assert np.array_equal(layout.reconstruct(stripe, []), stripe)
+
+    def test_out_of_range(self, layout):
+        stripe = layout.encode(random_data(layout))
+        with pytest.raises(RaidError):
+            layout.reconstruct(stripe, [99])
+
+    @given(
+        p=st.sampled_from([3, 5, 7, 11]),
+        seed=st.integers(0, 500),
+        pair=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_double_erasure(self, p, seed, pair):
+        layout = RaidDPLayout(p=p, block_size=4)
+        i = pair[0] % layout.n_disks
+        j = pair[1] % layout.n_disks
+        stripe = layout.encode(random_data(layout, seed))
+        broken = stripe.copy()
+        broken[:, i] = 99
+        broken[:, j] = 55
+        rebuilt = layout.reconstruct(broken, [i, j])
+        assert np.array_equal(rebuilt, stripe)
+
+    def test_big_prime(self):
+        # A realistic group width: p=13 -> 12 data + 2 parity disks.
+        layout = RaidDPLayout(p=13, block_size=4)
+        stripe = layout.encode(random_data(layout, 7))
+        broken = stripe.copy()
+        broken[:, 0] = 0
+        broken[:, 12] = 0  # a data disk and the row-parity disk
+        assert np.array_equal(layout.reconstruct(broken, [0, 12]), stripe)

@@ -1,0 +1,104 @@
+"""Tests for the rebuild model and data-loss estimator."""
+
+import pytest
+
+from repro.errors import RaidError
+from repro.raid.dataloss import estimate_dataloss
+from repro.raid.rebuild import RebuildModel
+from repro.simulate.scenario import run_scenario
+from repro.topology.raidgroup import RaidType
+
+
+class TestRebuildModel:
+    def test_window_grows_with_capacity(self):
+        model = RebuildModel()
+        assert model.window_seconds(300.0) > model.window_seconds(72.0)
+
+    def test_window_components(self):
+        model = RebuildModel(
+            rebuild_mb_per_second=100.0,
+            degraded_load_factor=1.0,
+            spare_acquisition_seconds=0.0,
+        )
+        # 100 GB at 100 MB/s = 1024 seconds.
+        assert model.window_seconds(100.0) == pytest.approx(1024.0)
+
+    def test_degraded_factor_scales_copy_time(self):
+        slow = RebuildModel(degraded_load_factor=2.0, spare_acquisition_seconds=0.0)
+        fast = RebuildModel(degraded_load_factor=1.0, spare_acquisition_seconds=0.0)
+        assert slow.window_seconds(100.0) == pytest.approx(
+            2.0 * fast.window_seconds(100.0)
+        )
+
+    def test_hours_conversion(self):
+        model = RebuildModel()
+        assert model.window_hours(100.0) == pytest.approx(
+            model.window_seconds(100.0) / 3600.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(RaidError):
+            RebuildModel(rebuild_mb_per_second=0.0)
+        with pytest.raises(RaidError):
+            RebuildModel(degraded_load_factor=0.5)
+        with pytest.raises(RaidError):
+            RebuildModel(spare_acquisition_seconds=-1.0)
+        with pytest.raises(RaidError):
+            RebuildModel().window_seconds(0.0)
+
+
+class TestDataLoss:
+    @pytest.fixture(scope="class")
+    def correlated(self):
+        return run_scenario("paper-default", scale=0.02, seed=1).dataset
+
+    def test_report_shape(self, correlated):
+        report = estimate_dataloss(correlated)
+        assert report.group_years > 0.0
+        assert set(report.loss_incidents_by_type) == set(RaidType)
+        assert report.total_loss_incidents == sum(
+            report.loss_incidents_by_type.values()
+        )
+
+    def test_groups_sorted_by_losses(self, correlated):
+        report = estimate_dataloss(correlated)
+        losses = [group.loss_incidents for group in report.groups]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_max_concurrent_at_least_events_imply(self, correlated):
+        report = estimate_dataloss(correlated)
+        for group in report.groups:
+            assert 1 <= group.max_concurrent <= group.events
+
+    def test_correlated_losses_exceed_independent(self, correlated):
+        independent = run_scenario("no-shocks", scale=0.02, seed=1).dataset
+        corr = estimate_dataloss(correlated)
+        indep = estimate_dataloss(independent)
+        assert (
+            corr.loss_rate_per_1000_group_years()
+            > indep.loss_rate_per_1000_group_years()
+        )
+
+    def test_disk_only_mode_sees_fewer_losses(self, correlated):
+        everything = estimate_dataloss(correlated, include_transient=True)
+        disks_only = estimate_dataloss(correlated, include_transient=False)
+        assert (
+            disks_only.total_loss_incidents <= everything.total_loss_incidents
+        )
+
+    def test_longer_outages_more_losses(self, correlated):
+        short = estimate_dataloss(correlated, transient_outage_seconds=60.0)
+        long = estimate_dataloss(correlated, transient_outage_seconds=7200.0)
+        assert short.total_loss_incidents <= long.total_loss_incidents
+
+    def test_transient_outage_validated(self, correlated):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            estimate_dataloss(correlated, transient_outage_seconds=0.0)
+
+    def test_zero_rate_when_no_groups(self, correlated):
+        report = estimate_dataloss(correlated)
+        assert report.loss_rate_per_1000_group_years() == pytest.approx(
+            1000.0 * report.total_loss_incidents / report.group_years
+        )

@@ -1,0 +1,129 @@
+"""Tests for the RAID small-write (read-modify-write) paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RaidError
+from repro.raid.raid4 import Raid4Layout
+from repro.raid.raiddp import RaidDPLayout
+
+
+def rand_blocks(shape, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=shape, dtype=np.uint16
+    ).astype(np.uint8)
+
+
+class TestRaid4Update:
+    @pytest.fixture
+    def layout(self):
+        return Raid4Layout(n_data=5, block_size=8)
+
+    def test_incremental_equals_reencode(self, layout):
+        data = rand_blocks((5, 8))
+        stripe = layout.encode(data)
+        new_block = rand_blocks((8,), seed=1)
+        updated = layout.update_block(stripe, 2, new_block)
+        data[2] = new_block
+        assert np.array_equal(updated, layout.encode(data))
+
+    def test_update_preserves_verifiability(self, layout):
+        stripe = layout.encode(rand_blocks((5, 8)))
+        updated = layout.update_block(stripe, 0, rand_blocks((8,), 2))
+        assert layout.verify(updated)
+
+    def test_input_not_mutated(self, layout):
+        stripe = layout.encode(rand_blocks((5, 8)))
+        copy = stripe.copy()
+        layout.update_block(stripe, 1, rand_blocks((8,), 3))
+        assert np.array_equal(stripe, copy)
+
+    def test_parity_not_updatable_directly(self, layout):
+        stripe = layout.encode(rand_blocks((5, 8)))
+        with pytest.raises(RaidError):
+            layout.update_block(stripe, layout.parity_index, rand_blocks((8,)))
+
+    def test_shape_validation(self, layout):
+        stripe = layout.encode(rand_blocks((5, 8)))
+        with pytest.raises(RaidError):
+            layout.update_block(stripe, 0, rand_blocks((9,)))
+
+    @given(
+        disk=st.integers(0, 4),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_update_then_reconstruct(self, disk, seed):
+        layout = Raid4Layout(n_data=5, block_size=8)
+        stripe = layout.encode(rand_blocks((5, 8), seed))
+        updated = layout.update_block(stripe, disk, rand_blocks((8,), seed + 1))
+        broken = updated.copy()
+        broken[disk] = 0
+        assert np.array_equal(layout.reconstruct(broken, [disk]), updated)
+
+
+class TestRaidDPUpdate:
+    @pytest.fixture
+    def layout(self):
+        return RaidDPLayout(p=5, block_size=8)
+
+    def test_incremental_equals_reencode_every_cell(self, layout):
+        data = rand_blocks((layout.n_rows, layout.n_data, 8))
+        stripe = layout.encode(data)
+        for row in range(layout.n_rows):
+            for col in range(layout.n_data):
+                new_cell = rand_blocks((8,), seed=row * 10 + col)
+                updated = layout.update_cell(stripe, row, col, new_cell)
+                expected = data.copy()
+                expected[row, col] = new_cell
+                assert np.array_equal(updated, layout.encode(expected)), (
+                    row, col,
+                )
+
+    def test_update_preserves_verifiability(self, layout):
+        stripe = layout.encode(rand_blocks((layout.n_rows, layout.n_data, 8)))
+        updated = layout.update_cell(stripe, 1, 2, rand_blocks((8,), 9))
+        assert layout.verify(updated)
+
+    def test_chained_updates_stay_consistent(self, layout):
+        stripe = layout.encode(rand_blocks((layout.n_rows, layout.n_data, 8)))
+        for step in range(10):
+            row = step % layout.n_rows
+            col = (step * 3) % layout.n_data
+            stripe = layout.update_cell(stripe, row, col, rand_blocks((8,), step))
+        assert layout.verify(stripe)
+
+    def test_update_then_double_reconstruct(self, layout):
+        stripe = layout.encode(rand_blocks((layout.n_rows, layout.n_data, 8)))
+        updated = layout.update_cell(stripe, 0, 1, rand_blocks((8,), 4))
+        broken = updated.copy()
+        broken[:, 1] = 0
+        broken[:, 3] = 0
+        assert np.array_equal(layout.reconstruct(broken, [1, 3]), updated)
+
+    def test_validation(self, layout):
+        stripe = layout.encode(rand_blocks((layout.n_rows, layout.n_data, 8)))
+        with pytest.raises(RaidError):
+            layout.update_cell(stripe, 99, 0, rand_blocks((8,)))
+        with pytest.raises(RaidError):
+            layout.update_cell(stripe, 0, layout.row_parity_index, rand_blocks((8,)))
+        with pytest.raises(RaidError):
+            layout.update_cell(stripe, 0, 0, rand_blocks((4,)))
+
+    @given(
+        p=st.sampled_from([3, 5, 7]),
+        seed=st.integers(0, 300),
+        pos=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_incremental_equals_reencode(self, p, seed, pos):
+        layout = RaidDPLayout(p=p, block_size=4)
+        data = rand_blocks((layout.n_rows, layout.n_data, 4), seed)
+        stripe = layout.encode(data)
+        row = pos[0] % layout.n_rows
+        col = pos[1] % layout.n_data
+        new_cell = rand_blocks((4,), seed + 7)
+        updated = layout.update_cell(stripe, row, col, new_cell)
+        data[row, col] = new_cell
+        assert np.array_equal(updated, layout.encode(data))

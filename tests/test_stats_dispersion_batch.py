@@ -1,0 +1,104 @@
+"""Tests for dispersion statistics and the multi-seed batch runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.simulate.batch import batch_run
+from repro.stats.dispersion import (
+    dispersion_test,
+    index_of_dispersion,
+    per_unit_counts,
+)
+
+
+class TestIndexOfDispersion:
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(3.0, size=20_000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_clustered_above_one(self):
+        rng = np.random.default_rng(1)
+        # Compound Poisson: bursts of ~5 events per arrival.
+        counts = rng.poisson(0.5, size=5_000) * 5
+        assert index_of_dispersion(counts) > 3.0
+
+    def test_constant_below_one(self):
+        counts = [3] * 50 + [3] * 50
+        assert index_of_dispersion(counts) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            index_of_dispersion([1])
+        with pytest.raises(AnalysisError):
+            index_of_dispersion([0, 0, 0])
+
+
+class TestDispersionTest:
+    def test_poisson_not_rejected(self):
+        rng = np.random.default_rng(2)
+        counts = rng.poisson(2.0, size=2_000)
+        assert not dispersion_test(counts).significant_at(0.999)
+
+    def test_clustered_rejected(self):
+        rng = np.random.default_rng(3)
+        counts = rng.poisson(0.4, size=2_000) * 4
+        assert dispersion_test(counts).significant_at(0.999)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            dispersion_test([1, 2, 3])
+
+
+class TestFleetDispersion:
+    def test_correlated_fleet_overdispersed(self, midsize_dataset):
+        counts = per_unit_counts(midsize_dataset, "shelf")
+        assert index_of_dispersion(counts) > 1.5
+        assert dispersion_test(counts).significant_at(0.995)
+
+    def test_independent_fleet_less_dispersed(
+        self, midsize_dataset, independent_dataset
+    ):
+        correlated = index_of_dispersion(per_unit_counts(midsize_dataset, "shelf"))
+        independent = index_of_dispersion(
+            per_unit_counts(independent_dataset, "shelf")
+        )
+        assert independent < 0.7 * correlated
+
+    def test_counts_cover_population(self, midsize_dataset):
+        counts = per_unit_counts(midsize_dataset, "shelf")
+        assert len(counts) == midsize_dataset.fleet.shelf_count
+        assert sum(counts) == len(midsize_dataset.deduplicated().events)
+
+
+class TestBatchRun:
+    def test_spreads_computed(self):
+        spreads = batch_run(
+            {
+                "events": lambda ds: float(len(ds.events)),
+                "exposure": lambda ds: ds.exposure_years(),
+            },
+            scale=0.002,
+            seeds=(1, 2, 3),
+        )
+        assert set(spreads) == {"events", "exposure"}
+        for spread in spreads.values():
+            assert len(spread.values) == 3
+            assert spread.std >= 0.0
+
+    def test_afr_stable_across_seeds(self):
+        from repro.core.afr import dataset_afr
+
+        spreads = batch_run(
+            {"afr": lambda ds: dataset_afr(ds).percent},
+            scale=0.005,
+            seeds=(1, 2, 3, 4),
+        )
+        assert spreads["afr"].relative_std < 0.2
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            batch_run({}, seeds=(1, 2))
+        with pytest.raises(AnalysisError):
+            batch_run({"x": lambda ds: 0.0}, seeds=(1,))

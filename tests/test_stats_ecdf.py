@@ -1,0 +1,73 @@
+"""Tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.ecdf import ECDF
+
+
+class TestECDF:
+    def test_basic_evaluation(self):
+        cdf = ECDF([1.0, 2.0, 4.0, 8.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.0) == 0.5
+        assert cdf(100.0) == 1.0
+
+    def test_right_continuity(self):
+        cdf = ECDF([5.0, 5.0, 10.0])
+        assert cdf(5.0) == pytest.approx(2 / 3)
+        assert cdf(4.999) == 0.0
+
+    def test_fraction_below_is_strict(self):
+        cdf = ECDF([10.0, 20.0])
+        assert cdf.fraction_below(10.0) == 0.0
+        assert cdf.fraction_below(10.1) == 0.5
+
+    def test_quantiles(self):
+        cdf = ECDF(range(1, 101))
+        assert cdf.quantile(0.5) == pytest.approx(50.5)
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(AnalysisError):
+            ECDF([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ECDF([])
+
+    def test_steps_shape(self):
+        cdf = ECDF([3.0, 1.0, 2.0])
+        xs, fs = cdf.steps()
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(fs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_series(self):
+        cdf = ECDF([1.0, 2.0])
+        assert cdf.series([0.0, 1.5, 3.0]) == [(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+
+    def test_values_read_only(self):
+        cdf = ECDF([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cdf.values[0] = 99.0
+
+    def test_n(self):
+        assert ECDF([1, 2, 3]).n == 3
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))
+    def test_monotone_property(self, values):
+        cdf = ECDF(values)
+        points = sorted(values)
+        evaluations = [cdf(p) for p in points]
+        assert evaluations == sorted(evaluations)
+        assert evaluations[-1] == 1.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=2, max_size=50),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_range_property(self, values, q):
+        cdf = ECDF(values)
+        assert min(values) <= cdf.quantile(q) <= max(values)

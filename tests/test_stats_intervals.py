@@ -1,0 +1,124 @@
+"""Tests for confidence intervals and the bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.intervals import (
+    ConfidenceInterval,
+    rate_confidence_interval,
+    wilson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_half_width(self):
+        ci = ConfidenceInterval(center=5.0, low=4.0, high=6.0, confidence=0.95)
+        assert ci.half_width == pytest.approx(1.0)
+
+    def test_contains(self):
+        ci = ConfidenceInterval(5.0, 4.0, 6.0, 0.95)
+        assert ci.contains(4.5)
+        assert not ci.contains(7.0)
+
+    def test_overlap(self):
+        a = ConfidenceInterval(5.0, 4.0, 6.0, 0.95)
+        b = ConfidenceInterval(6.5, 5.5, 7.5, 0.95)
+        c = ConfidenceInterval(9.0, 8.0, 10.0, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestRateInterval:
+    def test_center_is_rate(self):
+        ci = rate_confidence_interval(50, 1000.0, 0.995)
+        assert ci.center == pytest.approx(5.0)  # 50/1000 years = 5%/yr
+
+    def test_width_shrinks_with_exposure(self):
+        narrow = rate_confidence_interval(400, 8000.0)
+        wide = rate_confidence_interval(50, 1000.0)
+        assert narrow.half_width < wide.half_width
+
+    def test_zero_count_upper_bound(self):
+        ci = rate_confidence_interval(0, 1000.0, 0.995)
+        assert ci.center == 0.0
+        assert ci.low == 0.0
+        assert ci.high > 0.0
+
+    def test_low_clamped_at_zero(self):
+        ci = rate_confidence_interval(2, 1000.0, 0.9999)
+        assert ci.low >= 0.0
+
+    def test_higher_confidence_wider(self):
+        tight = rate_confidence_interval(100, 1000.0, 0.9)
+        loose = rate_confidence_interval(100, 1000.0, 0.999)
+        assert loose.half_width > tight.half_width
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            rate_confidence_interval(1, 0.0)
+        with pytest.raises(AnalysisError):
+            rate_confidence_interval(-1, 10.0)
+
+    def test_coverage_simulation(self):
+        # ~99.5% of Poisson draws should land inside their own CI.
+        rng = np.random.default_rng(0)
+        true_rate = 0.05  # per year
+        exposure = 4000.0
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            count = rng.poisson(true_rate * exposure)
+            ci = rate_confidence_interval(int(count), exposure, 0.995)
+            if ci.contains(100.0 * true_rate):
+                hits += 1
+        assert hits / trials > 0.97
+
+
+class TestWilson:
+    def test_half_proportion(self):
+        ci = wilson_interval(50, 100, 0.95)
+        assert ci.center == pytest.approx(0.5)
+        assert 0.39 < ci.low < 0.41
+        assert 0.59 < ci.high < 0.61
+
+    def test_zero_successes(self):
+        ci = wilson_interval(0, 100)
+        assert ci.low == 0.0
+        assert ci.high > 0.0
+
+    def test_all_successes(self):
+        ci = wilson_interval(100, 100)
+        assert ci.high == 1.0
+        assert ci.low < 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(11, 10)
+
+
+class TestBootstrap:
+    def test_mean_ci_contains_truth(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 2.0, size=400)
+        ci = bootstrap_ci(data, np.mean, rng, n_resamples=500, confidence=0.95)
+        assert ci.contains(10.0)
+        assert ci.center == pytest.approx(float(np.mean(data)))
+
+    def test_deterministic_given_rng(self):
+        data = list(range(100))
+        a = bootstrap_ci(data, np.median, np.random.default_rng(5), 200)
+        b = bootstrap_ci(data, np.median, np.random.default_rng(5), 200)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], np.mean, rng)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], np.mean, rng, n_resamples=5)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], np.mean, rng, confidence=1.5)

@@ -1,0 +1,73 @@
+"""Tests for the Kolmogorov-Smirnov test."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.ks import kolmogorov_sf, ks_statistic, ks_test
+from repro.stats.mle import fit_exponential, fit_gamma
+
+
+class TestStatistic:
+    def test_perfect_fit_small_d(self):
+        rng = np.random.default_rng(0)
+        sample = rng.exponential(100.0, size=5_000)
+        fit = fit_exponential(sample)
+        assert ks_statistic(sample, fit.cdf) < 0.03
+
+    def test_wrong_fit_large_d(self):
+        rng = np.random.default_rng(1)
+        sample = rng.gamma(0.3, 1000.0, size=5_000)
+        fit = fit_exponential(sample)
+        assert ks_statistic(sample, fit.cdf) > 0.1
+
+    def test_d_bounded(self):
+        rng = np.random.default_rng(2)
+        sample = rng.exponential(10.0, size=100)
+        d = ks_statistic(sample, lambda x: np.zeros_like(x))
+        assert d == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ks_statistic([], lambda x: x)
+
+
+class TestKolmogorovSF:
+    def test_boundaries(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(10.0) == 0.0
+
+    def test_known_value(self):
+        # Q(1.36) ~ 0.049: the classic 5% critical value.
+        assert kolmogorov_sf(1.36) == pytest.approx(0.049, abs=0.003)
+
+    def test_monotone_decreasing(self):
+        values = [kolmogorov_sf(x) for x in (0.3, 0.6, 1.0, 1.5, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestKsTest:
+    def test_good_fit_not_rejected(self):
+        rng = np.random.default_rng(3)
+        sample = rng.gamma(0.8, 200.0, size=2_000)
+        fit = fit_gamma(sample)
+        result = ks_test(sample, fit.cdf, n_fitted_params=2)
+        assert result.p_value > 0.05
+
+    def test_bad_fit_rejected(self):
+        rng = np.random.default_rng(4)
+        sample = rng.gamma(0.3, 1000.0, size=2_000)
+        fit = fit_exponential(sample)
+        result = ks_test(sample, fit.cdf, n_fitted_params=1)
+        assert result.p_value < 1e-4
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            ks_test([1.0] * 5, lambda x: x)
+
+    def test_description_notes_fitted_params(self):
+        rng = np.random.default_rng(5)
+        sample = rng.exponential(10.0, size=50)
+        fit = fit_exponential(sample)
+        result = ks_test(sample, fit.cdf, n_fitted_params=1)
+        assert "conservative" in result.description

@@ -1,0 +1,135 @@
+"""Tests for maximum-likelihood distribution fits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FittingError
+from repro.stats.mle import (
+    cdf_function,
+    fit_all,
+    fit_exponential,
+    fit_gamma,
+    fit_weibull,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestExponential:
+    def test_recovers_rate(self, rng):
+        sample = rng.exponential(100.0, size=20_000)
+        fit = fit_exponential(sample)
+        assert fit.params["rate"] == pytest.approx(0.01, rel=0.03)
+
+    def test_loglik_matches_formula(self):
+        sample = [1.0, 2.0, 3.0]
+        fit = fit_exponential(sample)
+        rate = fit.params["rate"]
+        expected = 3 * np.log(rate) - rate * 6.0
+        assert fit.log_likelihood == pytest.approx(expected)
+
+    def test_aic(self):
+        fit = fit_exponential([1.0, 2.0, 3.0])
+        assert fit.aic == pytest.approx(2 - 2 * fit.log_likelihood)
+
+
+class TestGamma:
+    def test_recovers_parameters(self, rng):
+        sample = rng.gamma(0.7, 200.0, size=30_000)
+        fit = fit_gamma(sample)
+        assert fit.params["shape"] == pytest.approx(0.7, rel=0.05)
+        assert fit.params["scale"] == pytest.approx(200.0, rel=0.08)
+
+    def test_shape_above_one(self, rng):
+        sample = rng.gamma(3.0, 10.0, size=30_000)
+        fit = fit_gamma(sample)
+        assert fit.params["shape"] == pytest.approx(3.0, rel=0.05)
+
+    def test_fits_own_data_better_than_exponential(self, rng):
+        sample = rng.gamma(0.5, 100.0, size=5_000)
+        assert fit_gamma(sample).log_likelihood > fit_exponential(sample).log_likelihood
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(FittingError):
+            fit_gamma([5.0, 5.0, 5.0])
+
+
+class TestWeibull:
+    def test_recovers_parameters(self, rng):
+        sample = 150.0 * rng.weibull(0.8, size=30_000)
+        fit = fit_weibull(sample)
+        assert fit.params["shape"] == pytest.approx(0.8, rel=0.05)
+        assert fit.params["scale"] == pytest.approx(150.0, rel=0.08)
+
+    def test_exponential_is_weibull_shape_one(self, rng):
+        sample = rng.exponential(50.0, size=30_000)
+        fit = fit_weibull(sample)
+        assert fit.params["shape"] == pytest.approx(1.0, rel=0.05)
+
+
+class TestCommonValidation:
+    def test_too_few_points(self):
+        for fitter in (fit_exponential, fit_gamma, fit_weibull):
+            with pytest.raises(FittingError):
+                fitter([1.0])
+
+    def test_nonpositive_rejected(self):
+        for fitter in (fit_exponential, fit_gamma, fit_weibull):
+            with pytest.raises(FittingError):
+                fitter([1.0, 0.0, 2.0])
+            with pytest.raises(FittingError):
+                fitter([1.0, -3.0])
+
+
+class TestCdfFunction:
+    def test_exponential_cdf(self):
+        cdf = cdf_function("exponential", {"rate": 0.01})
+        assert cdf(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert cdf(np.array([100.0]))[0] == pytest.approx(1 - np.exp(-1.0))
+
+    def test_gamma_cdf_median(self, rng):
+        sample = rng.gamma(2.0, 50.0, size=30_000)
+        fit = fit_gamma(sample)
+        median = float(np.median(sample))
+        assert fit.cdf(np.array([median]))[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_weibull_cdf_at_scale(self):
+        cdf = cdf_function("weibull", {"shape": 2.0, "scale": 10.0})
+        assert cdf(np.array([10.0]))[0] == pytest.approx(1 - np.exp(-1.0))
+
+    def test_unknown_name(self):
+        with pytest.raises(FittingError):
+            cdf_function("lognormal", {})
+
+    def test_cdf_clamps_negatives(self):
+        cdf = cdf_function("gamma", {"shape": 1.0, "scale": 1.0})
+        assert cdf(np.array([-5.0]))[0] == pytest.approx(0.0)
+
+
+class TestFitAll:
+    def test_ranked_by_likelihood(self, rng):
+        sample = rng.gamma(0.6, 100.0, size=3_000)
+        fits = fit_all(sample)
+        logliks = [fit.log_likelihood for fit in fits]
+        assert logliks == sorted(logliks, reverse=True)
+        assert {fit.name for fit in fits} == {"exponential", "gamma", "weibull"}
+
+    def test_gamma_wins_on_gamma_data(self, rng):
+        sample = rng.gamma(0.5, 100.0, size=20_000)
+        assert fit_all(sample)[0].name == "gamma"
+
+    @given(
+        shape=st.floats(min_value=0.4, max_value=3.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_fits_converge(self, shape, seed):
+        sample = np.random.default_rng(seed).gamma(shape, 100.0, size=500)
+        fits = fit_all(sample)
+        for fit in fits:
+            assert np.isfinite(fit.log_likelihood)
+            assert all(np.isfinite(v) and v > 0 for v in fit.params.values())

@@ -1,0 +1,113 @@
+"""Tests for hypothesis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.mle import fit_exponential, fit_gamma
+from repro.stats.tests import chi_square_gof, poisson_rate_test, welch_t_test
+from repro.stats.tests import TestResult as StatsResult
+
+
+class TestStatsResult:
+    def test_significance_threshold(self):
+        result = StatsResult(statistic=3.0, p_value=0.004, dof=10, description="d")
+        assert result.significant_at(0.99)
+        assert not result.significant_at(0.999)
+
+    def test_confidence_validated(self):
+        with pytest.raises(AnalysisError):
+            StatsResult(1.0, 0.5, 1, "d").significant_at(1.0)
+
+
+class TestWelch:
+    def test_identical_samples_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 2, 500)
+        b = rng.normal(10, 2, 500)
+        assert not welch_t_test(a, b).significant_at(0.95)
+
+    def test_shifted_samples_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 2, 500)
+        b = rng.normal(12, 2, 500)
+        assert welch_t_test(a, b).significant_at(0.999)
+
+    def test_unequal_variances_handled(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0, 20, 5000)
+        result = welch_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(AnalysisError):
+            welch_t_test([1.0, 1.0], [1.0, 1.0])
+
+
+class TestPoissonRate:
+    def test_equal_rates_not_significant(self):
+        assert not poisson_rate_test(100, 1000.0, 105, 1000.0).significant_at(0.95)
+
+    def test_double_rate_significant(self):
+        assert poisson_rate_test(200, 1000.0, 100, 1000.0).significant_at(0.999)
+
+    def test_exposure_normalisation(self):
+        # Same rate, different exposures: not significant.
+        result = poisson_rate_test(50, 500.0, 200, 2000.0)
+        assert not result.significant_at(0.95)
+
+    def test_no_events(self):
+        result = poisson_rate_test(0, 100.0, 0, 100.0)
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            poisson_rate_test(1, 0.0, 1, 10.0)
+        with pytest.raises(AnalysisError):
+            poisson_rate_test(-1, 10.0, 1, 10.0)
+
+    def test_direction_of_statistic(self):
+        higher_first = poisson_rate_test(200, 1000.0, 100, 1000.0)
+        assert higher_first.statistic > 0
+        lower_first = poisson_rate_test(100, 1000.0, 200, 1000.0)
+        assert lower_first.statistic < 0
+
+
+class TestChiSquareGoF:
+    def test_good_fit_not_rejected(self):
+        rng = np.random.default_rng(2)
+        sample = rng.exponential(100.0, size=2_000)
+        fit = fit_exponential(sample)
+        result = chi_square_gof(sample, fit.cdf, n_bins=10, n_fitted_params=1)
+        assert result.p_value > 0.01
+
+    def test_bad_fit_rejected(self):
+        rng = np.random.default_rng(3)
+        sample = rng.gamma(0.3, 1000.0, size=2_000)
+        fit = fit_exponential(sample)  # very wrong model
+        result = chi_square_gof(sample, fit.cdf, n_bins=10, n_fitted_params=1)
+        assert result.p_value < 1e-6
+
+    def test_gamma_fit_accepted_on_gamma_data(self):
+        # Finding 8's method: cannot reject gamma at significance 0.05.
+        rng = np.random.default_rng(4)
+        sample = rng.gamma(0.7, 500.0, size=3_000)
+        fit = fit_gamma(sample)
+        result = chi_square_gof(sample, fit.cdf, n_bins=10, n_fitted_params=2)
+        assert result.p_value > 0.05
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            chi_square_gof([1.0] * 10, lambda x: x, n_bins=5)
+
+    def test_bins_shrink_for_modest_samples(self):
+        rng = np.random.default_rng(5)
+        sample = rng.exponential(10.0, size=30)
+        fit = fit_exponential(sample)
+        result = chi_square_gof(sample, fit.cdf, n_bins=10, n_fitted_params=1)
+        assert result.dof < 9  # fewer bins than requested

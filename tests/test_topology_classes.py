@@ -1,0 +1,46 @@
+"""Tests for system class semantics."""
+
+from repro.topology.classes import SYSTEM_CLASS_ORDER, SystemClass
+
+
+class TestSystemClass:
+    def test_four_classes(self):
+        assert len(SystemClass) == 4
+
+    def test_order_matches_paper_tables(self):
+        assert SYSTEM_CLASS_ORDER == (
+            SystemClass.NEARLINE,
+            SystemClass.LOW_END,
+            SystemClass.MID_RANGE,
+            SystemClass.HIGH_END,
+        )
+
+    def test_nearline_is_secondary_storage(self):
+        assert not SystemClass.NEARLINE.is_primary
+
+    def test_others_are_primary(self):
+        for cls in (SystemClass.LOW_END, SystemClass.MID_RANGE, SystemClass.HIGH_END):
+            assert cls.is_primary
+
+    def test_dual_path_support_mid_and_high_only(self):
+        assert not SystemClass.NEARLINE.supports_dual_path
+        assert not SystemClass.LOW_END.supports_dual_path
+        assert SystemClass.MID_RANGE.supports_dual_path
+        assert SystemClass.HIGH_END.supports_dual_path
+
+    def test_nearline_uses_sata(self):
+        assert SystemClass.NEARLINE.disk_interface == "SATA"
+
+    def test_primaries_use_fc(self):
+        for cls in (SystemClass.LOW_END, SystemClass.MID_RANGE, SystemClass.HIGH_END):
+            assert cls.disk_interface == "FC"
+
+    def test_labels(self):
+        assert SystemClass.NEARLINE.label == "Nearline"
+        assert SystemClass.LOW_END.label == "Low-end"
+        assert SystemClass.MID_RANGE.label == "Mid-range"
+        assert SystemClass.HIGH_END.label == "High-end"
+
+    def test_value_roundtrip(self):
+        for cls in SystemClass:
+            assert SystemClass(cls.value) is cls

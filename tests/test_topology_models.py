@@ -1,0 +1,78 @@
+"""Tests for anonymized hardware model descriptors."""
+
+import pytest
+
+from repro.topology.models import DiskModel, ShelfModel
+
+
+class TestDiskModel:
+    def test_name_formatting(self):
+        assert DiskModel("A", 2).name == "A-2"
+
+    def test_parse_roundtrip(self):
+        model = DiskModel.parse("H-1", interface="FC", capacity_gb=144)
+        assert model.family == "H"
+        assert model.capacity_rank == 1
+        assert model.name == "H-1"
+        assert model.capacity_gb == 144
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "A", "A2", "a-1", "AB-1", "A-0x"):
+            with pytest.raises(ValueError):
+                DiskModel.parse(bad)
+
+    def test_rejects_lowercase_family(self):
+        with pytest.raises(ValueError):
+            DiskModel("a", 1)
+
+    def test_rejects_multichar_family(self):
+        with pytest.raises(ValueError):
+            DiskModel("AB", 1)
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            DiskModel("A", 0)
+
+    def test_rejects_unknown_interface(self):
+        with pytest.raises(ValueError):
+            DiskModel("A", 1, interface="SAS")
+
+    def test_ordering_within_family(self):
+        assert DiskModel("A", 1) < DiskModel("A", 2)
+
+    def test_ordering_across_families(self):
+        assert DiskModel("A", 9) < DiskModel("B", 1)
+
+    def test_frozen(self):
+        model = DiskModel("A", 1)
+        with pytest.raises(Exception):
+            model.family = "B"  # type: ignore[misc]
+
+    def test_str_is_name(self):
+        assert str(DiskModel("D", 3)) == "D-3"
+
+    def test_equality_by_value(self):
+        assert DiskModel("A", 1) == DiskModel("A", 1)
+        assert DiskModel("A", 1) != DiskModel("A", 2)
+
+    def test_hashable(self):
+        assert len({DiskModel("A", 1), DiskModel("A", 1), DiskModel("A", 2)}) == 2
+
+
+class TestShelfModel:
+    def test_valid_name(self):
+        assert ShelfModel("B").name == "B"
+
+    def test_rejects_lowercase(self):
+        with pytest.raises(ValueError):
+            ShelfModel("b")
+
+    def test_rejects_long_name(self):
+        with pytest.raises(ValueError):
+            ShelfModel("AB")
+
+    def test_str(self):
+        assert str(ShelfModel("C")) == "C"
+
+    def test_ordering(self):
+        assert ShelfModel("A") < ShelfModel("B")

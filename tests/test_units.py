@@ -1,0 +1,90 @@
+"""Tests for time units and rate conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_year_is_julian(self):
+        assert units.SECONDS_PER_YEAR == pytest.approx(365.25 * 86_400)
+
+    def test_month_is_a_twelfth(self):
+        assert units.SECONDS_PER_MONTH * 12 == pytest.approx(units.SECONDS_PER_YEAR)
+
+    def test_study_window_is_44_months(self):
+        assert units.STUDY_DURATION_SECONDS == pytest.approx(
+            44 * units.SECONDS_PER_MONTH
+        )
+
+    def test_study_window_roughly_3_67_years(self):
+        assert units.seconds_to_years(units.STUDY_DURATION_SECONDS) == pytest.approx(
+            44 / 12, rel=1e-9
+        )
+
+    def test_scrub_period_is_one_hour(self):
+        assert units.SCRUB_PERIOD_SECONDS == 3600.0
+
+    def test_burst_threshold_matches_paper(self):
+        assert units.BURST_GAP_SECONDS == 10_000.0
+
+
+class TestConversions:
+    def test_years_seconds_roundtrip(self):
+        assert units.seconds_to_years(units.years_to_seconds(2.5)) == pytest.approx(2.5)
+
+    def test_afr_100_percent_is_one_per_year(self):
+        rate = units.afr_percent_to_rate_per_second(100.0)
+        assert rate * units.SECONDS_PER_YEAR == pytest.approx(1.0)
+
+    def test_afr_rate_roundtrip(self):
+        assert units.rate_per_second_to_afr_percent(
+            units.afr_percent_to_rate_per_second(3.4)
+        ) == pytest.approx(3.4)
+
+    @given(st.floats(min_value=1e-6, max_value=1e3))
+    def test_afr_roundtrip_property(self, afr):
+        assert units.rate_per_second_to_afr_percent(
+            units.afr_percent_to_rate_per_second(afr)
+        ) == pytest.approx(afr, rel=1e-9)
+
+    def test_afr_percent_from_counts(self):
+        # 10 events over 1000 disk-years = 1% AFR.
+        exposure = units.years_to_seconds(1000.0)
+        assert units.afr_percent(10, exposure) == pytest.approx(1.0)
+
+    def test_afr_percent_zero_exposure_is_zero(self):
+        assert units.afr_percent(5, 0.0) == 0.0
+
+    def test_afr_percent_negative_exposure_is_zero(self):
+        assert units.afr_percent(5, -10.0) == 0.0
+
+
+class TestMttf:
+    def test_million_hours_is_under_one_percent(self):
+        # The paper: vendor MTTF over a million hours ~ <1% AFR.
+        afr = units.mttf_hours_to_afr_percent(1_000_000)
+        assert 0.8 < afr < 1.0
+
+    def test_exact_value(self):
+        hours_per_year = units.SECONDS_PER_YEAR / 3600.0
+        assert units.mttf_hours_to_afr_percent(hours_per_year) == pytest.approx(100.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mttf_hours_to_afr_percent(0.0)
+
+    def test_monotone_decreasing_in_mttf(self):
+        assert units.mttf_hours_to_afr_percent(2e6) < units.mttf_hours_to_afr_percent(
+            1e6
+        )
+
+    @given(st.floats(min_value=1e3, max_value=1e8))
+    def test_positive_for_positive_mttf(self, mttf):
+        assert units.mttf_hours_to_afr_percent(mttf) > 0.0
+
+    def test_not_nan(self):
+        assert not math.isnan(units.mttf_hours_to_afr_percent(123456.0))

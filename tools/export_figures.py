@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Export every figure's data series as CSV (for external plotting).
+
+Writes one CSV per paper artifact into an output directory — the exact
+rows a plotting script needs to redraw the figures in any tool.
+
+Usage:
+    python tools/export_figures.py [--out figures] [--scale 0.05] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+
+from repro.core.breakdown import (
+    afr_by_class,
+    afr_by_disk_model,
+    afr_by_path_config,
+    afr_by_shelf_model,
+)
+from repro.core.correlation import correlation_by_type
+from repro.core.timebetween import cdf_grid, figure9_series
+from repro.experiments import ExperimentContext
+from repro.experiments.fig5 import PANELS
+from repro.failures.types import FAILURE_TYPE_ORDER
+from repro.topology.classes import SystemClass
+
+
+def write_csv(path: pathlib.Path, headers, rows) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    print("  wrote %s (%d rows)" % (path, len(rows)))
+
+
+def breakdown_rows(rows):
+    headers = ["group", "systems"] + [ft.value for ft in FAILURE_TYPE_ORDER] + [
+        "total",
+    ]
+    data = [
+        [row.label, row.systems]
+        + ["%.4f" % row.percent(ft) for ft in FAILURE_TYPE_ORDER]
+        + ["%.4f" % row.total_percent]
+        for row in rows
+    ]
+    return headers, data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="figures")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    dataset = context.dataset("paper-default")
+    print("exporting figure data to %s/" % out)
+
+    # Figure 4 (both panels).
+    for suffix, exclude in (("a", False), ("b", True)):
+        headers, rows = breakdown_rows(
+            afr_by_class(dataset, exclude_problematic_family=exclude)
+        )
+        write_csv(out / ("fig4%s.csv" % suffix), headers, rows)
+
+    # Figure 5 (six panels).
+    for panel_id, system_class, shelf in PANELS:
+        headers, rows = breakdown_rows(
+            afr_by_disk_model(dataset, system_class, shelf)
+        )
+        write_csv(out / ("%s.csv" % panel_id), headers, rows)
+
+    # Figure 6 (four panels).
+    for disk_model in ("A-2", "A-3", "D-2", "D-3"):
+        headers, rows = breakdown_rows(
+            afr_by_shelf_model(dataset, SystemClass.LOW_END, disk_model)
+        )
+        write_csv(out / ("fig6_disk_%s.csv" % disk_model), headers, rows)
+
+    # Figure 7 (two panels).
+    for panel_id, system_class in (
+        ("fig7a", SystemClass.MID_RANGE),
+        ("fig7b", SystemClass.HIGH_END),
+    ):
+        headers, rows = breakdown_rows(
+            afr_by_path_config(dataset, system_class)
+        )
+        write_csv(out / ("%s.csv" % panel_id), headers, rows)
+
+    # Figure 9 (two panels): CDF series on a log grid.
+    for panel_id, scope in (("fig9a", "shelf"), ("fig9b", "raid_group")):
+        series = figure9_series(dataset, scope)
+        grid = cdf_grid(list(series.values()))
+        headers = ["t_seconds"] + list(series.keys())
+        rows = [
+            ["%.6g" % row["t"]] + ["%.6f" % row[label] for label in series]
+            for row in grid
+        ]
+        write_csv(out / ("%s.csv" % panel_id), headers, rows)
+
+    # Figure 10 (two panels).
+    for panel_id, scope in (("fig10a", "shelf"), ("fig10b", "raid_group")):
+        results = correlation_by_type(dataset, scope)
+        headers = [
+            "failure_type", "n_units", "p1", "p2_empirical",
+            "p2_theoretical", "inflation", "p_value",
+        ]
+        rows = [
+            [
+                result.failure_type.value,
+                result.n_units,
+                "%.6f" % result.p1,
+                "%.6f" % result.p2_empirical,
+                "%.8f" % result.p2_theoretical,
+                "%.3f" % result.inflation,
+                "%.3g" % result.test.p_value,
+            ]
+            for result in results
+        ]
+        write_csv(out / ("%s.csv" % panel_id), headers, rows)
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()
