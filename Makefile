@@ -1,12 +1,17 @@
 # Developer entry points.
 
-.PHONY: install test bench experiments figures docs clean
+.PHONY: install test check bench experiments figures docs clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# CI gate: byte-compile the whole tree, then the tier-1 test suite.
+check:
+	python -m compileall -q src
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

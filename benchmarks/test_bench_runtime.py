@@ -1,0 +1,54 @@
+"""Bench: cold-vs-warm runtime execution of a 3-experiment batch.
+
+The cold bench clears the result cache before every round, so each
+round pays full simulation + analysis cost; the warm bench primes the
+cache once and every round is served from disk.  The gap between the
+two is the runtime's raw win on repeated runs — the dominant workload
+of this suite, where the same ``(scenario, seed)`` figures are
+regenerated dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Job, ResultCache, RuntimeConfig, RuntimeContext, Scheduler
+
+SCALE = 0.02
+SEED = 1
+EXPERIMENT_IDS = ("table1", "fig4b", "fig5a")
+
+
+def _jobs():
+    return [
+        Job.experiment(experiment_id, scale=SCALE, seed=SEED)
+        for experiment_id in EXPERIMENT_IDS
+    ]
+
+
+def _run_batch(cache_dir):
+    runtime = RuntimeContext(RuntimeConfig(cache_dir=str(cache_dir)))
+    results = Scheduler(runtime).run(_jobs())
+    assert len(results) == len(EXPERIMENT_IDS)
+    return runtime
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_bench_runtime_cold(benchmark, tmp_path):
+    def clear_cache():
+        ResultCache(directory=str(tmp_path)).clear()
+        return (tmp_path,), {}
+
+    runtime = benchmark.pedantic(
+        _run_batch, setup=clear_cache, rounds=3, iterations=1
+    )
+    assert runtime.metrics.count("sim.runs") >= 1
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_bench_runtime_warm(benchmark, tmp_path):
+    _run_batch(tmp_path)  # prime the cache
+    runtime = benchmark(_run_batch, tmp_path)
+    # Warm rounds must be pure cache reads: zero new simulations.
+    assert runtime.metrics.count("sim.runs") == 0
+    assert runtime.metrics.count("cache.hit") == len(EXPERIMENT_IDS)

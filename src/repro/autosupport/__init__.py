@@ -12,7 +12,7 @@ authors did.
 from repro.autosupport.messages import format_line, parse_line, LogLine
 from repro.autosupport.writer import LogArchive, write_logs
 from repro.autosupport.snapshot import write_snapshot, parse_snapshot
-from repro.autosupport.parser import parse_archive, parse_system_log
+from repro.autosupport.parser import build_event, parse_archive, parse_system_log
 
 __all__ = [
     "format_line",
@@ -22,6 +22,7 @@ __all__ = [
     "write_logs",
     "write_snapshot",
     "parse_snapshot",
+    "build_event",
     "parse_archive",
     "parse_system_log",
 ]

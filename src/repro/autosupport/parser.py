@@ -86,7 +86,7 @@ def parse_system_log(
             if onset is not None and line.time - onset <= CASCADE_WINDOW_SECONDS
             else line.time
         )
-        event = _build_event(system, line, failure_type, occur)
+        event = build_event(system, line, failure_type, occur)
         if event is not None:
             events.append(event)
         elif strict:
@@ -100,12 +100,21 @@ def _within_cascade(previous: Optional[float], time: float) -> bool:
     return previous is not None and time - previous <= CASCADE_WINDOW_SECONDS
 
 
-def _build_event(
+def build_event(
     system: StorageSystem,
     line: LogLine,
     failure_type: FailureType,
     occur_time: float,
 ) -> Optional[FailureEvent]:
+    """Materialize a RAID-layer log line into a :class:`FailureEvent`.
+
+    Resolves the line's disk id against the system's snapshot topology
+    (slot, then disk generation within the slot) and attaches every
+    topology attribute the analyses group by.  Returns ``None`` when
+    the disk cannot be found — callers decide whether that is noise to
+    skip or (in strict mode) an error.  Shared by the batch parser and
+    the streaming parser.
+    """
     slot_key = line.disk_id.rsplit("#", 1)[0]
     try:
         slot = system.slot_by_key(slot_key)
@@ -132,6 +141,10 @@ def _build_event(
         dual_path=system.dual_path,
         replaced_disk=(failure_type is FailureType.DISK),
     )
+
+
+#: Backwards-compatible alias from before the helper was public.
+_build_event = build_event
 
 
 def parse_archive(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from repro.autosupport.messages import parse_line
-from repro.autosupport.parser import CASCADE_WINDOW_SECONDS, _build_event
+from repro.autosupport.parser import CASCADE_WINDOW_SECONDS, build_event
 from repro.core.dataset import DEDUP_WINDOW_SECONDS
 from repro.errors import LogFormatError
 from repro.failures.events import FailureEvent
@@ -117,7 +117,7 @@ class StreamingLogParser:
             if onset is not None and line.time - onset <= CASCADE_WINDOW_SECONDS
             else line.time
         )
-        event = _build_event(self.system, line, failure_type, occur)
+        event = build_event(self.system, line, failure_type, occur)
         if event is None:
             if self.strict:
                 raise LogFormatError(

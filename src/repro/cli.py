@@ -4,10 +4,21 @@ Usage::
 
     repro list                          # experiments and scenarios
     repro run fig4b [--scale --seed]    # one experiment (or "all")
+    repro run all --jobs 4              # fan out over worker processes
     repro findings [--scale --seed]     # the Findings 1-11 scoreboard
     repro report [--scale --seed]       # overview + headline figures
+    repro cache stats                   # result cache contents
+    repro cache clear                   # drop every cached result
     repro simulate paper-default --out logs/   # export an AutoSupport
                                                 # style log archive
+
+Experiment and findings runs route through :mod:`repro.runtime`: results
+are memoized in a content-addressed on-disk cache (``--no-cache`` keeps
+it memory-only, ``--cache-dir`` relocates it) and ``--jobs N`` executes
+independent experiments on a process pool — with byte-identical output
+to serial.  A runtime-metrics footer (job counts, cache hits,
+simulations performed, latencies) is printed to stderr so stdout stays
+stable across cache states and ``--jobs`` values.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ from typing import List, Optional
 from repro.core.findings import evaluate_findings
 from repro.core.report import format_findings, format_overview
 from repro.errors import ReproError
-from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.experiments import EXPERIMENTS
 from repro.simulate.scenario import SCENARIOS, run_scenario
 from repro.version import __version__
 
@@ -85,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seeds", default="1,2,3", help="comma-separated seeds"
     )
     _common(batch_cmd)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the result cache"
+    )
+    cache_cmd.add_argument("action", choices=("stats", "clear"))
+    _cache_dir_option(cache_cmd)
     return parser
 
 
@@ -97,6 +114,43 @@ def _common(cmd: argparse.ArgumentParser) -> None:
         action="store_true",
         help="route the dataset through the AutoSupport log pipeline",
     )
+    cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial; results are identical)",
+    )
+    cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (results are still shared "
+        "in memory within this run)",
+    )
+    _cache_dir_option(cmd)
+
+
+def _cache_dir_option(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _runtime(args: argparse.Namespace):
+    """Build the runtime context a command's flags describe."""
+    from repro.runtime import RuntimeConfig, RuntimeContext
+
+    return RuntimeContext(
+        RuntimeConfig(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            cache_persist=not args.no_cache,
+        )
+    )
+
+
+def _print_metrics(runtime) -> None:
+    """The runtime-metrics footer; on stderr so stdout stays stable."""
+    print(runtime.metrics.report(), file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -120,13 +174,30 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "run":
-        context = ExperimentContext(
-            scale=args.scale, seed=args.seed, via_logs=args.via_logs
-        )
+        from repro.errors import SpecificationError
+        from repro.runtime import Job, Scheduler
+
         ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        all_passed = True
         for experiment_id in ids:
-            result = run_experiment(experiment_id, context)
+            if experiment_id not in EXPERIMENTS:
+                raise SpecificationError(
+                    "unknown experiment %r (have: %s)"
+                    % (experiment_id, ", ".join(sorted(EXPERIMENTS)))
+                )
+        runtime = _runtime(args)
+        results = Scheduler(runtime).run(
+            [
+                Job.experiment(
+                    experiment_id,
+                    scale=args.scale,
+                    seed=args.seed,
+                    via_logs=args.via_logs,
+                )
+                for experiment_id in ids
+            ]
+        )
+        all_passed = True
+        for experiment_id, result in zip(ids, results):
             print(result.text)
             verdict = "PASS" if result.passed else "FAIL"
             print(
@@ -142,12 +213,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print("  failed: %s" % ", ".join(result.failed_checks()))
                 all_passed = False
             print()
+        _print_metrics(runtime)
         return 0 if all_passed else 1
 
     if args.command == "findings":
-        dataset = _dataset(args)
+        runtime = _runtime(args)
+        dataset = _dataset(args, runtime)
         findings = evaluate_findings(dataset)
         print(format_findings(findings))
+        _print_metrics(runtime)
         return 0 if all(f.passed for f in findings) else 1
 
     if args.command == "report":
@@ -230,6 +304,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             },
             scale=args.scale,
             seeds=seeds,
+            runtime=_runtime(args),
         )
         print("Seed spread over seeds %s (scale %.3f):" % (seeds, args.scale))
         for spread in spreads.values():
@@ -244,13 +319,32 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "cache":
+        from repro.runtime import ResultCache
+
+        cache = ResultCache(directory=args.cache_dir)
+        if args.action == "clear":
+            removed = cache.clear()
+            print(
+                "removed %d cached result(s) from %s"
+                % (removed, cache.directory)
+            )
+            return 0
+        stats = cache.stats()
+        print("cache directory: %s" % stats.directory)
+        print("entries:         %d" % stats.entries)
+        print("size:            %.1f KiB" % (stats.size_bytes / 1024.0))
+        return 0
+
     raise AssertionError("unreachable command %r" % args.command)
 
 
-def _dataset(args: argparse.Namespace):
-    return ExperimentContext(
-        scale=args.scale, seed=args.seed, via_logs=args.via_logs
-    ).dataset("paper-default")
+def _dataset(args: argparse.Namespace, runtime=None):
+    if runtime is None:
+        runtime = _runtime(args)
+    return runtime.run_scenario(
+        "paper-default", scale=args.scale, seed=args.seed, via_logs=args.via_logs
+    ).dataset
 
 
 if __name__ == "__main__":  # pragma: no cover

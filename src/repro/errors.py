@@ -36,3 +36,7 @@ class FittingError(ReproError):
 
 class RaidError(ReproError):
     """A RAID encode/reconstruct operation is invalid or unrecoverable."""
+
+
+class JobExecutionError(ReproError):
+    """A runtime job failed, timed out, or exhausted its retries."""

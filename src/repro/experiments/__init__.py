@@ -5,6 +5,11 @@ simulated datasets so a session reuses one fleet across figures) and
 returns an :class:`ExperimentResult` carrying the rendered tables, the
 structured series behind them, and shape checks against the paper.
 
+A context may also carry a :class:`repro.runtime.RuntimeContext`; then
+scenario lookups go through the runtime's content-addressed result
+cache, which is how ``repro run all`` shares one simulation across
+every figure (and across worker processes via the on-disk cache).
+
 Experiment ids::
 
     table1   fig4a  fig4b
@@ -16,6 +21,8 @@ Experiment ids::
 """
 
 from repro.experiments.base import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
     EXPERIMENTS,
     ExperimentContext,
     ExperimentResult,
@@ -45,6 +52,8 @@ from repro.experiments import (  # noqa: F401  (import for side effects)
 )
 
 __all__ = [
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
     "EXPERIMENTS",
     "ExperimentContext",
     "ExperimentResult",

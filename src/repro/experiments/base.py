@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.context import RuntimeContext
 
 from repro.core.dataset import FailureDataset
 from repro.errors import SpecificationError
@@ -29,11 +32,16 @@ class ExperimentContext:
         scale: fleet scale for all scenarios run through this context.
         seed: root random seed.
         via_logs: route datasets through the AutoSupport log pipeline.
+        runtime: optional :class:`repro.runtime.RuntimeContext`; when
+            set, scenario lookups route through its content-addressed
+            result cache (and count in its metrics) instead of
+            simulating directly.
     """
 
     scale: float = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
     via_logs: bool = False
+    runtime: Optional["RuntimeContext"] = None
 
     def __post_init__(self) -> None:
         self._results: Dict[str, object] = {}
@@ -41,9 +49,21 @@ class ExperimentContext:
     def result(self, scenario: str = "paper-default"):
         """The (cached) full simulation result of a named scenario."""
         if scenario not in self._results:
-            self._results[scenario] = run_scenario(
-                scenario, scale=self.scale, seed=self.seed, via_logs=self.via_logs
-            )
+            if self.runtime is not None:
+                result = self.runtime.run_scenario(
+                    scenario,
+                    scale=self.scale,
+                    seed=self.seed,
+                    via_logs=self.via_logs,
+                )
+            else:
+                result = run_scenario(
+                    scenario,
+                    scale=self.scale,
+                    seed=self.seed,
+                    via_logs=self.via_logs,
+                )
+            self._results[scenario] = result
         return self._results[scenario]
 
     def dataset(self, scenario: str = "paper-default") -> FailureDataset:

@@ -1,0 +1,125 @@
+"""Worker pool: process-parallel map with serial fallback and retry.
+
+The pool is a thin, deterministic wrapper over
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+- results always come back in *input order*, whatever the completion
+  order, so pooled execution is drop-in for a list comprehension;
+- ``jobs <= 1`` (or a single item, or an environment where process
+  pools cannot start) runs serially in-process — same semantics, no
+  forks;
+- a job that raises is retried up to ``retries`` times, then surfaces
+  as :class:`~repro.errors.JobExecutionError` with the original
+  exception chained;
+- a per-job ``timeout`` (pooled mode only — a serial job cannot be
+  interrupted) raises :class:`~repro.errors.JobExecutionError` without
+  retry, since a hung job would hang again.
+
+The mapped callable must be picklable (a module-level function) in
+pooled mode; the runtime uses
+:func:`repro.runtime.jobs.execute_payload`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import JobExecutionError
+
+
+class WorkerPool:
+    """Ordered, fault-tolerant map over a process pool (see module docstring).
+
+    Args:
+        jobs: worker processes; 1 means serial in-process execution.
+        timeout: per-job seconds before a pooled job is declared hung.
+        retries: how many times a failing job is re-run before giving up.
+        metrics: optional registry for ``jobs.retried`` / ``jobs.failed``
+            / ``pool.fallback`` counters.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        metrics=None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self._metrics = metrics
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item; results in item order."""
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [self._run_serial(fn, i, item) for i, item in enumerate(items)]
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items))
+            )
+        except (OSError, ImportError, NotImplementedError):
+            # No process support (sandbox, missing semaphores): degrade
+            # to serial with identical results.
+            self._emit("pool.fallback")
+            return [self._run_serial(fn, i, item) for i, item in enumerate(items)]
+        try:
+            futures = [executor.submit(fn, item) for item in items]
+            return [
+                self._await(executor, fn, index, item, future)
+                for index, (item, future) in enumerate(zip(items, futures))
+            ]
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- internals -------------------------------------------------------------
+
+    def _await(self, executor, fn, index, item, future):
+        attempt = 0
+        while True:
+            try:
+                return future.result(timeout=self.timeout)
+            except FuturesTimeoutError as exc:
+                self._emit("jobs.failed")
+                raise JobExecutionError(
+                    "job %d (%.120r) timed out after %.3gs"
+                    % (index, item, self.timeout)
+                ) from exc
+            except BrokenProcessPool:
+                # A worker died (signal/OOM); the job itself may be
+                # fine, so rerun it in-process.
+                self._emit("pool.fallback")
+                return self._run_serial(fn, index, item)
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    self._emit("jobs.failed")
+                    raise JobExecutionError(
+                        "job %d (%.120r) failed after %d attempt(s): %s"
+                        % (index, item, attempt, exc)
+                    ) from exc
+                self._emit("jobs.retried")
+                future = executor.submit(fn, item)
+
+    def _run_serial(self, fn, index, item):
+        attempt = 0
+        while True:
+            try:
+                return fn(item)
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.retries:
+                    self._emit("jobs.failed")
+                    raise JobExecutionError(
+                        "job %d (%.120r) failed after %d attempt(s): %s"
+                        % (index, item, attempt, exc)
+                    ) from exc
+                self._emit("jobs.retried")
+
+    def _emit(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.increment(name)

@@ -1,0 +1,94 @@
+"""Scheduler: dedupe a job list, warm shared simulations, fan out.
+
+``repro run all`` submits one experiment job per figure, and nearly all
+of them derive from the *same* ``(scenario, scale, seed)`` simulation.
+The scheduler exploits that twice:
+
+1. **Key-level dedup** — jobs with identical cache keys collapse to one
+   execution whose result fans back out to every submission slot
+   (``jobs.deduped`` counts the collapsed copies).
+2. **Simulation warming** — before dispatching, the distinct simulation
+   dependencies shared by two or more jobs are executed once and placed
+   in the cache, so pooled workers load one pickled
+   ``SimulationResult`` from disk instead of each re-simulating the
+   fleet (``scheduler.prewarmed`` counts these).
+
+Results preserve submission order exactly, and execution routes through
+the context's worker pool when ``config.jobs > 1`` — pooled runs are
+byte-identical to serial ones because every job is deterministic in its
+key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence
+
+from repro.runtime.context import RuntimeContext
+from repro.runtime.jobs import Job, execute_payload
+
+
+class Scheduler:
+    """Plans and executes job batches against one runtime context."""
+
+    def __init__(self, runtime: RuntimeContext) -> None:
+        self.runtime = runtime
+
+    def run(self, jobs: Sequence[Job]) -> List[object]:
+        """Execute ``jobs``; results align index-for-index with the input."""
+        jobs = list(jobs)
+        metrics = self.runtime.metrics
+        metrics.increment("jobs.submitted", len(jobs))
+        unique: "OrderedDict[str, Job]" = OrderedDict()
+        for job in jobs:
+            unique.setdefault(job.key(), job)
+        metrics.increment("jobs.deduped", len(jobs) - len(unique))
+        self._warm_simulations(list(unique.values()))
+        results = self._execute(list(unique.values()))
+        metrics.increment("jobs.completed", len(results))
+        by_key: Dict[str, object] = dict(zip(unique.keys(), results))
+        return [by_key[job.key()] for job in jobs]
+
+    # -- internals -------------------------------------------------------------
+
+    def _warm_simulations(self, jobs: List[Job]) -> None:
+        """Pre-execute simulation dependencies shared by >= 2 jobs."""
+        cache = self.runtime.cache
+        if not cache.enabled:
+            return
+        if self.runtime.config.jobs > 1 and not cache.persist:
+            # Memory-only cache: pooled workers cannot see the parent's
+            # memory layer, so warming would only add work.
+            return
+        dependants: Dict[str, int] = {}
+        sims: "OrderedDict[str, Job]" = OrderedDict()
+        for job in jobs:
+            sim = job.simulation_job()
+            key = sim.key()
+            sims.setdefault(key, sim)
+            dependants[key] = dependants.get(key, 0) + 1
+        shared = [
+            sims[key]
+            for key in sims
+            if dependants[key] >= 2 and not cache.contains(key)
+        ]
+        if not shared:
+            return
+        self.runtime.metrics.increment("scheduler.prewarmed", len(shared))
+        self._execute(shared)
+
+    def _execute(self, jobs: List[Job]) -> List[object]:
+        runtime = self.runtime
+        if runtime.config.jobs > 1 and len(jobs) > 1:
+            payloads = [
+                {"job": job.payload(), "config": runtime.worker_config()}
+                for job in jobs
+            ]
+            outputs = runtime.pool().map(execute_payload, payloads)
+            results: List[object] = []
+            for job, (result, snapshot) in zip(jobs, outputs):
+                runtime.metrics.merge(snapshot)
+                runtime.cache.adopt(job.key(), result)
+                results.append(result)
+            return results
+        return [runtime.run_job(job) for job in jobs]

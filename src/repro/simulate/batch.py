@@ -5,17 +5,27 @@ number (an AFR, a burst fraction, an inflation factor) carries sampling
 noise.  The batch runner re-simulates under several seeds and reports
 each metric's mean and spread, which is how the shape-check bands used
 throughout the benches were chosen.
+
+The per-seed simulations route through the :mod:`repro.runtime`
+scheduler, so they run on the worker pool when ``jobs > 1`` (or when
+the supplied runtime context is configured for parallelism) and reuse
+cached ``SimulationResult``\\ s when a persistent cache is warm.  Metric
+callables run in the parent process — they are cheap next to the
+simulation, and this keeps them free to be lambdas/closures, which a
+process pool could not ship to workers.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.simulate.scenario import run_scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.context import RuntimeContext
 
 MetricFn = Callable[[FailureDataset], float]
 
@@ -54,6 +64,8 @@ def batch_run(
     scenario: str = "paper-default",
     scale: float = 0.01,
     seeds: Sequence[int] = (1, 2, 3),
+    runtime: Optional["RuntimeContext"] = None,
+    jobs: int = 1,
 ) -> Dict[str, MetricSpread]:
     """Run a scenario under several seeds and evaluate metrics on each.
 
@@ -62,19 +74,43 @@ def batch_run(
         scenario: scenario name (see :data:`repro.simulate.scenario.SCENARIOS`).
         scale: fleet scale per run.
         seeds: root seeds (one simulation each).
+        runtime: execution context; defaults to a serial, non-persistent
+            one (matching the historical behavior of simulating inline).
+        jobs: worker processes for the default runtime (ignored when
+            ``runtime`` is given — its own configuration wins).
 
     Returns:
         Per-metric spreads, in metric order.
+
+    Raises:
+        AnalysisError: for empty metric sets, fewer than 2 seeds, or a
+            metric callable returning NaN/infinity (the offending
+            metric and seed are named rather than letting a non-finite
+            value silently poison :attr:`MetricSpread.mean`).
     """
     if not metrics:
         raise AnalysisError("no metrics given")
     if len(seeds) < 2:
         raise AnalysisError("need at least 2 seeds to measure spread")
+    from repro.runtime import Job, RuntimeConfig, RuntimeContext, Scheduler
+
+    if runtime is None:
+        runtime = RuntimeContext(
+            RuntimeConfig(jobs=jobs, cache_enabled=False)
+        )
+    sim_jobs = [Job.scenario(scenario, scale, seed) for seed in seeds]
+    results = Scheduler(runtime).run(sim_jobs)
     collected: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        dataset = run_scenario(scenario, scale=scale, seed=seed).dataset
+    for seed, result in zip(seeds, results):
+        dataset = result.dataset
         for name, metric in metrics.items():
-            collected[name].append(float(metric(dataset)))
+            value = float(metric(dataset))
+            if not math.isfinite(value):
+                raise AnalysisError(
+                    "metric %r returned a non-finite value (%r) for seed %d"
+                    % (name, value, seed)
+                )
+            collected[name].append(value)
     spreads: Dict[str, MetricSpread] = {}
     for name, values in collected.items():
         mean = sum(values) / len(values)

@@ -7,6 +7,15 @@ return new datasets, so this is the natural usage anyway).
 
 from __future__ import annotations
 
+import os
+
+# Pin BLAS thread pools before numpy/scipy load: the suite's linear
+# algebra is tiny, and spinning worker threads (especially under the
+# runtime's process pool) costs far more than it saves.
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
 import pytest
 
 from repro.fleet.builder import build_fleet
@@ -14,6 +23,18 @@ from repro.fleet.spec import FleetSpec
 from repro.rng import RandomSource
 from repro.simulate.engine import SimulationEngine
 from repro.simulate.scenario import run_scenario
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the runtime's result cache at a per-session temp dir.
+
+    Keeps tests from reading a stale ``~/.cache/repro`` (cache keys
+    embed only the package version, not the working-tree state) and
+    from leaving artifacts behind.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
 
 
 @pytest.fixture
