@@ -1,20 +1,24 @@
 # Developer entry points.
 
-.PHONY: install test check bench experiments figures docs clean
+.PHONY: install test check lint bench experiments figures docs clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest tests/
 
 # CI gate: byte-compile the whole tree, then the tier-1 test suite.
 check:
 	python -m compileall -q src
 	PYTHONPATH=src python -m pytest -x -q
 
+# Style gate: ruff when installed, else the bundled AST fallback.
+lint:
+	python tools/lint.py
+
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
 # Run every registered experiment (tables, figures, ablations) with checks.
 experiments:

@@ -1,0 +1,83 @@
+"""Bench: observability overhead — disabled guard and enabled tracing.
+
+Two claims back the obs design, and this file measures both:
+
+1. A *disabled* observer makes every instrumentation point a single
+   attribute check — the micro bench times a span + counter + latency
+   per loop iteration against a bare loop.
+2. An *enabled* tracer stays out of the way of real work — the macro
+   bench runs the same simulation traced and untraced; the traced wall
+   time must land within 5% of the untraced one (the ISSUE's budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.simulate.scenario import run_scenario
+
+SCALE = 0.01
+SEED = 7
+
+
+@pytest.fixture(autouse=True)
+def _clean_observer():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.mark.benchmark(group="obs-micro")
+def test_bench_obs_disabled_instrumentation(benchmark):
+    """Per-call cost of disabled span + counter + histogram (the guard)."""
+
+    def instrumented_loop():
+        for _ in range(1000):
+            with obs.span("bench.loop"):
+                obs.inc("bench.counter")
+                obs.observe("bench.latency", 0.001)
+
+    benchmark(instrumented_loop)
+    assert obs.events() == []  # really disabled
+
+
+@pytest.mark.benchmark(group="obs-micro")
+def test_bench_obs_enabled_span(benchmark):
+    """Per-call cost of a live span (buffering, ids, parent links)."""
+    obs.configure(enable=True)
+
+    def traced_loop():
+        for _ in range(1000):
+            with obs.span("bench.loop"):
+                pass
+
+    benchmark(traced_loop)
+    assert len(obs.events()) >= 1000
+    obs.OBSERVER.tracer.clear()
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_simulation_untraced(benchmark):
+    result = benchmark.pedantic(
+        run_scenario,
+        args=("paper-default",),
+        kwargs={"scale": SCALE, "seed": SEED},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.dataset.events
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_simulation_traced(benchmark):
+    obs.configure(enable=True)
+    result = benchmark.pedantic(
+        run_scenario,
+        args=("paper-default",),
+        kwargs={"scale": SCALE, "seed": SEED},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.dataset.events
+    assert any(e["name"] == "simulate.run" for e in obs.events())

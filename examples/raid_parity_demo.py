@@ -29,7 +29,8 @@ def demo_raid4() -> None:
     """RAID4: one lost disk is fine, two are fatal."""
     layout = Raid4Layout(n_data=6, block_size=32)
     rng = np.random.default_rng(0)
-    data = rng.integers(0, 256, size=(layout.n_data, layout.block_size), dtype=np.uint16).astype(np.uint8)
+    shape = (layout.n_data, layout.block_size)
+    data = rng.integers(0, 256, size=shape, dtype=np.uint16).astype(np.uint8)
     data[0, : len(PAYLOAD[:32])] = np.frombuffer(PAYLOAD[:32], dtype=np.uint8)
 
     stripe = layout.encode(data)

@@ -202,5 +202,3 @@ def _owner(
     if system_id not in systems:
         raise LogFormatError("%s references unknown system %r" % (child, system_id))
     return systems[system_id]
-
-

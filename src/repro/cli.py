@@ -11,6 +11,8 @@ Usage::
     repro cache clear                   # drop every cached result
     repro simulate paper-default --out logs/   # export an AutoSupport
                                                 # style log archive
+    repro run all --trace t.jsonl --metrics m.prom   # traced run
+    repro obs summary t.jsonl           # per-span timing table
 
 Experiment and findings runs route through :mod:`repro.runtime`: results
 are memoized in a content-addressed on-disk cache (``--no-cache`` keeps
@@ -19,6 +21,14 @@ independent experiments on a process pool — with byte-identical output
 to serial.  A runtime-metrics footer (job counts, cache hits,
 simulations performed, latencies) is printed to stderr so stdout stays
 stable across cache states and ``--jobs`` values.
+
+Observability (see docs/OBSERVABILITY.md): ``--trace FILE`` records a
+JSONL span trace of the whole command, ``--metrics FILE`` writes a
+Prometheus textfile merging the observer's series with the runtime's
+counters; ``$REPRO_TRACE`` / ``$REPRO_METRICS`` set the same defaults,
+and ``$REPRO_PROFILE=<span prefix>`` adds per-span cProfile dumps.
+``repro obs summary FILE`` renders a recorded trace as a per-span
+count/total/p50/p95 table.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.core.findings import evaluate_findings
 from repro.core.report import format_findings, format_overview
 from repro.errors import ReproError
@@ -102,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_cmd.add_argument("action", choices=("stats", "clear"))
     _cache_dir_option(cache_cmd)
+    _obs_flags(cache_cmd)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="render a recorded trace (see docs/OBSERVABILITY.md)"
+    )
+    obs_cmd.add_argument("action", choices=("summary",))
+    obs_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
     return parser
 
 
@@ -125,6 +143,7 @@ def _common(cmd: argparse.ArgumentParser) -> None:
         "in memory within this run)",
     )
     _cache_dir_option(cmd)
+    _obs_flags(cmd)
 
 
 def _cache_dir_option(cmd: argparse.ArgumentParser) -> None:
@@ -132,6 +151,19 @@ def _cache_dir_option(cmd: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory "
         "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _obs_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSONL span trace of this command "
+        "(default: $REPRO_TRACE)",
+    )
+    cmd.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a Prometheus textfile of counters/histograms "
+        "(default: $REPRO_METRICS)",
     )
 
 
@@ -156,11 +188,19 @@ def _print_metrics(runtime) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    obs.configure(
+        trace=getattr(args, "trace", None),
+        metrics=getattr(args, "metrics", None),
+    )
     try:
-        return _dispatch(args)
+        with obs.span("cli.%s" % args.command):
+            return _dispatch(args)
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        for kind, path in sorted(obs.export().items()):
+            print("obs: wrote %s to %s" % (kind, path), file=sys.stderr)
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -317,6 +357,19 @@ def _dispatch(args: argparse.Namespace) -> int:
                     100.0 * spread.relative_std,
                 )
             )
+        return 0
+
+    if args.command == "obs":
+        from repro.errors import SpecificationError
+
+        # Only "summary" today; argparse already rejected anything else.
+        try:
+            summary = obs.load_trace_summary(args.trace_file)
+        except (OSError, ValueError) as exc:
+            raise SpecificationError(
+                "cannot read trace %r: %s" % (args.trace_file, exc)
+            ) from exc
+        print(summary)
         return 0
 
     if args.command == "cache":

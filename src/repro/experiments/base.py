@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.runtime.context import RuntimeContext
 
+from repro import obs
 from repro.core.dataset import FailureDataset
 from repro.errors import SpecificationError
 from repro.simulate.scenario import run_scenario
@@ -129,4 +130,9 @@ def run_experiment(
             "unknown experiment %r (have: %s)"
             % (experiment_id, ", ".join(sorted(EXPERIMENTS)))
         ) from None
-    return runner(context or ExperimentContext())
+    with obs.span("experiment.%s" % experiment_id):
+        result = runner(context or ExperimentContext())
+    obs.inc("experiments.run")
+    if not result.passed:
+        obs.inc("experiments.failed_checks", len(result.failed_checks()))
+    return result

@@ -20,10 +20,12 @@ accounting downstream sees correct per-disk lifetimes.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.failures.events import ComponentError, FailureEvent
 from repro.failures.hazards import GammaInterarrival, renewal_arrivals
 from repro.failures.multipath import MultipathModel
@@ -144,16 +146,32 @@ class FailureInjector:
         """
         events: List[FailureEvent] = []
         recovered: List[ComponentError] = []
-        for system in fleet.systems:
-            rng = random_source.stream("inject", system.system_id)
-            sys_events, sys_recovered = self._inject_system(
-                system, rng, fleet.duration_seconds
-            )
-            events.extend(sys_events)
-            recovered.extend(sys_recovered)
-        events.sort(key=lambda e: e.detect_time)
-        recovered.sort(key=lambda e: e.time)
-        return InjectionResult(events=events, recovered_errors=recovered, fleet=fleet)
+        with obs.span("inject.fleet", systems=len(fleet.systems)):
+            observing = obs.OBSERVER.registry.enabled
+            for system in fleet.systems:
+                rng = random_source.stream("inject", system.system_id)
+                start = time.perf_counter() if observing else 0.0
+                sys_events, sys_recovered = self._inject_system(
+                    system, rng, fleet.duration_seconds
+                )
+                if observing:
+                    obs.observe(
+                        "inject.system",
+                        time.perf_counter() - start,
+                        system_class=system.system_class.value,
+                    )
+                events.extend(sys_events)
+                recovered.extend(sys_recovered)
+            with obs.span("inject.sort", events=len(events)):
+                events.sort(key=lambda e: e.detect_time)
+                recovered.sort(key=lambda e: e.time)
+        result = InjectionResult(
+            events=events, recovered_errors=recovered, fleet=fleet
+        )
+        if observing:
+            for failure_type, n in result.counts_by_type().items():
+                obs.inc("inject.events", n, failure_type=failure_type.value)
+        return result
 
     # -- per-system simulation --------------------------------------------
 
@@ -210,7 +228,8 @@ class FailureInjector:
 
         # Candidate failure times per bay, per type.  A candidate is
         # (time, cause, masked) — cause/masked only used for interconnect.
-        candidates: Dict[Tuple[str, FailureType], List[Tuple[float, Optional[InterconnectCause], bool]]] = {}
+        Candidate = Tuple[float, Optional[InterconnectCause], bool]
+        candidates: Dict[Tuple[str, FailureType], List[Candidate]] = {}
 
         shelf_slot_index = {
             shelf.shelf_id: shelf.slots for shelf in system.shelves

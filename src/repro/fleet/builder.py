@@ -13,6 +13,7 @@ from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.fleet import catalog
 from repro.fleet.fleet import Fleet
 from repro.fleet.spec import ClassSpec, FleetSpec
@@ -37,18 +38,22 @@ def build_fleet(spec: FleetSpec, random_source: RandomSource) -> Fleet:
         out per the spec's policy.
     """
     systems: List[StorageSystem] = []
-    for system_class in SYSTEM_CLASS_ORDER:
-        if system_class not in spec.class_specs:
-            continue
-        class_spec = spec.class_specs[system_class]
-        count = spec.scaled_systems(system_class)
-        for index in range(count):
-            system_id = "%s-%05d" % (_CLASS_TAGS[system_class], index)
-            rng = random_source.stream("fleet", system_class.value, index)
-            systems.append(
-                _build_system(system_id, system_class, class_spec, spec, rng)
-            )
-    return Fleet(systems=systems, duration_seconds=spec.duration_seconds)
+    with obs.span("fleet.build", scale=spec.scale):
+        for system_class in SYSTEM_CLASS_ORDER:
+            if system_class not in spec.class_specs:
+                continue
+            class_spec = spec.class_specs[system_class]
+            count = spec.scaled_systems(system_class)
+            for index in range(count):
+                system_id = "%s-%05d" % (_CLASS_TAGS[system_class], index)
+                rng = random_source.stream("fleet", system_class.value, index)
+                systems.append(
+                    _build_system(system_id, system_class, class_spec, spec, rng)
+                )
+            obs.inc("fleet.systems", count, system_class=system_class.value)
+    fleet = Fleet(systems=systems, duration_seconds=spec.duration_seconds)
+    obs.set_gauge("fleet.disks", sum(s.slot_count for s in systems))
+    return fleet
 
 
 _CLASS_TAGS = {

@@ -57,10 +57,18 @@ class ClassRates:
 #: about 3.4% with disks at 1.9% (SATA); low-end is about 4.6% with disks
 #: at only 0.9% (FC), i.e. disks are ~20% of the total (Findings 1-2).
 CLASS_RATES: Mapping[SystemClass, ClassRates] = {
-    SystemClass.NEARLINE: ClassRates(disk=1.90, interconnect=0.95, protocol=0.35, performance=0.20),
-    SystemClass.LOW_END: ClassRates(disk=0.90, interconnect=2.90, protocol=0.35, performance=0.45),
-    SystemClass.MID_RANGE: ClassRates(disk=0.75, interconnect=1.82, protocol=0.32, performance=0.28),
-    SystemClass.HIGH_END: ClassRates(disk=0.75, interconnect=2.13, protocol=0.30, performance=0.03),
+    SystemClass.NEARLINE: ClassRates(
+        disk=1.90, interconnect=0.95, protocol=0.35, performance=0.20
+    ),
+    SystemClass.LOW_END: ClassRates(
+        disk=0.90, interconnect=2.90, protocol=0.35, performance=0.45
+    ),
+    SystemClass.MID_RANGE: ClassRates(
+        disk=0.75, interconnect=1.82, protocol=0.32, performance=0.28
+    ),
+    SystemClass.HIGH_END: ClassRates(
+        disk=0.75, interconnect=2.13, protocol=0.30, performance=0.03
+    ),
 }
 
 
@@ -169,7 +177,9 @@ class ShockParams:
 #: (10-25x P(2) inflation).
 SHOCK_PARAMS: Mapping[FailureType, ShockParams] = {
     FailureType.DISK: ShockParams(rho=0.45, hit_prob=0.22, window_mean_seconds=2.0e5),
-    FailureType.PHYSICAL_INTERCONNECT: ShockParams(rho=0.80, hit_prob=0.22, window_mean_seconds=4000.0),
+    FailureType.PHYSICAL_INTERCONNECT: ShockParams(
+        rho=0.80, hit_prob=0.22, window_mean_seconds=4000.0
+    ),
     FailureType.PROTOCOL: ShockParams(rho=0.70, hit_prob=0.22, window_mean_seconds=6000.0),
     FailureType.PERFORMANCE: ShockParams(rho=0.50, hit_prob=0.18, window_mean_seconds=8000.0),
 }

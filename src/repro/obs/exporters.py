@@ -1,0 +1,243 @@
+"""Exporters: JSONL traces in, Prometheus textfiles and tables out.
+
+Three output formats, one per consumer:
+
+- **JSONL trace** — one ``meta`` line then one JSON object per span
+  (written by :meth:`repro.obs.trace.Tracer.flush`); read back with
+  :func:`read_trace` for tooling and the ``repro obs summary`` command.
+- **Prometheus textfile** — :func:`render_prometheus` /
+  :func:`write_metrics` turn a :class:`MetricsRegistry` into the
+  node-exporter textfile-collector format (``# TYPE`` comments,
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` histogram series).
+  Dotted metric names are sanitized (``cache.hit`` ->
+  ``repro_cache_hit``) because Prometheus names cannot contain dots.
+- **Summary table** — :func:`render_trace_summary` aggregates a trace
+  per span name into count / total / mean / p50 / p95 / max, computed
+  *exactly* from the recorded durations (unlike the registry's bucketed
+  histograms).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.registry import Histogram, MetricsRegistry, parse_series_key
+
+
+# -- JSONL traces ------------------------------------------------------------
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into its span events.
+
+    ``meta`` records, blank lines, and records of unknown type are
+    skipped, so the reader tolerates both bare event streams and the
+    full flushed format.
+
+    Raises:
+        ValueError: when a non-empty line is not valid JSON.
+    """
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "%s:%d: not valid JSON: %s" % (path, number, exc)
+                ) from exc
+            if isinstance(record, dict) and record.get("type", "span") == "span":
+                events.append(record)
+    return events
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (exact, 0.0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+def summarize_trace(
+    events: Sequence[Mapping[str, object]],
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate span events per name.
+
+    Returns ``{name: {count, total, mean, p50, p95, max, errors}}``
+    with exact (not bucketed) percentiles over the span durations.
+    """
+    durations: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        durations.setdefault(name, []).append(float(event.get("duration", 0.0)))
+        if "error" in event:
+            errors[name] = errors.get(name, 0) + 1
+    summary: Dict[str, Dict[str, float]] = {}
+    for name, values in durations.items():
+        total = sum(values)
+        summary[name] = {
+            "count": float(len(values)),
+            "total": total,
+            "mean": total / len(values),
+            "p50": percentile(values, 0.50),
+            "p95": percentile(values, 0.95),
+            "max": max(values),
+            "errors": float(errors.get(name, 0)),
+        }
+    return summary
+
+
+def render_trace_summary(
+    events: Sequence[Mapping[str, object]], title: str = "trace summary"
+) -> str:
+    """Render :func:`summarize_trace` as an aligned table, widest total
+    first."""
+    summary = summarize_trace(events)
+    lines = [title]
+    if not summary:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    name_width = max(len(name) for name in summary)
+    header = "  %-*s %7s %10s %10s %10s %10s %10s" % (
+        name_width, "span", "count", "total", "mean", "p50", "p95", "max",
+    )
+    lines.append(header)
+    for name in sorted(summary, key=lambda n: -summary[n]["total"]):
+        stats = summary[name]
+        suffix = (
+            "  errors=%d" % int(stats["errors"]) if stats["errors"] else ""
+        )
+        lines.append(
+            "  %-*s %7d %9.4gs %9.4gs %9.4gs %9.4gs %9.4gs%s"
+            % (
+                name_width,
+                name,
+                int(stats["count"]),
+                stats["total"],
+                stats["mean"],
+                stats["p50"],
+                stats["p95"],
+                stats["max"],
+                suffix,
+            )
+        )
+    return "\n".join(lines)
+
+
+# -- Prometheus textfiles -----------------------------------------------------
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """A legal Prometheus metric name from a dotted repro one."""
+    cleaned = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    if namespace:
+        cleaned = "%s_%s" % (namespace, cleaned)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    """Render a label dict as ``{k="v",...}`` (empty string when bare)."""
+    parts = ['%s="%s"' % (k, str(v).replace('"', '\\"')) for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The registry as a Prometheus textfile-collector payload."""
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(prom: str, kind: str) -> None:
+        if seen_types.get(prom) != kind:
+            seen_types[prom] = kind
+            lines.append("# TYPE %s %s" % (prom, kind))
+
+    for key in sorted(snapshot["counters"]):  # type: ignore[index]
+        name, labels = parse_series_key(key)
+        prom = _prom_name(name, namespace)
+        type_line(prom, "counter")
+        value = snapshot["counters"][key]  # type: ignore[index]
+        lines.append("%s%s %d" % (prom, _prom_labels(labels), value))
+    for key in sorted(snapshot["gauges"]):  # type: ignore[index]
+        name, labels = parse_series_key(key)
+        prom = _prom_name(name, namespace)
+        type_line(prom, "gauge")
+        value = snapshot["gauges"][key]  # type: ignore[index]
+        lines.append("%s%s %g" % (prom, _prom_labels(labels), value))
+    for key in sorted(snapshot["histograms"]):  # type: ignore[index]
+        name, labels = parse_series_key(key)
+        prom = _prom_name(name, namespace) + "_seconds"
+        type_line(prom, "histogram")
+        hist = Histogram(tuple(snapshot["histograms"][key]["bounds"]))  # type: ignore[index]
+        hist.merge(snapshot["histograms"][key])  # type: ignore[index]
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                "%s_bucket%s %d"
+                % (prom, _prom_labels(labels, 'le="%g"' % bound), cumulative)
+            )
+        lines.append(
+            "%s_bucket%s %d"
+            % (prom, _prom_labels(labels, 'le="+Inf"'), hist.count)
+        )
+        lines.append("%s_sum%s %g" % (prom, _prom_labels(labels), hist.total))
+        lines.append("%s_count%s %d" % (prom, _prom_labels(labels), hist.count))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    path: str, registry: MetricsRegistry, namespace: str = "repro"
+) -> None:
+    """Atomically write :func:`render_prometheus` output to ``path``."""
+    payload = render_prometheus(registry, namespace=namespace)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_trace_summary(path: str, title: Optional[str] = None) -> str:
+    """Read a JSONL trace and render its summary table."""
+    events = read_trace(path)
+    return render_trace_summary(
+        events, title=title or ("trace summary: %s" % path)
+    )
+
+
+__all__ = [
+    "load_trace_summary",
+    "percentile",
+    "read_trace",
+    "render_prometheus",
+    "render_trace_summary",
+    "summarize_trace",
+    "write_metrics",
+]

@@ -1,0 +1,311 @@
+"""Metrics registry: labeled counters, gauges, and latency histograms.
+
+The registry generalizes what :class:`repro.runtime.RuntimeMetrics`
+used to implement privately: dotted-name counters (``cache.hit``),
+gauges (``pool.workers``), and fixed-bucket latency histograms
+(``job.latency``), now with optional **labels** (``inc("sim.events",
+5, scenario="quick")``) and a per-metric cap on label-set cardinality
+so an unbounded label value (a disk id, a timestamp) cannot grow the
+registry without bound.
+
+Series are stored under flattened string keys — ``name`` for the
+unlabeled series, ``name{k=v,...}`` (keys sorted) for labeled ones —
+which keeps :meth:`MetricsRegistry.snapshot` a plain picklable dict
+that older snapshots (without gauges or labels) merge into cleanly.
+
+A registry constructed with ``enabled=False`` is a no-op: every
+recording method returns after a single attribute check, which is what
+keeps disabled observability effectively free on hot paths.  All
+mutation happens under one lock, so threads may record concurrently
+and a flush/snapshot never sees a half-updated histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Upper bucket bounds (seconds) for latency histograms; observations
+#: beyond the last bound land in an overflow bucket.
+DEFAULT_BOUNDS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0)
+
+#: Default cap on distinct label sets per metric name.
+DEFAULT_MAX_LABEL_SETS = 64
+
+#: Label key marking series that overflowed the cardinality cap.
+OVERFLOW_LABEL = "__overflow__"
+
+
+def series_key(name: str, labels: Mapping[str, object]) -> str:
+    """Flattened storage key: ``name`` or ``name{k=v,...}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels))
+    return "%s{%s}" % (name, inner)
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`series_key` into ``(name, labels)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (seconds).
+
+    Attributes:
+        bounds: upper bucket bounds; one overflow bucket follows.
+        counts: per-bucket observation counts (len(bounds) + 1).
+        count / total / max: summary aggregates.
+    """
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        seconds = float(seconds)
+        for index, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean observed latency (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        A conservative (bucketed) estimate; the overflow bucket reports
+        the exact observed maximum.
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable dict capturing this histogram's full state."""
+        return {
+            "bounds": self.bounds,
+            "counts": tuple(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+        }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one."""
+        if tuple(snapshot["bounds"]) != self.bounds:  # type: ignore[arg-type]
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, n in enumerate(snapshot["counts"]):  # type: ignore[arg-type]
+            self.counts[index] += int(n)
+        self.count += int(snapshot["count"])  # type: ignore[arg-type]
+        self.total += float(snapshot["total"])  # type: ignore[arg-type]
+        self.max = max(self.max, float(snapshot["max"]))  # type: ignore[arg-type]
+
+
+class MetricsRegistry:
+    """Counters + gauges + histograms under one lock (see module docstring).
+
+    Args:
+        enabled: ``False`` turns every recording method into a no-op
+            guarded by a single attribute check.
+        max_label_sets: cap on distinct label sets per metric name;
+            excess label sets collapse into one ``__overflow__`` series
+            so the registry's size stays bounded.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+    ) -> None:
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._label_sets: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def increment(self, name: str, n: int = 1, /, **labels: object) -> None:
+        """Add ``n`` to counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            key = self._series(name, labels, self._counters)
+            self._counters[key] = self._counters.get(key, 0) + n
+
+    def set_gauge(self, name: str, value: float, /, **labels: object) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            key = self._series(name, labels, self._gauges)
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, seconds: float, /, **labels: object) -> None:
+        """Record a latency observation in histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            key = self._series(name, labels, self._histograms)
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.observe(seconds)
+
+    # -- reading -------------------------------------------------------------
+
+    def count(self, name: str, /, **labels: object) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(series_key(name, labels), 0)
+
+    def gauge(self, name: str, /, **labels: object) -> float:
+        """Current value of gauge ``name`` (0.0 if never set)."""
+        return self._gauges.get(series_key(name, labels), 0.0)
+
+    def histogram(self, name: str, /, **labels: object) -> Histogram:
+        """Histogram ``name`` (an empty one if never observed)."""
+        return self._histograms.get(series_key(name, labels), Histogram())
+
+    def series(self) -> Dict[str, Dict[str, object]]:
+        """All live series keys per kind (for exporters and tests)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": dict(self._histograms),
+            }
+
+    # -- transport -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable dict of all counters, gauges, and histograms."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Accepts snapshots without a ``gauges`` section (the pre-obs
+        :class:`RuntimeMetrics` wire format).  Merging bypasses the
+        ``enabled`` switch: a disabled parent can still *collect*.
+        """
+        counters: Mapping[str, int] = snapshot.get("counters", {})  # type: ignore[assignment]
+        gauges: Mapping[str, float] = snapshot.get("gauges", {})  # type: ignore[assignment]
+        histograms: Mapping[str, Mapping[str, object]] = snapshot.get(  # type: ignore[assignment]
+            "histograms", {}
+        )
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in gauges.items():
+                self._gauges[name] = float(value)
+            for name, hist in histograms.items():
+                if name not in self._histograms:
+                    bounds = tuple(hist["bounds"])  # type: ignore[arg-type]
+                    self._histograms[name] = Histogram(bounds)
+                self._histograms[name].merge(hist)
+
+    # -- rendering -----------------------------------------------------------
+
+    def report(self, title: str = "metrics") -> str:
+        """Render counters and latency summaries as an aligned text block."""
+        lines = [title]
+        if not self._counters and not self._gauges and not self._histograms:
+            lines.append("  (no activity recorded)")
+            return "\n".join(lines)
+        for name in sorted(self._counters):
+            lines.append("  %-24s %d" % (name, self._counters[name]))
+        for name in sorted(self._gauges):
+            lines.append("  %-24s %g" % (name, self._gauges[name]))
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            lines.append(
+                "  %-24s n=%d mean=%.3gs p50<=%.3gs p95<=%.3gs max=%.3gs"
+                % (
+                    name,
+                    hist.count,
+                    hist.mean,
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                    hist.max,
+                )
+            )
+        return "\n".join(lines)
+
+    # -- internals -----------------------------------------------------------
+
+    def _series(
+        self,
+        name: str,
+        labels: Mapping[str, object],
+        store: Mapping[str, object],
+    ) -> str:
+        """Resolve the storage key, enforcing the label cardinality cap."""
+        if not labels:
+            return name
+        key = series_key(name, labels)
+        if key in store:
+            return key
+        used = self._label_sets.get(name, 0)
+        if used >= self.max_label_sets:
+            return series_key(name, {OVERFLOW_LABEL: "true"})
+        self._label_sets[name] = used + 1
+        return key
+
+
+def merged(registries: Sequence[MetricsRegistry]) -> MetricsRegistry:
+    """A fresh registry holding the union of several registries."""
+    union = MetricsRegistry()
+    for registry in registries:
+        union.merge(registry.snapshot())
+    return union
+
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "Histogram",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "merged",
+    "parse_series_key",
+    "series_key",
+]

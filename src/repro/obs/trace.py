@@ -1,0 +1,242 @@
+"""Timing spans: structured JSONL trace events with parent links.
+
+A span measures one named region of work::
+
+    with obs.span("simulate.fleet", scenario="quick"):
+        ...
+
+On exit the span appends one event to the process-wide buffer:
+``name``, ``span_id``, ``parent_id`` (the span open on the same thread
+when this one started, or ``None``), ``start`` (seconds since the
+tracer's monotonic epoch), ``duration``, ``pid``, and the span's
+attributes.  Events are buffered in memory and written by
+:meth:`Tracer.flush` as one atomic JSONL file (temp file +
+``os.replace``), whose first line is a ``meta`` record mapping the
+monotonic epoch back to wall-clock time.
+
+Nesting is tracked per thread with :class:`threading.local`; worker
+*processes* have their own (normally disabled) tracer — the parent's
+pool spans cover pooled execution instead (see docs/OBSERVABILITY.md).
+
+Profiling rides on spans: with ``REPRO_PROFILE=<prefix>`` every span
+whose name starts with the prefix runs under :mod:`cProfile` and dumps
+``profile-<name>-<span_id>.pstats`` next to the trace (or into
+``$REPRO_PROFILE_DIR``), and the event records the dump path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class NullSpan:
+    """The no-op span returned while tracing is disabled.
+
+    A shared singleton: entering returns itself, exiting does nothing,
+    so a disabled ``with obs.span(...):`` costs one attribute check
+    plus an (empty) context-manager protocol round trip.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One live span; created by :meth:`Tracer.span`, used as a context
+    manager."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_start",
+        "_profile",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+        self._profile: Optional[cProfile.Profile] = None
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.span_id = tracer.next_id()
+        stack = tracer.stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        prefix = tracer.profile_prefix
+        if prefix is not None and self.name.startswith(prefix):
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        duration = time.perf_counter() - self._start
+        if self._profile is not None:
+            self._profile.disable()
+            self.attrs["profile"] = self.tracer.dump_profile(
+                self._profile, self.name, self.span_id
+            )
+        stack = self.tracer.stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self._start - self.tracer.epoch_perf,
+            "duration": duration,
+            "pid": os.getpid(),
+        }
+        if exc_type is not None:
+            event["error"] = getattr(exc_type, "__name__", str(exc_type))
+        if self.attrs:
+            event["attrs"] = {k: _jsonable(v) for k, v in self.attrs.items()}
+        self.tracer.record(event)
+
+
+class Tracer:
+    """Process-wide span collector (see module docstring).
+
+    Args:
+        enabled: collect spans; ``False`` is the no-op default.
+        profile_prefix: span-name prefix that triggers per-span
+            cProfile dumps (usually from ``$REPRO_PROFILE``).
+        profile_dir: where profile dumps land (``$REPRO_PROFILE_DIR``
+            or the working directory).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        profile_prefix: Optional[str] = None,
+        profile_dir: Optional[str] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.profile_prefix = profile_prefix
+        self.profile_dir = profile_dir
+        self.epoch_perf = time.perf_counter()
+        self.epoch_wall = time.time()
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, object]] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- span plumbing -------------------------------------------------------
+
+    def span(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
+        """A new span (context manager); no-op object when disabled."""
+        return Span(self, name, dict(attrs or {}))
+
+    def next_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def stack(self) -> List[int]:
+        """This thread's stack of open span ids."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def record(self, event: Dict[str, object]) -> None:
+        """Append one finished event to the buffer."""
+        with self._lock:
+            self._events.append(event)
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span id on this thread (None at top level)."""
+        stack = self.stack()
+        return stack[-1] if stack else None
+
+    # -- buffer management ---------------------------------------------------
+
+    def events(self) -> List[Dict[str, object]]:
+        """A snapshot copy of the buffered events."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Drop all buffered events (tests, or after a flush)."""
+        with self._lock:
+            self._events = []
+
+    def meta(self) -> Dict[str, object]:
+        """The header record written as the first JSONL line."""
+        return {
+            "type": "meta",
+            "epoch_wall": self.epoch_wall,
+            "pid": os.getpid(),
+            "events": len(self._events),
+        }
+
+    def flush(self, path: str) -> int:
+        """Write the full buffer to ``path`` as JSONL, atomically.
+
+        Returns the number of span events written.  The write goes to a
+        temp file in the destination directory and is published with
+        ``os.replace``, so a concurrent reader never sees a torn file.
+        """
+        events = self.events()
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self.meta()) + "\n")
+                for event in events:
+                    handle.write(json.dumps(event) + "\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        return len(events)
+
+    # -- profiling -----------------------------------------------------------
+
+    def dump_profile(
+        self, profile: cProfile.Profile, name: str, span_id: Optional[int]
+    ) -> str:
+        """Persist one span's profile; returns the dump path."""
+        directory = self.profile_dir or os.environ.get("REPRO_PROFILE_DIR") or "."
+        os.makedirs(directory, exist_ok=True)
+        safe = name.replace("/", "_").replace(" ", "_")
+        path = os.path.join(directory, "profile-%s-%s.pstats" % (safe, span_id))
+        profile.dump_stats(path)
+        return path
+
+
+def _jsonable(value: object) -> object:
+    """Coerce an attribute to something json.dumps accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+__all__ = ["NULL_SPAN", "NullSpan", "Span", "Tracer"]

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
 from repro.failures.types import FailureType
@@ -93,6 +94,20 @@ def estimate_dataloss(
     if transient_outage_seconds <= 0.0:
         raise AnalysisError("transient outage must be positive")
 
+    with obs.span(
+        "raid.estimate_dataloss", include_transient=include_transient
+    ):
+        return _estimate(
+            dataset, rebuild, include_transient, transient_outage_seconds
+        )
+
+
+def _estimate(
+    dataset: FailureDataset,
+    rebuild: RebuildModel,
+    include_transient: bool,
+    transient_outage_seconds: float,
+) -> DataLossReport:
     group_types: Dict[str, RaidType] = {}
     groups_by_type: Dict[RaidType, int] = {}
     for group in dataset.fleet.iter_raid_groups():

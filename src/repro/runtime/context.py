@@ -12,6 +12,7 @@ import dataclasses
 import time
 from typing import Dict, Optional
 
+from repro import obs
 from repro.runtime.cache import MISSING, ResultCache
 from repro.runtime.jobs import KIND_SCENARIO, Job, execute_job
 from repro.runtime.metrics import RuntimeMetrics
@@ -66,11 +67,17 @@ class RuntimeContext:
         else:
             cache.bind_metrics(self.metrics)
         self.cache = cache
+        if obs.OBSERVER.enabled:
+            # Exported Prometheus textfiles then carry this context's
+            # cache/job counters alongside the observer's own series.
+            obs.register_metrics(self.metrics)
 
     def reset_metrics(self) -> None:
         """Swap in a fresh metrics registry (worker delta reporting)."""
         self.metrics = RuntimeMetrics()
         self.cache.bind_metrics(self.metrics)
+        if obs.OBSERVER.enabled:
+            obs.register_metrics(self.metrics)
 
     # -- execution -------------------------------------------------------------
 
@@ -86,7 +93,8 @@ class RuntimeContext:
         if cached is not MISSING:
             return cached
         start = time.perf_counter()
-        result = execute_job(job, self)
+        with obs.span("runtime.job", kind=job.kind, name=job.name):
+            result = execute_job(job, self)
         self.metrics.observe("job.latency", time.perf_counter() - start)
         if job.kind == KIND_SCENARIO:
             self.metrics.increment("sim.runs")

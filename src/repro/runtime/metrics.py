@@ -6,91 +6,27 @@ cache hits and misses, simulations actually run) as named counters and
 plain dicts so worker processes can ship their metrics back to the
 parent for merging, and :meth:`RuntimeMetrics.report` renders the
 merged state as the text footer the CLI prints after ``repro run all``.
+
+Since the :mod:`repro.obs` observability subsystem absorbed this
+module's original implementation, :class:`RuntimeMetrics` is a thin
+veneer over :class:`repro.obs.MetricsRegistry` — it inherits labels,
+gauges, the label-cardinality cap, thread-safe recording, and
+Prometheus export (``repro.obs.render_prometheus``) for free, while
+keeping the historical wire format: snapshots taken by pre-obs
+versions still merge cleanly.  ``LatencyHistogram`` remains as an
+alias of :class:`repro.obs.Histogram`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from repro.obs.registry import DEFAULT_BOUNDS, Histogram, MetricsRegistry
 
-#: Upper bucket bounds (seconds) for latency histograms; observations
-#: beyond the last bound land in an overflow bucket.
-DEFAULT_BOUNDS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0)
-
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram (seconds).
-
-    Attributes:
-        bounds: upper bucket bounds; one overflow bucket follows.
-        counts: per-bucket observation counts (len(bounds) + 1).
-        count / total / max: summary aggregates.
-    """
-
-    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
-        self.bounds = tuple(float(b) for b in bounds)
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency observation."""
-        seconds = float(seconds)
-        for index, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                self.counts[index] += 1
-                break
-        else:
-            self.counts[-1] += 1
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-
-    @property
-    def mean(self) -> float:
-        """Mean observed latency (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q`` quantile.
-
-        A conservative (bucketed) estimate; the overflow bucket reports
-        the exact observed maximum.
-        """
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for index, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= target:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return self.max
-        return self.max
-
-    def snapshot(self) -> Dict[str, object]:
-        """A picklable dict capturing this histogram's full state."""
-        return {
-            "bounds": self.bounds,
-            "counts": tuple(self.counts),
-            "count": self.count,
-            "total": self.total,
-            "max": self.max,
-        }
-
-    def merge(self, snapshot: Mapping[str, object]) -> None:
-        """Fold another histogram's :meth:`snapshot` into this one."""
-        if tuple(snapshot["bounds"]) != self.bounds:  # type: ignore[arg-type]
-            raise ValueError("cannot merge histograms with different bounds")
-        for index, n in enumerate(snapshot["counts"]):  # type: ignore[arg-type]
-            self.counts[index] += int(n)
-        self.count += int(snapshot["count"])  # type: ignore[arg-type]
-        self.total += float(snapshot["total"])  # type: ignore[arg-type]
-        self.max = max(self.max, float(snapshot["max"]))  # type: ignore[arg-type]
+#: Backwards-compatible name for the histogram class that moved to
+#: :mod:`repro.obs.registry`.
+LatencyHistogram = Histogram
 
 
-class RuntimeMetrics:
+class RuntimeMetrics(MetricsRegistry):
     """Counter + histogram registry for one runtime context.
 
     Counter names are dotted (``jobs.submitted``, ``cache.hit``,
@@ -99,73 +35,9 @@ class RuntimeMetrics:
     the parent folds those in with :meth:`merge`.
     """
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, int] = {}
-        self._histograms: Dict[str, LatencyHistogram] = {}
-
-    # -- recording -----------------------------------------------------------
-
-    def increment(self, name: str, n: int = 1) -> None:
-        """Add ``n`` to counter ``name`` (creating it at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + n
-
-    def observe(self, name: str, seconds: float) -> None:
-        """Record a latency observation in histogram ``name``."""
-        if name not in self._histograms:
-            self._histograms[name] = LatencyHistogram()
-        self._histograms[name].observe(seconds)
-
-    # -- reading -------------------------------------------------------------
-
-    def count(self, name: str) -> int:
-        """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
-
-    def histogram(self, name: str) -> LatencyHistogram:
-        """Histogram ``name`` (an empty one if never observed)."""
-        return self._histograms.get(name, LatencyHistogram())
-
-    # -- transport -----------------------------------------------------------
-
-    def snapshot(self) -> Dict[str, object]:
-        """A picklable dict of all counters and histograms."""
-        return {
-            "counters": dict(self._counters),
-            "histograms": {
-                name: hist.snapshot() for name, hist in self._histograms.items()
-            },
-        }
-
-    def merge(self, snapshot: Mapping[str, object]) -> None:
-        """Fold a worker's :meth:`snapshot` into this registry."""
-        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
-            self.increment(name, int(value))
-        for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
-            if name not in self._histograms:
-                self._histograms[name] = LatencyHistogram(tuple(hist["bounds"]))
-            self._histograms[name].merge(hist)
-
-    # -- rendering -----------------------------------------------------------
-
     def report(self, title: str = "runtime metrics") -> str:
         """Render counters and latency summaries as an aligned text block."""
-        lines = [title]
-        if not self._counters and not self._histograms:
-            lines.append("  (no activity recorded)")
-            return "\n".join(lines)
-        for name in sorted(self._counters):
-            lines.append("  %-24s %d" % (name, self._counters[name]))
-        for name in sorted(self._histograms):
-            hist = self._histograms[name]
-            lines.append(
-                "  %-24s n=%d mean=%.3gs p50<=%.3gs p95<=%.3gs max=%.3gs"
-                % (
-                    name,
-                    hist.count,
-                    hist.mean,
-                    hist.quantile(0.50),
-                    hist.quantile(0.95),
-                    hist.max,
-                )
-            )
-        return "\n".join(lines)
+        return super().report(title)
+
+
+__all__ = ["DEFAULT_BOUNDS", "LatencyHistogram", "RuntimeMetrics"]

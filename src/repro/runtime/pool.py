@@ -18,16 +18,35 @@ The pool is a thin, deterministic wrapper over
 The mapped callable must be picklable (a module-level function) in
 pooled mode; the runtime uses
 :func:`repro.runtime.jobs.execute_payload`.
+
+Each job runs through a timing shim (:func:`_timed_call`) so the pool
+can split **queue wait** from **execute time**: the worker reports how
+long the callable itself ran, and the difference to the parent-side
+turnaround is time spent waiting for a worker slot.  Both land in the
+metrics registry as the ``pool.execute`` and ``pool.queue_wait``
+histograms.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import JobExecutionError
+
+
+def _timed_call(fn: Callable, item: object):
+    """Run ``fn(item)`` and return ``(result, execute_seconds)``.
+
+    Module-level so it pickles into worker processes alongside ``fn``.
+    """
+    start = time.perf_counter()
+    result = fn(item)
+    return result, time.perf_counter() - start
 
 
 class WorkerPool:
@@ -68,21 +87,33 @@ class WorkerPool:
             self._emit("pool.fallback")
             return [self._run_serial(fn, i, item) for i, item in enumerate(items)]
         try:
-            futures = [executor.submit(fn, item) for item in items]
-            return [
-                self._await(executor, fn, index, item, future)
-                for index, (item, future) in enumerate(zip(items, futures))
-            ]
+            with obs.span(
+                "runtime.pool.map", jobs=self.jobs, items=len(items)
+            ):
+                submitted = time.perf_counter()
+                futures = [
+                    executor.submit(_timed_call, fn, item) for item in items
+                ]
+                return [
+                    self._await(executor, fn, index, item, future, submitted)
+                    for index, (item, future) in enumerate(zip(items, futures))
+                ]
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
     # -- internals -------------------------------------------------------------
 
-    def _await(self, executor, fn, index, item, future):
+    def _await(self, executor, fn, index, item, future, submitted):
         attempt = 0
         while True:
             try:
-                return future.result(timeout=self.timeout)
+                result, execute_seconds = future.result(timeout=self.timeout)
+                self._observe("pool.execute", execute_seconds)
+                turnaround = time.perf_counter() - submitted
+                self._observe(
+                    "pool.queue_wait", max(0.0, turnaround - execute_seconds)
+                )
+                return result
             except FuturesTimeoutError as exc:
                 self._emit("jobs.failed")
                 raise JobExecutionError(
@@ -103,13 +134,16 @@ class WorkerPool:
                         % (index, item, attempt, exc)
                     ) from exc
                 self._emit("jobs.retried")
-                future = executor.submit(fn, item)
+                submitted = time.perf_counter()
+                future = executor.submit(_timed_call, fn, item)
 
     def _run_serial(self, fn, index, item):
         attempt = 0
         while True:
             try:
-                return fn(item)
+                result, execute_seconds = _timed_call(fn, item)
+                self._observe("pool.execute", execute_seconds)
+                return result
             except Exception as exc:
                 attempt += 1
                 if attempt > self.retries:
@@ -123,3 +157,7 @@ class WorkerPool:
     def _emit(self, name: str) -> None:
         if self._metrics is not None:
             self._metrics.increment(name)
+
+    def _observe(self, name: str, seconds: float) -> None:
+        if self._metrics is not None:
+            self._metrics.observe(name, seconds)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Sequence
 
+from repro import obs
 from repro.runtime.context import RuntimeContext
 from repro.runtime.jobs import Job, execute_payload
 
@@ -43,8 +44,11 @@ class Scheduler:
         for job in jobs:
             unique.setdefault(job.key(), job)
         metrics.increment("jobs.deduped", len(jobs) - len(unique))
-        self._warm_simulations(list(unique.values()))
-        results = self._execute(list(unique.values()))
+        with obs.span(
+            "runtime.schedule", jobs=len(jobs), unique=len(unique)
+        ):
+            self._warm_simulations(list(unique.values()))
+            results = self._execute(list(unique.values()))
         metrics.increment("jobs.completed", len(results))
         by_key: Dict[str, object] = dict(zip(unique.keys(), results))
         return [by_key[job.key()] for job in jobs]
@@ -75,7 +79,8 @@ class Scheduler:
         if not shared:
             return
         self.runtime.metrics.increment("scheduler.prewarmed", len(shared))
-        self._execute(shared)
+        with obs.span("runtime.prewarm", simulations=len(shared)):
+            self._execute(shared)
 
     def _execute(self, jobs: List[Job]) -> List[object]:
         runtime = self.runtime

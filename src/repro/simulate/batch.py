@@ -21,6 +21,7 @@ import dataclasses
 import math
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
+from repro import obs
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
 
@@ -98,19 +99,22 @@ def batch_run(
         runtime = RuntimeContext(
             RuntimeConfig(jobs=jobs, cache_enabled=False)
         )
-    sim_jobs = [Job.scenario(scenario, scale, seed) for seed in seeds]
-    results = Scheduler(runtime).run(sim_jobs)
-    collected: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed, result in zip(seeds, results):
-        dataset = result.dataset
-        for name, metric in metrics.items():
-            value = float(metric(dataset))
-            if not math.isfinite(value):
-                raise AnalysisError(
-                    "metric %r returned a non-finite value (%r) for seed %d"
-                    % (name, value, seed)
-                )
-            collected[name].append(value)
+    with obs.span(
+        "experiments.batch_run", scenario=scenario, seeds=len(seeds)
+    ):
+        sim_jobs = [Job.scenario(scenario, scale, seed) for seed in seeds]
+        results = Scheduler(runtime).run(sim_jobs)
+        collected: Dict[str, List[float]] = {name: [] for name in metrics}
+        for seed, result in zip(seeds, results):
+            dataset = result.dataset
+            for name, metric in metrics.items():
+                value = float(metric(dataset))
+                if not math.isfinite(value):
+                    raise AnalysisError(
+                        "metric %r returned a non-finite value (%r) for seed %d"
+                        % (name, value, seed)
+                    )
+                collected[name].append(value)
     spreads: Dict[str, MetricSpread] = {}
     for name, values in collected.items():
         mean = sum(values) / len(values)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from repro import obs
 from repro.autosupport.parser import parse_archive
 from repro.autosupport.writer import LogArchive, write_logs
 from repro.core.dataset import FailureDataset
@@ -68,14 +69,19 @@ class SimulationEngine:
                 (slower; exercises the full AutoSupport pipeline).
         """
         source = RandomSource(seed)
-        fleet = build_fleet(self.spec, source)
-        injection = self.injector.inject(fleet, source)
-        archive: Optional[LogArchive] = None
-        if via_logs:
-            archive = write_logs(injection, self.clock)
-            dataset = parse_archive(archive, self.clock, fleet=fleet)
-        else:
-            dataset = FailureDataset.from_injection(injection)
+        with obs.span("simulate.run", seed=seed, via_logs=via_logs):
+            fleet = build_fleet(self.spec, source)
+            injection = self.injector.inject(fleet, source)
+            archive: Optional[LogArchive] = None
+            if via_logs:
+                with obs.span("simulate.logs.write"):
+                    archive = write_logs(injection, self.clock)
+                with obs.span("simulate.logs.parse"):
+                    dataset = parse_archive(archive, self.clock, fleet=fleet)
+            else:
+                dataset = FailureDataset.from_injection(injection)
+        obs.inc("sim.events", len(injection.events))
+        obs.inc("sim.recovered_errors", len(injection.recovered_errors))
         return SimulationResult(
             spec=self.spec,
             seed=seed,

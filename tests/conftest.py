@@ -37,6 +37,21 @@ def _isolated_result_cache(tmp_path_factory):
     yield
 
 
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Reset the process-wide observer after any test that enabled it.
+
+    ``repro.obs`` configuration is sticky (one observer per process);
+    without this, a CLI test passing ``--trace`` would leave tracing
+    enabled — and pointed at a deleted tmp path — for every later test.
+    """
+    from repro import obs
+
+    yield
+    if obs.OBSERVER.enabled or obs.OBSERVER.trace_path or obs.OBSERVER.metrics_path:
+        obs.reset()
+
+
 @pytest.fixture
 def rs() -> RandomSource:
     """A fresh deterministic random source."""

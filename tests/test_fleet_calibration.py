@@ -77,9 +77,10 @@ class TestDiskModelEffects:
 class TestInterop:
     def test_different_best_shelf_per_disk(self):
         # Finding 6: B beats A for A-2; A beats B for A-3/D-2/D-3.
-        assert calibration.interop_multiplier("B", "A-2") < calibration.interop_multiplier("A", "A-2")
+        mult = calibration.interop_multiplier
+        assert mult("B", "A-2") < mult("A", "A-2")
         for model in ("A-3", "D-2", "D-3"):
-            assert calibration.interop_multiplier("A", model) < calibration.interop_multiplier("B", model)
+            assert mult("A", model) < mult("B", model)
 
     def test_default_multiplier_is_one(self):
         assert calibration.interop_multiplier("C", "J-1") == 1.0

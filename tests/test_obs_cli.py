@@ -1,0 +1,125 @@
+"""End-to-end CLI observability: ``--trace``/``--metrics`` + ``obs summary``.
+
+These run real (tiny-scale) experiments through ``repro.cli.main`` and
+assert the acceptance path: a traced run produces a parseable JSONL
+trace and a Prometheus textfile, and ``repro obs summary`` renders the
+per-span table from the trace alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.exporters import read_trace, summarize_trace
+
+
+@pytest.fixture
+def traced_run(tmp_path, capsys):
+    """One traced tiny experiment run; yields (trace_path, metrics_path)."""
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.prom"
+    code = main(
+        [
+            "run",
+            "table1",
+            "--scale",
+            "0.004",
+            "--seed",
+            "3",
+            "--no-cache",
+            "--trace",
+            str(trace),
+            "--metrics",
+            str(metrics),
+        ]
+    )
+    assert code in (0, 1)  # shape checks may be noisy at tiny scale
+    capsys.readouterr()  # drop the experiment output
+    yield trace, metrics
+    obs.reset()
+
+
+class TestTracedRun:
+    def test_trace_is_parseable_jsonl_with_meta(self, traced_run):
+        trace, _ = traced_run
+        lines = trace.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["events"] == len(lines) - 1
+        for line in lines[1:]:
+            assert json.loads(line)["type"] == "span"
+
+    def test_trace_covers_cli_to_simulation(self, traced_run):
+        trace, _ = traced_run
+        names = {e["name"] for e in read_trace(str(trace))}
+        assert {
+            "cli.run",
+            "runtime.schedule",
+            "runtime.job",
+            "experiment.table1",
+            "simulate.run",
+            "fleet.build",
+            "inject.fleet",
+        } <= names
+
+    def test_span_tree_roots_at_cli(self, traced_run):
+        trace, _ = traced_run
+        events = read_trace(str(trace))
+        by_id = {e["span_id"]: e for e in events}
+        roots = [e for e in events if e["parent_id"] is None]
+        assert [e["name"] for e in roots] == ["cli.run"]
+        for event in events:
+            if event["parent_id"] is not None:
+                assert event["parent_id"] in by_id
+
+    def test_metrics_textfile_is_prometheus_shaped(self, traced_run):
+        _, metrics = traced_run
+        text = metrics.read_text()
+        assert "# TYPE repro_sim_events counter" in text
+        assert "# TYPE repro_fleet_disks gauge" in text
+        # The runtime's own registry is folded into the same textfile.
+        assert "repro_sim_runs 1" in text
+        assert "repro_job_latency_seconds_count" in text
+
+    def test_obs_summary_renders_percentiles(self, traced_run, capsys):
+        trace, _ = traced_run
+        assert main(["obs", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "p50" in out and "p95" in out
+        assert "simulate.run" in out
+        summary = summarize_trace(read_trace(str(trace)))
+        assert summary["simulate.run"]["count"] == 1
+        assert summary["simulate.run"]["p95"] >= summary["simulate.run"]["p50"]
+
+    def test_export_announced_on_stderr(self, tmp_path, capsys):
+        trace = tmp_path / "t2.jsonl"
+        code = main(
+            ["simulate", "paper-default", "--scale", "0.002", "--seed", "5",
+             "--out", str(tmp_path / "events.csv"), "--trace", str(trace)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "obs: wrote trace to %s" % trace in err
+        assert trace.exists()
+
+
+class TestObsSummaryErrors:
+    def test_missing_trace_file_is_a_clean_error(self, capsys):
+        assert main(["obs", "summary", "/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "cannot read trace" in err
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["simulate", "paper-default", "--scale", "0.002", "--seed", "5",
+             "--out", str(tmp_path / "events.csv")]
+        )
+        assert code == 0
+        assert "obs: wrote" not in capsys.readouterr().err
+        assert not (tmp_path / "t.jsonl").exists()

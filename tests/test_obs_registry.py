@@ -1,0 +1,201 @@
+"""repro.obs.registry: labeled metrics, cardinality cap, merge safety."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BOUNDS,
+    OVERFLOW_LABEL,
+    Histogram,
+    MetricsRegistry,
+    merged,
+    parse_series_key,
+    series_key,
+)
+
+
+class TestSeriesKeys:
+    def test_unlabeled_round_trip(self):
+        assert series_key("cache.hit", {}) == "cache.hit"
+        assert parse_series_key("cache.hit") == ("cache.hit", {})
+
+    def test_labeled_round_trip_sorted(self):
+        key = series_key("sim.events", {"b": 2, "a": "x"})
+        assert key == "sim.events{a=x,b=2}"
+        name, labels = parse_series_key(key)
+        assert name == "sim.events"
+        assert labels == {"a": "x", "b": "2"}
+
+    def test_label_order_is_canonical(self):
+        assert series_key("n", {"a": 1, "b": 2}) == series_key(
+            "n", {"b": 2, "a": 1}
+        )
+
+
+class TestHistogramBuckets:
+    def test_observation_on_bucket_edge_lands_inclusive(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(1.0)  # exactly on the first bound -> first bucket
+        hist.observe(2.0)
+        hist.observe(2.0001)  # beyond last bound -> overflow bucket
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.max == pytest.approx(2.0001)
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(0.3)  # falls in the (0.1, 0.5] bucket
+        assert hist.quantile(0.5) == 0.5
+        assert hist.quantile(0.95) == 0.5
+
+    def test_overflow_quantile_is_exact_max(self):
+        hist = Histogram(bounds=(0.001,))
+        hist.observe(7.5)
+        assert hist.quantile(0.5) == 7.5
+
+    def test_merge_rejects_mismatched_bounds(self):
+        left = Histogram(bounds=(1.0,))
+        right = Histogram(bounds=(2.0,))
+        right.observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right.snapshot())
+
+    def test_default_bounds_cover_subsecond_to_minutes(self):
+        assert DEFAULT_BOUNDS[0] <= 0.001
+        assert DEFAULT_BOUNDS[-1] >= 300.0
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
+
+
+class TestRegistryBasics:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.increment("a")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 0.1)
+        series = registry.series()
+        assert series["counters"] == {}
+        assert series["gauges"] == {}
+        assert series["histograms"] == {}
+
+    def test_labeled_counters_are_independent_series(self):
+        registry = MetricsRegistry()
+        registry.increment("fleet.systems", 3, system_class="low_end")
+        registry.increment("fleet.systems", 2, system_class="high_end")
+        assert registry.count("fleet.systems", system_class="low_end") == 3
+        assert registry.count("fleet.systems", system_class="high_end") == 2
+        assert registry.count("fleet.systems") == 0  # unlabeled is separate
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.increment("c", 1, k="v")
+        registry.set_gauge("g", 2.5)
+        registry.observe("h", 0.01)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        fresh = MetricsRegistry()
+        fresh.merge(snapshot)
+        assert fresh.count("c", k="v") == 1
+        assert fresh.gauge("g") == 2.5
+        assert fresh.histogram("h").count == 1
+
+    def test_merge_accepts_pre_obs_snapshot_without_gauges(self):
+        legacy = {"counters": {"sim.runs": 4}, "histograms": {}}
+        registry = MetricsRegistry()
+        registry.merge(legacy)
+        assert registry.count("sim.runs") == 4
+
+
+class TestCardinalityCap:
+    def test_excess_label_sets_collapse_into_overflow(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        for i in range(10):
+            registry.increment("by_disk", 1, disk="disk-%d" % i)
+        series = registry.series()["counters"]
+        overflow_key = series_key("by_disk", {OVERFLOW_LABEL: "true"})
+        assert series[overflow_key] == 7
+        assert len(series) == 4  # 3 real label sets + the overflow series
+
+    def test_existing_series_keep_recording_after_cap(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.increment("c", 1, k="first")
+        registry.increment("c", 1, k="second")  # over cap -> overflow
+        registry.increment("c", 1, k="first")  # existing series still live
+        assert registry.count("c", k="first") == 2
+        assert registry.count("c", k=OVERFLOW_LABEL) == 0
+        overflow = series_key("c", {OVERFLOW_LABEL: "true"})
+        assert registry.series()["counters"][overflow] == 1
+
+    def test_cap_is_per_metric_name(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        registry.increment("a", 1, k="1")
+        registry.increment("a", 1, k="2")
+        registry.increment("b", 1, k="1")  # a's series don't count against b
+        assert registry.count("b", k="1") == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        registry = MetricsRegistry()
+        per_thread = 2000
+
+        def work():
+            for _ in range(per_thread):
+                registry.increment("hits")
+                registry.observe("lat", 0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.count("hits") == 8 * per_thread
+        assert registry.histogram("lat").count == 8 * per_thread
+
+    def test_snapshot_during_recording_stays_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                registry.observe("lat", 0.2)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()["histograms"].get("lat")
+                if snap is None:
+                    continue
+                # count must always equal the bucket-count sum — a torn
+                # histogram would break this invariant.
+                assert sum(snap["counts"]) == snap["count"]
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestMerged:
+    def test_merged_unions_registries(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.increment("shared", 1)
+        right.increment("shared", 2)
+        right.set_gauge("only.right", 9.0)
+        union = merged([left, right])
+        assert union.count("shared") == 3
+        assert union.gauge("only.right") == 9.0
+
+    def test_report_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.increment("cache.hit", 5)
+        registry.set_gauge("pool.workers", 4)
+        registry.observe("job.latency", 0.3)
+        report = registry.report("runtime metrics")
+        assert report.startswith("runtime metrics")
+        assert "cache.hit" in report
+        assert "pool.workers" in report
+        assert "p95<=" in report

@@ -1,0 +1,237 @@
+"""repro.obs tracing: span nesting, JSONL round-trip, disabled no-op."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.exporters import (
+    percentile,
+    read_trace,
+    render_prometheus,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestSpanNesting:
+    def test_parent_ids_follow_lexical_nesting(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["leaf"]["parent_id"] == by_name["inner"]["span_id"]
+        assert by_name["sibling"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_span_ids_are_unique(self, tracer):
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [e["span_id"] for e in tracer.events()]
+        assert len(set(ids)) == len(ids)
+
+    def test_exception_recorded_and_stack_unwound(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = tracer.events()
+        assert event["error"] == "RuntimeError"
+        assert tracer.current_span_id() is None
+
+    def test_threads_have_independent_stacks(self, tracer):
+        seen = {}
+
+        def work(tag):
+            with tracer.span("thread.%s" % tag):
+                seen[tag] = tracer.current_span_id()
+
+        with tracer.span("main"):
+            threads = [
+                threading.Thread(target=work, args=(str(i),)) for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Worker spans started on fresh threads: no parent, despite
+        # "main" being open on the spawning thread.
+        for event in tracer.events():
+            if event["name"].startswith("thread."):
+                assert event["parent_id"] is None
+
+    def test_duration_and_start_are_monotonic_offsets(self, tracer):
+        with tracer.span("timed"):
+            pass
+        (event,) = tracer.events()
+        assert event["start"] >= 0.0
+        assert event["duration"] >= 0.0
+
+    def test_attrs_are_json_coerced(self, tracer):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        with tracer.span("a", {"n": 3, "obj": Odd()}):
+            pass
+        (event,) = tracer.events()
+        assert event["attrs"] == {"n": 3, "obj": "odd!"}
+
+
+class TestDisabledObserver:
+    def test_module_span_returns_shared_null_span(self):
+        assert obs.span("anything", key="value") is NULL_SPAN
+        with obs.span("anything"):
+            pass
+        assert obs.events() == []
+
+    def test_module_metrics_are_noops(self):
+        obs.inc("c", 2)
+        obs.observe("h", 0.1)
+        obs.set_gauge("g", 1.0)
+        assert obs.OBSERVER.registry.series()["counters"] == {}
+
+    def test_traced_decorator_passes_through(self):
+        @obs.traced("fn.span")
+        def add(a, b):
+            """docstring survives"""
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add.__doc__ == "docstring survives"
+        assert obs.events() == []
+
+    def test_traced_decorator_records_when_enabled(self):
+        obs.configure(enable=True)
+
+        @obs.traced("fn.span")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert [e["name"] for e in obs.events()] == ["fn.span"]
+
+
+class TestFlushRoundTrip:
+    def test_flush_writes_meta_plus_events(self, tracer, tmp_path):
+        with tracer.span("a", {"k": "v"}):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        written = tracer.flush(str(path))
+        assert written == 2
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["events"] == 2
+        assert meta["pid"] == os.getpid()
+        events = read_trace(str(path))
+        assert [e["name"] for e in events] == ["b", "a"]  # completion order
+
+    def test_flush_is_atomic_no_temp_debris(self, tracer, tmp_path):
+        with tracer.span("x"):
+            pass
+        path = tmp_path / "t.jsonl"
+        tracer.flush(str(path))
+        tracer.flush(str(path))  # second flush replaces, never appends
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.jsonl"]
+        meta = json.loads(path.read_text().splitlines()[0])
+        assert meta["events"] == 1
+
+    def test_concurrent_flushes_leave_parseable_file(self, tracer, tmp_path):
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        path = str(tmp_path / "t.jsonl")
+        threads = [
+            threading.Thread(target=tracer.flush, args=(path,))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(read_trace(path)) == 50
+
+    def test_read_trace_rejects_torn_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "name": "a"}\n{"type": "sp')
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            read_trace(str(path))
+
+
+class TestSummaries:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.00) == 100.0
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_summarize_counts_and_errors(self):
+        events = [
+            {"type": "span", "name": "a", "duration": 0.1},
+            {"type": "span", "name": "a", "duration": 0.3, "error": "X"},
+            {"type": "span", "name": "b", "duration": 1.0},
+        ]
+        summary = summarize_trace(events)
+        assert summary["a"]["count"] == 2
+        assert summary["a"]["total"] == pytest.approx(0.4)
+        assert summary["a"]["errors"] == 1
+        assert summary["b"]["p95"] == 1.0
+
+    def test_render_sorted_by_total_descending(self):
+        events = [
+            {"type": "span", "name": "small", "duration": 0.1},
+            {"type": "span", "name": "big", "duration": 5.0},
+        ]
+        table = render_trace_summary(events)
+        assert table.index("big") < table.index("small")
+
+    def test_render_prometheus_escapes_names(self):
+        registry = MetricsRegistry()
+        registry.increment("cache.hit", 3, kind="sim")
+        registry.observe("job.latency", 0.05)
+        text = render_prometheus(registry)
+        assert '# TYPE repro_cache_hit counter' in text
+        assert 'repro_cache_hit{kind="sim"} 3' in text
+        assert "repro_job_latency_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        assert "repro_job_latency_seconds_count 1" in text
+
+
+class TestProfileOptIn:
+    def test_matching_prefix_dumps_pstats(self, tmp_path):
+        tracer = Tracer(
+            enabled=True,
+            profile_prefix="hot.",
+            profile_dir=str(tmp_path),
+        )
+        with tracer.span("hot.loop"):
+            sum(range(1000))
+        with tracer.span("cold.loop"):
+            pass
+        hot, cold = None, None
+        for event in tracer.events():
+            if event["name"] == "hot.loop":
+                hot = event
+            else:
+                cold = event
+        assert "profile" in hot.get("attrs", {})
+        assert os.path.exists(hot["attrs"]["profile"])
+        assert "attrs" not in cold or "profile" not in cold["attrs"]

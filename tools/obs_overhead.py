@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Measure tracing overhead on the full experiment suite.
+
+Runs ``repro run all`` twice in subprocesses — once bare, once with
+``--trace``/``--metrics`` — and reports the wall-time delta.  The obs
+design budget (see docs/OBSERVABILITY.md) is **< 5%**; exit status is
+non-zero when the measured overhead exceeds the budget.
+
+Usage::
+
+    PYTHONPATH=src python tools/obs_overhead.py [--scale 0.02] [--repeats 3]
+
+Each variant runs ``--repeats`` times interleaved (bare, traced, bare,
+traced, ...) and the *minimum* wall time per variant is compared, which
+suppresses one-off scheduling noise on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BUDGET = 0.05
+
+
+def run_once(scale: float, trace_dir: str = "") -> float:
+    """One ``repro run all`` subprocess; returns wall seconds."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "run",
+        "all",
+        "--scale",
+        str(scale),
+        "--no-cache",
+    ]
+    if trace_dir:
+        command += [
+            "--trace",
+            os.path.join(trace_dir, "t.jsonl"),
+            "--metrics",
+            os.path.join(trace_dir, "m.prom"),
+        ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    start = time.perf_counter()
+    completed = subprocess.run(
+        command,
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    elapsed = time.perf_counter() - start
+    if completed.returncode not in (0, 1):  # 1 = shape-check noise
+        raise SystemExit("repro run all failed (%d)" % completed.returncode)
+    return elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    bare: list = []
+    traced: list = []
+    with tempfile.TemporaryDirectory() as trace_dir:
+        for round_index in range(args.repeats):
+            bare.append(run_once(args.scale))
+            traced.append(run_once(args.scale, trace_dir))
+            print(
+                "round %d: bare %.2fs, traced %.2fs"
+                % (round_index + 1, bare[-1], traced[-1])
+            )
+
+    best_bare, best_traced = min(bare), min(traced)
+    overhead = (best_traced - best_bare) / best_bare
+    print(
+        "best bare %.2fs, best traced %.2fs -> overhead %+.1f%% (budget %.0f%%)"
+        % (best_bare, best_traced, 100 * overhead, 100 * BUDGET)
+    )
+    if overhead > BUDGET:
+        print("FAIL: tracing overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("PASS: tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
