@@ -1,6 +1,6 @@
 # Developer entry points.
 
-.PHONY: install test check lint bench experiments figures docs clean
+.PHONY: install test check lint bench bench-seed experiments figures docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,8 +17,21 @@ check:
 lint:
 	python tools/lint.py
 
+# Full benchmark sweep; consolidates the raw pytest-benchmark dump into
+# the trimmed BENCH_ALL.json at the repo root (see tools/bench_report.py).
 bench:
-	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=.bench_raw.json
+	python tools/bench_report.py .bench_raw.json --out BENCH_ALL.json
+
+# Refresh the committed per-subsystem baselines (runtime + obs).
+bench-seed:
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_runtime.py \
+		--benchmark-only --benchmark-json=.bench_runtime_raw.json
+	python tools/bench_report.py .bench_runtime_raw.json --out BENCH_RUNTIME.json
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py \
+		--benchmark-only --benchmark-json=.bench_obs_raw.json
+	python tools/bench_report.py .bench_obs_raw.json --out BENCH_OBS.json
 
 # Run every registered experiment (tables, figures, ablations) with checks.
 experiments:
@@ -34,4 +47,5 @@ figures:
 
 clean:
 	rm -rf figures .pytest_cache .hypothesis
+	rm -f .bench_raw.json .bench_runtime_raw.json .bench_obs_raw.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

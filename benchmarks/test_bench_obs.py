@@ -3,11 +3,13 @@
 Two claims back the obs design, and this file measures both:
 
 1. A *disabled* observer makes every instrumentation point a single
-   attribute check — the micro bench times a span + counter + latency
-   per loop iteration against a bare loop.
+   attribute check — the micro benches time a span + counter + latency
+   (and a fleet-event emit) per loop iteration against a bare loop.
 2. An *enabled* tracer stays out of the way of real work — the macro
    bench runs the same simulation traced and untraced; the traced wall
    time must land within 5% of the untraced one (the ISSUE's budget).
+   ``obs.configure(enable=True)`` switches on tracing, metrics, *and*
+   fleet-event emission, so the budget covers the event stream too.
 """
 
 from __future__ import annotations
@@ -40,6 +42,36 @@ def test_bench_obs_disabled_instrumentation(benchmark):
 
     benchmark(instrumented_loop)
     assert obs.events() == []  # really disabled
+
+
+@pytest.mark.benchmark(group="obs-micro")
+def test_bench_obs_disabled_emit(benchmark):
+    """Per-call cost of a disabled fleet-event emit (the guard)."""
+
+    def emit_loop():
+        log = obs.OBSERVER.fleet_events
+        for _ in range(1000):
+            if log.enabled:
+                log.emit(
+                    "failure", 0.001, failure_type="disk", shelf_id="sh-1"
+                )
+
+    benchmark(emit_loop)
+    assert obs.fleet_events() == []  # really disabled
+
+
+@pytest.mark.benchmark(group="obs-micro")
+def test_bench_obs_enabled_emit(benchmark):
+    """Per-call cost of a live fleet-event emit (dict build + append)."""
+    obs.configure(enable=True)
+
+    def emit_loop():
+        for _ in range(1000):
+            obs.emit("failure", 0.001, failure_type="disk", shelf_id="sh-1")
+
+    benchmark(emit_loop)
+    assert obs.OBSERVER.fleet_events.count() >= 1000
+    obs.OBSERVER.fleet_events.clear()
 
 
 @pytest.mark.benchmark(group="obs-micro")

@@ -12,7 +12,11 @@ Usage::
     repro simulate paper-default --out logs/   # export an AutoSupport
                                                 # style log archive
     repro run all --trace t.jsonl --metrics m.prom   # traced run
-    repro obs summary t.jsonl           # per-span timing table
+    repro run fig4b --events e.jsonl    # record the fleet event stream
+    repro obs summary t1.jsonl t2.jsonl # per-span timing table (merged)
+    repro obs report --trace t.jsonl --events e.jsonl --out r.html
+    repro obs snapshot --trace t.jsonl --out snap.json
+    repro obs diff base.json snap.json --fail-on p95:50%
 
 Experiment and findings runs route through :mod:`repro.runtime`: results
 are memoized in a content-addressed on-disk cache (``--no-cache`` keeps
@@ -25,10 +29,16 @@ stable across cache states and ``--jobs`` values.
 Observability (see docs/OBSERVABILITY.md): ``--trace FILE`` records a
 JSONL span trace of the whole command, ``--metrics FILE`` writes a
 Prometheus textfile merging the observer's series with the runtime's
-counters; ``$REPRO_TRACE`` / ``$REPRO_METRICS`` set the same defaults,
-and ``$REPRO_PROFILE=<span prefix>`` adds per-span cProfile dumps.
-``repro obs summary FILE`` renders a recorded trace as a per-span
-count/total/p50/p95 table.
+counters, and ``--events FILE`` records the schema-versioned fleet
+event stream (failures / repairs / rebuilds with their paper-facing
+dimensions); ``$REPRO_TRACE`` / ``$REPRO_METRICS`` / ``$REPRO_EVENTS``
+set the same defaults, and ``$REPRO_PROFILE=<span prefix>`` adds
+per-span cProfile dumps.  ``repro obs`` post-processes those
+artifacts: ``summary`` renders per-span count/total/p50/p95 tables
+(multiple traces merge before percentiles), ``report`` produces one
+self-contained HTML file, ``snapshot`` distills a run into committable
+JSON, and ``diff`` compares two snapshots — with ``--fail-on p95:50%``
+it exits non-zero on regression, which is the CI gate.
 """
 
 from __future__ import annotations
@@ -116,10 +126,65 @@ def build_parser() -> argparse.ArgumentParser:
     _obs_flags(cache_cmd)
 
     obs_cmd = sub.add_parser(
-        "obs", help="render a recorded trace (see docs/OBSERVABILITY.md)"
+        "obs",
+        help="inspect recorded runs: summaries, HTML reports, regression "
+        "diffs (see docs/OBSERVABILITY.md)",
     )
-    obs_cmd.add_argument("action", choices=("summary",))
-    obs_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_action", required=True)
+
+    summary_cmd = obs_sub.add_parser(
+        "summary", help="per-span timing table from one or more traces"
+    )
+    summary_cmd.add_argument(
+        "trace_file", nargs="+",
+        help="JSONL trace(s) written by --trace; several files merge "
+        "before percentile computation",
+    )
+    summary_cmd.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="Prometheus textfile to scan for label-overflow warnings",
+    )
+
+    report_cmd = obs_sub.add_parser(
+        "report", help="render trace + metrics + events as one HTML file"
+    )
+    report_cmd.add_argument("--trace", default=None, metavar="FILE",
+                            help="JSONL span trace")
+    report_cmd.add_argument("--metrics", default=None, metavar="FILE",
+                            help="Prometheus textfile")
+    report_cmd.add_argument("--events", default=None, metavar="FILE",
+                            help="fleet event stream (from --events)")
+    report_cmd.add_argument("--out", required=True, metavar="FILE",
+                            help="output HTML path")
+    report_cmd.add_argument("--title", default="repro run report")
+
+    diff_cmd = obs_sub.add_parser(
+        "diff", help="compare two run snapshots (or raw traces)"
+    )
+    diff_cmd.add_argument("base", help="baseline snapshot .json or trace .jsonl")
+    diff_cmd.add_argument("candidate", help="candidate snapshot or trace")
+    diff_cmd.add_argument(
+        "--fail-on", default=None, metavar="STAT:PCT%",
+        help="exit non-zero when any span's STAT (mean/p50/p95/max/"
+        "total/count) grew more than PCT%% (e.g. p95:50%%)",
+    )
+    diff_cmd.add_argument(
+        "--min-seconds", type=float, default=None, metavar="S",
+        help="ignore spans whose baseline stat is under S seconds "
+        "(default 0.001; scheduler noise dominates below that)",
+    )
+
+    snapshot_cmd = obs_sub.add_parser(
+        "snapshot", help="distill trace + metrics into a diffable snapshot"
+    )
+    snapshot_cmd.add_argument("--trace", default=None, metavar="FILE",
+                              help="JSONL span trace")
+    snapshot_cmd.add_argument("--metrics", default=None, metavar="FILE",
+                              help="Prometheus textfile")
+    snapshot_cmd.add_argument("--out", required=True, metavar="FILE",
+                              help="output snapshot .json path")
+    snapshot_cmd.add_argument("--label", default=None,
+                              help="label recorded in the snapshot")
     return parser
 
 
@@ -165,6 +230,11 @@ def _obs_flags(cmd: argparse.ArgumentParser) -> None:
         help="write a Prometheus textfile of counters/histograms "
         "(default: $REPRO_METRICS)",
     )
+    cmd.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="record the fleet event stream (failures/repairs/rebuilds) "
+        "as JSONL (default: $REPRO_EVENTS)",
+    )
 
 
 def _runtime(args: argparse.Namespace):
@@ -188,10 +258,15 @@ def _print_metrics(runtime) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    obs.configure(
-        trace=getattr(args, "trace", None),
-        metrics=getattr(args, "metrics", None),
-    )
+    if args.command != "obs":
+        # ``repro obs`` *reads* trace/metrics/events files its
+        # subcommands name with the same flags; configuring the
+        # observer from them would clobber those inputs on export.
+        obs.configure(
+            trace=getattr(args, "trace", None),
+            metrics=getattr(args, "metrics", None),
+            events=getattr(args, "events", None),
+        )
     try:
         with obs.span("cli.%s" % args.command):
             return _dispatch(args)
@@ -360,17 +435,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "obs":
-        from repro.errors import SpecificationError
-
-        # Only "summary" today; argparse already rejected anything else.
-        try:
-            summary = obs.load_trace_summary(args.trace_file)
-        except (OSError, ValueError) as exc:
-            raise SpecificationError(
-                "cannot read trace %r: %s" % (args.trace_file, exc)
-            ) from exc
-        print(summary)
-        return 0
+        return _dispatch_obs(args)
 
     if args.command == "cache":
         from repro.runtime import ResultCache
@@ -390,6 +455,139 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError("unreachable command %r" % args.command)
+
+
+def _dispatch_obs(args: argparse.Namespace) -> int:
+    from repro.errors import SpecificationError
+
+    def warn(message: str) -> None:
+        print("warning: %s" % message, file=sys.stderr)
+
+    if args.obs_action == "summary":
+        try:
+            events = obs.read_traces(args.trace_file, strict=False, warn=warn)
+        except OSError as exc:
+            raise SpecificationError("cannot read trace: %s" % exc) from exc
+        title = "trace summary: %s" % ", ".join(args.trace_file)
+        print(obs.render_trace_summary(events, title=title))
+        if args.metrics:
+            try:
+                metrics = obs.load_metrics(args.metrics)
+            except OSError as exc:
+                raise SpecificationError(
+                    "cannot read metrics %r: %s" % (args.metrics, exc)
+                ) from exc
+            for key, value in sorted(metrics["counters"].items()):
+                name, labels = _split_metric_key(key)
+                if name.endswith(obs.LABELS_DROPPED.replace(".", "_")):
+                    warn(
+                        "metric %s overflowed the label-set cap; %d "
+                        "increment(s) collapsed into the overflow series"
+                        % (labels.get("metric", "?"), int(value))
+                    )
+        return 0
+
+    if args.obs_action == "report":
+        from repro.obs.report import render_report, write_report
+
+        if not (args.trace or args.metrics or args.events):
+            raise SpecificationError(
+                "obs report needs at least one of --trace/--metrics/--events"
+            )
+        try:
+            trace_events = (
+                obs.read_traces([args.trace], strict=False, warn=warn)
+                if args.trace else None
+            )
+            metrics = obs.load_metrics(args.metrics) if args.metrics else None
+            fleet_events = (
+                obs.read_events(args.events, strict=False, warn=warn)
+                if args.events else None
+            )
+        except (OSError, ValueError) as exc:
+            raise SpecificationError("cannot read input: %s" % exc) from exc
+        sources = [p for p in (args.trace, args.metrics, args.events) if p]
+        html_text = render_report(
+            trace_events=trace_events,
+            metrics=metrics,
+            fleet_events=fleet_events,
+            title=args.title,
+            subtitle=" + ".join(sources),
+        )
+        write_report(args.out, html_text)
+        print("wrote report to %s" % args.out)
+        return 0
+
+    if args.obs_action == "snapshot":
+        from repro.obs.diff import build_snapshot, write_snapshot
+
+        if not (args.trace or args.metrics):
+            raise SpecificationError(
+                "obs snapshot needs at least one of --trace/--metrics"
+            )
+        try:
+            snapshot = build_snapshot(
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                label=args.label,
+            )
+        except (OSError, ValueError) as exc:
+            raise SpecificationError("cannot read input: %s" % exc) from exc
+        write_snapshot(args.out, snapshot)
+        print(
+            "wrote snapshot (%d spans, %d counters) to %s"
+            % (len(snapshot["spans"]), len(snapshot["counters"]), args.out)
+        )
+        return 0
+
+    if args.obs_action == "diff":
+        from repro.obs.diff import (
+            DEFAULT_MIN_SECONDS,
+            diff_snapshots,
+            load_snapshot,
+            parse_fail_on,
+            render_diff,
+        )
+
+        try:
+            fail_on = parse_fail_on(args.fail_on) if args.fail_on else None
+        except ValueError as exc:
+            raise SpecificationError(str(exc)) from exc
+        try:
+            base = load_snapshot(args.base)
+            candidate = load_snapshot(args.candidate)
+        except (OSError, ValueError) as exc:
+            raise SpecificationError("cannot load snapshot: %s" % exc) from exc
+        min_seconds = (
+            args.min_seconds if args.min_seconds is not None
+            else DEFAULT_MIN_SECONDS
+        )
+        result = diff_snapshots(
+            base, candidate, fail_on=fail_on, min_seconds=min_seconds
+        )
+        print(
+            render_diff(
+                result,
+                base_label=str(base.get("label") or args.base),
+                new_label=str(candidate.get("label") or args.candidate),
+            )
+        )
+        return 1 if result.failed else 0
+
+    raise AssertionError("unreachable obs action %r" % args.obs_action)
+
+
+def _split_metric_key(key: str) -> tuple:
+    """Split a flattened ``name{k=v,...}`` metric key into name + labels."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        if part:
+            label, _, value = part.partition("=")
+            labels[label] = value
+    return name, labels
 
 
 def _dataset(args: argparse.Namespace, runtime=None):

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.errors import CalibrationError
 from repro.failures.events import ComponentError, FailureEvent
 from repro.failures.hazards import GammaInterarrival, renewal_arrivals
 from repro.failures.multipath import MultipathModel
@@ -36,8 +37,9 @@ from repro.failures.types import (
     FailureType,
     InterconnectCause,
 )
-from repro.fleet import calibration
+from repro.fleet import calibration, catalog
 from repro.fleet.fleet import Fleet
+from repro.raid.rebuild import RebuildModel
 from repro.rng import RandomSource
 from repro.topology.components import Disk, DiskSlot
 from repro.topology.system import StorageSystem
@@ -171,7 +173,81 @@ class FailureInjector:
         if observing:
             for failure_type, n in result.counts_by_type().items():
                 obs.inc("inject.events", n, failure_type=failure_type.value)
+        if obs.OBSERVER.fleet_events.enabled:
+            self._emit_fleet_events(result)
         return result
+
+    def _emit_fleet_events(self, result: InjectionResult) -> None:
+        """Stream the injection onto the fleet event log (``--events``).
+
+        One ``failure`` record per delivered subsystem failure, one
+        ``rebuild`` record per disk failure (window length from the
+        RAID rebuild model and the disk's catalog capacity), and one
+        ``repair`` record per replacement disk entering service —
+        merged into simulation-time order so downstream consumers can
+        stream the file without sorting.
+        """
+        rebuild = RebuildModel()
+        records: List[Dict[str, object]] = []
+        for event in result.events:
+            record: Dict[str, object] = {
+                "type": "fleet",
+                "kind": "failure",
+                "t": event.detect_time,
+                "occur_t": event.occur_time,
+                "failure_type": event.failure_type.value,
+                "disk_id": event.disk_id,
+                "disk_model": event.disk_model,
+                "shelf_id": event.shelf_id,
+                "shelf_model": event.shelf_model,
+                "raid_group_id": event.raid_group_id,
+                "system_id": event.system_id,
+                "system_class": event.system_class,
+            }
+            if event.cause is not None:
+                record["cause"] = event.cause.value
+            records.append(record)
+            if event.failure_type is FailureType.DISK:
+                try:
+                    capacity = catalog.disk_model(event.disk_model).capacity_gb
+                except CalibrationError:
+                    capacity = 0  # off-catalog model: no rebuild estimate
+                if capacity > 0:
+                    records.append(
+                        {
+                            "type": "fleet",
+                            "kind": "rebuild",
+                            "t": event.detect_time,
+                            "duration_seconds": rebuild.window_seconds(capacity),
+                            "disk_id": event.disk_id,
+                            "shelf_id": event.shelf_id,
+                            "raid_group_id": event.raid_group_id,
+                            "system_id": event.system_id,
+                        }
+                    )
+        for system in result.fleet.systems:
+            for slot in system.iter_slots():
+                for failed, replacement in zip(slot.disks, slot.disks[1:]):
+                    down = replacement.install_time - (
+                        failed.remove_time
+                        if failed.remove_time is not None
+                        else replacement.install_time
+                    )
+                    records.append(
+                        {
+                            "type": "fleet",
+                            "kind": "repair",
+                            "t": replacement.install_time,
+                            "disk_id": failed.disk_id,
+                            "replacement_id": replacement.disk_id,
+                            "down_seconds": down,
+                            "shelf_id": slot.shelf_id,
+                            "raid_group_id": slot.raid_group_id,
+                            "system_id": system.system_id,
+                        }
+                    )
+        records.sort(key=lambda record: record["t"])  # type: ignore[arg-type, return-value]
+        obs.OBSERVER.fleet_events.emit_many(records)
 
     # -- per-system simulation --------------------------------------------
 

@@ -32,10 +32,19 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional
 
+from repro.obs.events import (
+    EVENTS_SCHEMA_VERSION,
+    FleetEventLog,
+    read_events,
+    read_events_meta,
+)
 from repro.obs.exporters import (
+    load_metrics,
     load_trace_summary,
+    parse_prometheus,
     percentile,
     read_trace,
+    read_traces,
     render_prometheus,
     render_trace_summary,
     summarize_trace,
@@ -45,6 +54,7 @@ from repro.obs.registry import (
     DEFAULT_BOUNDS,
     DEFAULT_MAX_LABEL_SETS,
     Histogram,
+    LABELS_DROPPED,
     MetricsRegistry,
     OVERFLOW_LABEL,
     merged,
@@ -57,23 +67,29 @@ from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
 ENV_TRACE = "REPRO_TRACE"
 ENV_METRICS = "REPRO_METRICS"
 ENV_PROFILE = "REPRO_PROFILE"
+ENV_EVENTS = "REPRO_EVENTS"
 
 
 class Observer:
-    """The process-wide observability state: one tracer, one registry.
+    """The process-wide observability state: tracer, registry, event log.
 
     Attributes:
         tracer: span collector (``tracer.enabled`` is the master
             tracing switch the hot-path guard checks).
         registry: the observer's own metrics registry.
-        trace_path / metrics_path: where :meth:`export` writes.
+        fleet_events: the domain event stream (failures / repairs /
+            rebuilds from the simulation engine and failure injector).
+        trace_path / metrics_path / events_path: where :meth:`export`
+            writes.
     """
 
     def __init__(self) -> None:
         self.tracer = Tracer(enabled=False)
         self.registry = MetricsRegistry(enabled=False)
+        self.fleet_events = FleetEventLog(enabled=False)
         self.trace_path: Optional[str] = None
         self.metrics_path: Optional[str] = None
+        self.events_path: Optional[str] = None
         # Strong references on purpose: the CLI exports in a ``finally``
         # after the owning RuntimeContext has gone out of scope, so a
         # weak set would drop its metrics right before the write.
@@ -84,7 +100,11 @@ class Observer:
     @property
     def enabled(self) -> bool:
         """Whether any instrumentation is live."""
-        return self.tracer.enabled or self.registry.enabled
+        return (
+            self.tracer.enabled
+            or self.registry.enabled
+            or self.fleet_events.enabled
+        )
 
     def configure(
         self,
@@ -92,15 +112,18 @@ class Observer:
         metrics: Optional[str] = None,
         enable: Optional[bool] = None,
         profile: Optional[str] = None,
+        events: Optional[str] = None,
     ) -> "Observer":
         """Enable and target the observer.
 
         Args:
             trace: JSONL trace destination (enables tracing).
             metrics: Prometheus textfile destination (enables metrics).
-            enable: force both switches regardless of paths.
+            enable: force all switches regardless of paths.
             profile: span-name prefix for cProfile dumps (defaults to
                 ``$REPRO_PROFILE``).
+            events: fleet event stream destination (enables domain
+                event emission; defaults to ``$REPRO_EVENTS``).
         """
         trace = trace if trace is not None else os.environ.get(ENV_TRACE)
         metrics = (
@@ -109,17 +132,22 @@ class Observer:
         profile = (
             profile if profile is not None else os.environ.get(ENV_PROFILE)
         )
+        events = events if events is not None else os.environ.get(ENV_EVENTS)
         if trace:
             self.trace_path = trace
             self.tracer.enabled = True
         if metrics:
             self.metrics_path = metrics
             self.registry.enabled = True
+        if events:
+            self.events_path = events
+            self.fleet_events.enabled = True
         if profile:
             self.tracer.profile_prefix = profile
         if enable is not None:
             self.tracer.enabled = enable
             self.registry.enabled = enable
+            self.fleet_events.enabled = enable
         return self
 
     def register_metrics(self, registry: MetricsRegistry) -> None:
@@ -135,16 +163,29 @@ class Observer:
         self,
         trace_path: Optional[str] = None,
         metrics_path: Optional[str] = None,
+        events_path: Optional[str] = None,
     ) -> Dict[str, str]:
         """Write the configured artifacts; returns ``{kind: path}``."""
         written: Dict[str, str] = {}
         trace_path = trace_path or self.trace_path
         metrics_path = metrics_path or self.metrics_path
+        events_path = events_path or self.events_path
         if trace_path and self.tracer.enabled:
             self.tracer.flush(trace_path)
             written["trace"] = trace_path
+        if events_path and self.fleet_events.enabled:
+            self.fleet_events.flush(events_path)
+            written["events"] = events_path
         if metrics_path:
-            write_metrics(metrics_path, self.merged_registry())
+            registry = self.merged_registry()
+            if self.fleet_events.enabled and self.fleet_events.count():
+                # Fold the fleet-health gauges (rolling AFR, burst
+                # inflation, top shelf models) into the same textfile.
+                from repro.obs.health import FleetHealth
+
+                health = FleetHealth().ingest_all(self.fleet_events.events())
+                health.publish(registry)
+            write_metrics(metrics_path, registry)
             written["metrics"] = metrics_path
         return written
 
@@ -152,8 +193,10 @@ class Observer:
         """Back to the disabled, empty boot state (tests)."""
         self.tracer = Tracer(enabled=False)
         self.registry = MetricsRegistry(enabled=False)
+        self.fleet_events = FleetEventLog(enabled=False)
         self.trace_path = None
         self.metrics_path = None
+        self.events_path = None
         self._extra = []
 
 
@@ -166,10 +209,12 @@ def configure(
     metrics: Optional[str] = None,
     enable: Optional[bool] = None,
     profile: Optional[str] = None,
+    events: Optional[str] = None,
 ) -> Observer:
     """Configure the process-wide observer (see :meth:`Observer.configure`)."""
     return OBSERVER.configure(
-        trace=trace, metrics=metrics, enable=enable, profile=profile
+        trace=trace, metrics=metrics, enable=enable, profile=profile,
+        events=events,
     )
 
 
@@ -226,15 +271,29 @@ def register_metrics(registry: MetricsRegistry) -> None:
 
 
 def export(
-    trace_path: Optional[str] = None, metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> Dict[str, str]:
     """Write the configured trace/metrics artifacts (see :meth:`Observer.export`)."""
-    return OBSERVER.export(trace_path=trace_path, metrics_path=metrics_path)
+    return OBSERVER.export(
+        trace_path=trace_path, metrics_path=metrics_path, events_path=events_path
+    )
 
 
 def events() -> List[Dict[str, object]]:
     """Snapshot of the buffered span events."""
     return OBSERVER.tracer.events()
+
+
+def emit(kind: str, t: float, /, **fields: object) -> None:
+    """Emit one fleet event on the process log (no-op when disabled)."""
+    OBSERVER.fleet_events.emit(kind, t, **fields)
+
+
+def fleet_events() -> List[Dict[str, object]]:
+    """Snapshot of the buffered fleet events."""
+    return OBSERVER.fleet_events.events()
 
 
 def reset() -> None:
@@ -245,10 +304,14 @@ def reset() -> None:
 __all__ = [
     "DEFAULT_BOUNDS",
     "DEFAULT_MAX_LABEL_SETS",
+    "ENV_EVENTS",
     "ENV_METRICS",
     "ENV_PROFILE",
     "ENV_TRACE",
+    "EVENTS_SCHEMA_VERSION",
+    "FleetEventLog",
     "Histogram",
+    "LABELS_DROPPED",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
@@ -258,16 +321,23 @@ __all__ = [
     "Span",
     "Tracer",
     "configure",
+    "emit",
     "enabled",
     "events",
     "export",
+    "fleet_events",
     "inc",
+    "load_metrics",
     "load_trace_summary",
     "merged",
     "observe",
+    "parse_prometheus",
     "parse_series_key",
     "percentile",
+    "read_events",
+    "read_events_meta",
     "read_trace",
+    "read_traces",
     "register_metrics",
     "render_prometheus",
     "render_trace_summary",

@@ -1,0 +1,353 @@
+"""Run snapshots and trace diffs: the perf-regression gate.
+
+A **run snapshot** is a small, committable JSON document distilled from
+one observed run: the per-span summary of its trace (exact percentiles,
+as ``repro obs summary`` computes them) plus the counters and gauges of
+its exported Prometheus textfile.  ``repro obs snapshot`` writes one;
+``repro obs diff A B`` compares two and — with ``--fail-on p95:50%`` —
+exits non-zero when any span's latency regressed past the threshold,
+which is how CI gates a PR against the committed baseline snapshot.
+
+Either side of a diff may be a snapshot (``.json``) or a raw trace
+(``.jsonl``), which is summarized on the fly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.exporters import load_metrics, read_trace, summarize_trace
+
+#: Version stamped into snapshot documents.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Span statistics a ``--fail-on`` threshold may target.
+DIFF_STATS = ("mean", "p50", "p95", "max", "total", "count")
+
+#: Baseline-side floor (seconds) under which a span is too fast to gate
+#: on — sub-millisecond spans are dominated by scheduler noise.
+DEFAULT_MIN_SECONDS = 0.001
+
+
+@dataclasses.dataclass(frozen=True)
+class FailOn:
+    """A parsed ``--fail-on`` threshold, e.g. ``p95:50%``.
+
+    Attributes:
+        stat: one of :data:`DIFF_STATS`.
+        percent: allowed relative increase before the diff fails.
+    """
+
+    stat: str
+    percent: float
+
+
+def parse_fail_on(spec: str) -> FailOn:
+    """Parse ``<stat>:<pct>%`` (e.g. ``p95:50%``) into a :class:`FailOn`.
+
+    Raises:
+        ValueError: malformed spec or unknown statistic.
+    """
+    stat, sep, raw = spec.partition(":")
+    stat = stat.strip()
+    raw = raw.strip().rstrip("%")
+    if not sep or stat not in DIFF_STATS or not raw:
+        raise ValueError(
+            "fail-on spec must look like 'p95:50%%' with a stat in {%s}, got %r"
+            % (", ".join(DIFF_STATS), spec)
+        )
+    try:
+        percent = float(raw)
+    except ValueError:
+        raise ValueError("fail-on threshold %r is not a number" % raw) from None
+    if percent < 0.0:
+        raise ValueError("fail-on threshold must be non-negative")
+    return FailOn(stat=stat, percent=percent)
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def build_snapshot(
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    label: Optional[str] = None,
+) -> Dict[str, object]:
+    """Distill trace + metrics artifacts into a snapshot document."""
+    spans: Dict[str, Dict[str, float]] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    sources: List[str] = []
+    if trace_path:
+        spans = summarize_trace(read_trace(trace_path))
+        sources.append(os.path.basename(trace_path))
+    if metrics_path:
+        metrics = load_metrics(metrics_path)
+        counters = dict(metrics["counters"])  # type: ignore[arg-type]
+        gauges = dict(metrics["gauges"])  # type: ignore[arg-type]
+        sources.append(os.path.basename(metrics_path))
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": "run-snapshot",
+        "label": label or " + ".join(sources),
+        "spans": spans,
+        "counters": counters,
+        "gauges": gauges,
+    }
+
+
+def write_snapshot(path: str, snapshot: Mapping[str, object]) -> None:
+    """Atomically write a snapshot document as pretty JSON."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load a run snapshot for diffing.
+
+    ``.json`` files must be snapshot documents; anything else is read
+    as a JSONL trace and summarized on the fly.
+
+    Raises:
+        ValueError: non-snapshot JSON or unsupported schema version.
+    """
+    if path.endswith(".json"):
+        with open(path) as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or document.get("kind") != "run-snapshot":
+            raise ValueError("%s: not a run snapshot document" % path)
+        schema = int(document.get("schema", 0))
+        if schema > SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                "%s: snapshot schema %d is newer than supported %d"
+                % (path, schema, SNAPSHOT_SCHEMA_VERSION)
+            )
+        return document
+    snapshot = build_snapshot(trace_path=path)
+    snapshot["label"] = os.path.basename(path)
+    return snapshot
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanDelta:
+    """One span's statistics across two snapshots.
+
+    Attributes:
+        name: span name.
+        base / new: the per-stat summaries (missing side -> None).
+    """
+
+    name: str
+    base: Optional[Mapping[str, float]]
+    new: Optional[Mapping[str, float]]
+
+    def change_percent(self, stat: str) -> Optional[float]:
+        """Relative change of ``stat`` in percent (None when undefined)."""
+        if self.base is None or self.new is None:
+            return None
+        base = float(self.base.get(stat, 0.0))
+        new = float(self.new.get(stat, 0.0))
+        if base <= 0.0:
+            return None
+        return 100.0 * (new - base) / base
+
+
+@dataclasses.dataclass(frozen=True)
+class Regression:
+    """A span whose gated statistic grew past the threshold."""
+
+    name: str
+    stat: str
+    base: float
+    new: float
+    percent: float
+
+
+@dataclasses.dataclass
+class DiffResult:
+    """Everything ``repro obs diff`` computed.
+
+    Attributes:
+        spans: per-span deltas, union of both sides' span names.
+        counter_deltas: ``{name: (base, new)}`` for differing counters.
+        regressions: spans past the ``fail_on`` threshold (empty when
+            no threshold was given or nothing regressed).
+        fail_on: the applied threshold, if any.
+    """
+
+    spans: List[SpanDelta]
+    counter_deltas: Dict[str, Tuple[float, float]]
+    regressions: List[Regression]
+    fail_on: Optional[FailOn] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the gate should exit non-zero."""
+        return bool(self.fail_on and self.regressions)
+
+
+def diff_snapshots(
+    base: Mapping[str, object],
+    new: Mapping[str, object],
+    fail_on: Optional[FailOn] = None,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> DiffResult:
+    """Compare two snapshots (see module docstring).
+
+    Args:
+        base: the reference (committed baseline) snapshot.
+        new: the candidate snapshot.
+        fail_on: optional regression threshold.
+        min_seconds: spans whose *baseline* gated statistic is below
+            this floor are reported but never failed on.
+    """
+    base_spans: Mapping[str, Mapping[str, float]]
+    new_spans: Mapping[str, Mapping[str, float]]
+    base_spans = base.get("spans", {})  # type: ignore[assignment]
+    new_spans = new.get("spans", {})  # type: ignore[assignment]
+    names = sorted(set(base_spans) | set(new_spans))
+    spans = [
+        SpanDelta(name=name, base=base_spans.get(name), new=new_spans.get(name))
+        for name in names
+    ]
+    regressions: List[Regression] = []
+    if fail_on is not None:
+        for delta in spans:
+            if delta.base is None or delta.new is None:
+                continue
+            base_value = float(delta.base.get(fail_on.stat, 0.0))
+            if base_value < min_seconds and fail_on.stat != "count":
+                continue
+            change = delta.change_percent(fail_on.stat)
+            if change is not None and change > fail_on.percent:
+                regressions.append(
+                    Regression(
+                        name=delta.name,
+                        stat=fail_on.stat,
+                        base=base_value,
+                        new=float(delta.new.get(fail_on.stat, 0.0)),
+                        percent=change,
+                    )
+                )
+    base_counters: Mapping[str, float] = base.get("counters", {})  # type: ignore[assignment]
+    new_counters: Mapping[str, float] = new.get("counters", {})  # type: ignore[assignment]
+    counter_deltas = {
+        name: (float(base_counters.get(name, 0.0)), float(new_counters.get(name, 0.0)))
+        for name in sorted(set(base_counters) | set(new_counters))
+        if base_counters.get(name) != new_counters.get(name)
+    }
+    return DiffResult(
+        spans=spans,
+        counter_deltas=counter_deltas,
+        regressions=sorted(regressions, key=lambda r: -r.percent),
+        fail_on=fail_on,
+    )
+
+
+def render_diff(
+    result: DiffResult,
+    base_label: str = "base",
+    new_label: str = "new",
+    max_counters: int = 20,
+) -> str:
+    """Render a diff as an aligned text report."""
+    lines = ["run diff: %s -> %s" % (base_label, new_label)]
+    comparable = [d for d in result.spans if d.base is not None and d.new is not None]
+    if comparable:
+        name_width = max(len(d.name) for d in comparable)
+        lines.append(
+            "  %-*s %10s %10s %10s %10s %8s"
+            % (name_width, "span", "p50 old", "p50 new", "p95 old", "p95 new", "Δp95")
+        )
+        for delta in sorted(
+            comparable,
+            key=lambda d: -(d.change_percent("p95") or float("-inf")),
+        ):
+            change = delta.change_percent("p95")
+            assert delta.base is not None and delta.new is not None
+            lines.append(
+                "  %-*s %9.4gs %9.4gs %9.4gs %9.4gs %7s%%"
+                % (
+                    name_width,
+                    delta.name,
+                    delta.base.get("p50", 0.0),
+                    delta.new.get("p50", 0.0),
+                    delta.base.get("p95", 0.0),
+                    delta.new.get("p95", 0.0),
+                    ("%+.1f" % change) if change is not None else "n/a",
+                )
+            )
+    only_base = [d.name for d in result.spans if d.new is None]
+    only_new = [d.name for d in result.spans if d.base is None]
+    if only_base:
+        lines.append("  only in %s: %s" % (base_label, ", ".join(only_base)))
+    if only_new:
+        lines.append("  only in %s: %s" % (new_label, ", ".join(only_new)))
+    if result.counter_deltas:
+        lines.append("  counter deltas:")
+        for index, (name, (old, new)) in enumerate(result.counter_deltas.items()):
+            if index >= max_counters:
+                lines.append(
+                    "    ... %d more" % (len(result.counter_deltas) - max_counters)
+                )
+                break
+            lines.append("    %-32s %g -> %g" % (name, old, new))
+    if result.fail_on is not None:
+        if result.regressions:
+            lines.append(
+                "  REGRESSIONS past %s:%+.0f%%:"
+                % (result.fail_on.stat, result.fail_on.percent)
+            )
+            for regression in result.regressions:
+                lines.append(
+                    "    %s %s %.4gs -> %.4gs (%+.1f%%)"
+                    % (
+                        regression.name,
+                        regression.stat,
+                        regression.base,
+                        regression.new,
+                        regression.percent,
+                    )
+                )
+        else:
+            lines.append(
+                "  no regression past %s:%.0f%%"
+                % (result.fail_on.stat, result.fail_on.percent)
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_MIN_SECONDS",
+    "DIFF_STATS",
+    "DiffResult",
+    "FailOn",
+    "Regression",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SpanDelta",
+    "build_snapshot",
+    "diff_snapshots",
+    "load_snapshot",
+    "parse_fail_on",
+    "render_diff",
+    "write_snapshot",
+]

@@ -1,0 +1,243 @@
+"""Fleet event stream: versioned, structured JSONL domain telemetry.
+
+Where :mod:`repro.obs.trace` records what the *process* did (spans,
+latencies), this module records what the simulated *fleet* did: every
+delivered failure, every disk replacement, every RAID rebuild window —
+stamped with simulation time and the full topological coordinates the
+paper's analyses group by (system class, shelf model, RAID group).
+Large-scale failure studies treat exactly this stream as the primary
+artifact; downstream, :mod:`repro.obs.health` folds it into rolling
+fleet-health series and ``repro obs report`` renders it.
+
+The stream is JSONL with a schema-versioned ``meta`` first line::
+
+    {"type": "meta", "stream": "fleet-events", "schema": 1, ...}
+    {"type": "fleet", "kind": "fleet", "t": 0.0, "systems": 390, ...}
+    {"type": "fleet", "kind": "failure", "t": 123456.7,
+     "failure_type": "disk", "system_class": "low_end", ...}
+
+Event kinds (``schema`` 1):
+
+- ``fleet`` — one topology summary per simulation run (system / shelf /
+  RAID group / disk counts, observation window, seed); the denominator
+  record health aggregation needs for AFR computation.
+- ``failure`` — one delivered subsystem failure (``t`` is the
+  detection time, as the paper's analyses require).
+- ``repair`` — a failed disk's replacement entering service.
+- ``rebuild`` — the RAID reconstruction window a disk failure opened.
+
+Like the tracer, the log buffers in memory and :meth:`FleetEventLog.flush`
+publishes atomically (temp file + ``os.replace``).  Emission is enabled
+via ``--events FILE`` / ``$REPRO_EVENTS``; a disabled log costs one
+attribute check per site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: Version stamped into the stream's meta line; readers reject streams
+#: with a *newer* major version than they understand.
+EVENTS_SCHEMA_VERSION = 1
+
+#: The ``stream`` discriminator in the meta line (trace files carry no
+#: such field, so mixing up the two artifacts fails loudly).
+STREAM_NAME = "fleet-events"
+
+#: Event kinds a schema-1 stream may contain.
+EVENT_KINDS = ("fleet", "failure", "repair", "rebuild")
+
+
+class FleetEventLog:
+    """Buffered, atomically-flushed fleet event collector.
+
+    Args:
+        enabled: collect events; ``False`` (the default) makes
+            :meth:`emit` a no-op after one attribute check.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.epoch_wall = time.time()
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, object]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def emit(self, kind: str, t: float, /, **fields: object) -> None:
+        """Append one fleet event (no-op while disabled).
+
+        Args:
+            kind: one of :data:`EVENT_KINDS`.
+            t: simulation time in seconds since the study window start.
+            fields: structured payload; values are coerced to
+                JSON-serializable scalars.
+        """
+        if not self.enabled:
+            return
+        event: Dict[str, object] = {"type": "fleet", "kind": kind, "t": float(t)}
+        for key, value in fields.items():
+            event[key] = _jsonable(value)
+        with self._lock:
+            self._events.append(event)
+
+    def emit_many(self, records: Iterable[Dict[str, object]]) -> None:
+        """Append pre-built event dicts in one lock acquisition."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.extend(records)
+
+    # -- buffer management ---------------------------------------------------
+
+    def events(self) -> List[Dict[str, object]]:
+        """A snapshot copy of the buffered events."""
+        with self._lock:
+            return list(self._events)
+
+    def count(self) -> int:
+        """Number of buffered events."""
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all buffered events."""
+        with self._lock:
+            self._events = []
+
+    def meta(self) -> Dict[str, object]:
+        """The schema-versioned header record (first JSONL line)."""
+        return {
+            "type": "meta",
+            "stream": STREAM_NAME,
+            "schema": EVENTS_SCHEMA_VERSION,
+            "epoch_wall": self.epoch_wall,
+            "pid": os.getpid(),
+            "events": len(self._events),
+        }
+
+    def flush(self, path: str) -> int:
+        """Write the full buffer to ``path`` as JSONL, atomically.
+
+        Returns the number of fleet events written.  Same contract as
+        :meth:`repro.obs.trace.Tracer.flush`: temp file + ``os.replace``,
+        so a concurrent reader never sees a torn stream.
+        """
+        events = self.events()
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self.meta()) + "\n")
+                for event in events:
+                    handle.write(json.dumps(event) + "\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        return len(events)
+
+
+def read_events(
+    path: str,
+    *,
+    strict: bool = True,
+    warn: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Parse a fleet event stream back into its event dicts.
+
+    The first non-empty line must be the stream's ``meta`` record; its
+    ``schema`` is checked against :data:`EVENTS_SCHEMA_VERSION` so a
+    reader never silently misinterprets a future format.
+
+    Args:
+        path: JSONL stream written by :meth:`FleetEventLog.flush`.
+        strict: raise :class:`ValueError` on malformed lines; when
+            ``False``, skip them (reporting through ``warn``).
+        warn: callback receiving one message per skipped line.
+
+    Raises:
+        ValueError: missing/foreign meta line, unsupported schema
+            version, or (in strict mode) a malformed line.
+    """
+    events: List[Dict[str, object]] = []
+    meta: Optional[Dict[str, object]] = None
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                message = "%s:%d: skipping malformed line: %s" % (path, number, exc)
+                if strict:
+                    raise ValueError(message) from exc
+                if warn is not None:
+                    warn(message)
+                continue
+            if not isinstance(record, dict):
+                continue
+            if meta is None:
+                if record.get("type") != "meta" or record.get("stream") != STREAM_NAME:
+                    raise ValueError(
+                        "%s: not a fleet event stream (first record must be "
+                        "its meta line)" % path
+                    )
+                schema = int(record.get("schema", 0))
+                if schema > EVENTS_SCHEMA_VERSION:
+                    raise ValueError(
+                        "%s: stream schema %d is newer than supported %d"
+                        % (path, schema, EVENTS_SCHEMA_VERSION)
+                    )
+                meta = record
+                continue
+            if record.get("type") == "fleet":
+                events.append(record)
+    if meta is None:
+        raise ValueError("%s: empty file is not a fleet event stream" % path)
+    return events
+
+
+def read_events_meta(path: str) -> Dict[str, object]:
+    """The stream's meta record alone (cheap: reads one line)."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if (
+                isinstance(record, dict)
+                and record.get("type") == "meta"
+                and record.get("stream") == STREAM_NAME
+            ):
+                return record
+            break
+    raise ValueError("%s: no fleet event stream meta line" % path)
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a field value to something json.dumps accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+__all__ = [
+    "EVENTS_SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "FleetEventLog",
+    "STREAM_NAME",
+    "read_events",
+    "read_events_meta",
+]

@@ -23,7 +23,7 @@ import json
 import math
 import os
 import tempfile
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.registry import Histogram, MetricsRegistry, parse_series_key
 
@@ -31,15 +31,29 @@ from repro.obs.registry import Histogram, MetricsRegistry, parse_series_key
 # -- JSONL traces ------------------------------------------------------------
 
 
-def read_trace(path: str) -> List[Dict[str, object]]:
+def read_trace(
+    path: str,
+    *,
+    strict: bool = True,
+    warn: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
     """Parse a JSONL trace file into its span events.
 
     ``meta`` records, blank lines, and records of unknown type are
     skipped, so the reader tolerates both bare event streams and the
     full flushed format.
 
+    Args:
+        path: JSONL trace written by ``Tracer.flush`` (or ``--trace``).
+        strict: raise on malformed lines (the default, for library
+            callers); ``False`` skips them — the behavior ``repro obs
+            summary`` wants for truncated traces from crashed runs.
+        warn: callback receiving one message per skipped line when
+            ``strict`` is off.
+
     Raises:
-        ValueError: when a non-empty line is not valid JSON.
+        ValueError: when a non-empty line is not valid JSON (strict
+            mode only).
     """
     events: List[Dict[str, object]] = []
     with open(path) as handle:
@@ -50,11 +64,34 @@ def read_trace(path: str) -> List[Dict[str, object]]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(
-                    "%s:%d: not valid JSON: %s" % (path, number, exc)
-                ) from exc
+                message = "%s:%d: not valid JSON: %s" % (path, number, exc)
+                if strict:
+                    raise ValueError(message) from exc
+                if warn is not None:
+                    warn(
+                        "%s:%d: skipping malformed trace line (%s)"
+                        % (path, number, exc)
+                    )
+                continue
             if isinstance(record, dict) and record.get("type", "span") == "span":
                 events.append(record)
+    return events
+
+
+def read_traces(
+    paths: Sequence[str],
+    *,
+    strict: bool = True,
+    warn: Optional[Callable[[str], None]] = None,
+) -> List[Dict[str, object]]:
+    """Concatenate the span events of several trace files, in order.
+
+    Used by ``repro obs summary A B C`` to compute percentiles over the
+    merged population instead of per-file.
+    """
+    events: List[Dict[str, object]] = []
+    for path in paths:
+        events.extend(read_trace(path, strict=strict, warn=warn))
     return events
 
 
@@ -232,10 +269,107 @@ def load_trace_summary(path: str, title: Optional[str] = None) -> str:
     )
 
 
+# -- Prometheus textfile parsing ---------------------------------------------
+
+
+def _parse_sample_line(line: str) -> Optional[Tuple[str, Dict[str, str], float]]:
+    """Split one sample line into ``(name, labels, value)``."""
+    try:
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            inner, _, value_part = rest.rpartition("}")
+            labels: Dict[str, str] = {}
+            for part in inner.split(","):
+                if not part:
+                    continue
+                key, _, raw = part.partition("=")
+                labels[key.strip()] = raw.strip().strip('"').replace('\\"', '"')
+            return name.strip(), labels, float(value_part.strip())
+        name, _, value_part = line.rpartition(" ")
+        return name.strip(), {}, float(value_part.strip())
+    except ValueError:
+        return None
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse a textfile-collector payload back into series.
+
+    The inverse of :func:`render_prometheus`, as far as the format
+    allows: histogram ``_bucket`` / ``_sum`` / ``_count`` series are
+    regrouped under their base metric.  Returns::
+
+        {"counters": {key: float},
+         "gauges": {key: float},
+         "histograms": {key: {"buckets": [(le, cumulative), ...],
+                              "sum": float, "count": float}}}
+
+    where ``key`` is the flattened ``name{k=v,...}`` form (without the
+    ``le`` label for buckets).  Used by the exporter round-trip tests,
+    the run report, and ``repro obs summary --metrics``.
+    """
+    types: Dict[str, str] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+
+    def histogram_for(name: str, labels: Mapping[str, str]) -> Dict[str, object]:
+        key = name if not labels else (
+            "%s{%s}" % (name, ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels)))
+        )
+        return histograms.setdefault(key, {"buckets": [], "sum": 0.0, "count": 0.0})
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        parsed = _parse_sample_line(line)
+        if parsed is None:
+            continue
+        name, labels, value = parsed
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                if suffix == "_bucket":
+                    le = labels.pop("le", "+Inf")
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    hist = histogram_for(base, labels)
+                    hist["buckets"].append((bound, value))  # type: ignore[union-attr]
+                elif suffix == "_sum":
+                    histogram_for(base, labels)["sum"] = value
+                else:
+                    histogram_for(base, labels)["count"] = value
+                break
+        if base is not None:
+            continue
+        key = name if not labels else (
+            "%s{%s}" % (name, ",".join("%s=%s" % (k, labels[k]) for k in sorted(labels)))
+        )
+        if types.get(name) == "gauge":
+            gauges[key] = value
+        else:
+            counters[key] = value
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def load_metrics(path: str) -> Dict[str, Dict[str, object]]:
+    """Read and parse a Prometheus textfile (see :func:`parse_prometheus`)."""
+    with open(path) as handle:
+        return parse_prometheus(handle.read())
+
+
 __all__ = [
+    "load_metrics",
     "load_trace_summary",
+    "parse_prometheus",
     "percentile",
     "read_trace",
+    "read_traces",
     "render_prometheus",
     "render_trace_summary",
     "summarize_trace",

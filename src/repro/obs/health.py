@@ -1,0 +1,313 @@
+"""Streaming fleet-health aggregation over the fleet event stream.
+
+:class:`FleetHealth` folds :mod:`repro.obs.events` records — one at a
+time, so it works on live buffers and on replayed JSONL streams alike —
+into the windowed series an operator of the simulated fleet would watch:
+
+- **rolling AFR per failure type** — failures per window normalized by
+  the fleet's disk population and the window length (annualized, in
+  percent, matching the paper's Fig. 4 units);
+- **burst / self-correlation check** — the paper's §5.2 independence
+  test: across per-shelf (or per-RAID-group) observation windows, the
+  empirical probability of seeing exactly two failures must satisfy
+  ``P(2) = P(1)^2 / 2`` if failures were independent; bursty processes
+  exceed it many-fold (Fig. 10, Finding 11);
+- **top-k failing shelf models** — where the failures concentrate.
+
+:meth:`FleetHealth.publish` feeds the current aggregates into a
+:class:`~repro.obs.registry.MetricsRegistry` as gauges
+(``health.afr_pct{failure_type=...}``, ``health.burst_inflation{scope=...}``,
+``health.shelf_failures{shelf_model=...}``), which is how the exported
+Prometheus textfile of an ``--events`` run carries fleet health next to
+process metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.units import SECONDS_PER_YEAR
+
+#: Default rolling-AFR window: 30 days of simulation time.
+DEFAULT_AFR_WINDOW_SECONDS = 30.0 * 86_400.0
+
+#: Default self-correlation window: the paper's 1 year (§5.2.2).
+DEFAULT_CORRELATION_WINDOW_SECONDS = SECONDS_PER_YEAR
+
+#: Scopes the burst check aggregates over.
+BURST_SCOPES = ("shelf", "raid_group")
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstCheck:
+    """One scope's P(2)-vs-P(1)^2/2 independence check.
+
+    Attributes:
+        scope: ``"shelf"`` or ``"raid_group"``.
+        window_seconds: the observation window length T.
+        n_cells: scope-unit observation windows counted.
+        count_exactly_one / count_exactly_two: cells with exactly 1 / 2
+            failures.
+        p1 / p2_empirical: the corresponding fractions.
+        p2_theoretical: ``p1^2 / 2`` (equation 3 under independence).
+    """
+
+    scope: str
+    window_seconds: float
+    n_cells: int
+    count_exactly_one: int
+    count_exactly_two: int
+    p1: float
+    p2_empirical: float
+    p2_theoretical: float
+
+    @property
+    def inflation(self) -> float:
+        """Empirical / theoretical P(2); > 1 signals clustered failures."""
+        if self.p2_theoretical == 0.0:
+            return float("inf") if self.p2_empirical > 0.0 else 1.0
+        return self.p2_empirical / self.p2_theoretical
+
+    @property
+    def bursty(self) -> bool:
+        """Whether the stream shows super-independent double failures."""
+        return self.p2_empirical > self.p2_theoretical
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetInfo:
+    """The topology summary from the stream's ``fleet`` event."""
+
+    systems: int
+    shelves: int
+    raid_groups: int
+    disks: int
+    duration_seconds: float
+    seed: Optional[int] = None
+
+
+class FleetHealth:
+    """Streaming aggregator over fleet events (see module docstring).
+
+    Args:
+        afr_window_seconds: rolling-AFR window length.
+        correlation_window_seconds: burst-check window length T.
+        top_k: how many shelf models :meth:`publish` exports.
+    """
+
+    def __init__(
+        self,
+        afr_window_seconds: float = DEFAULT_AFR_WINDOW_SECONDS,
+        correlation_window_seconds: float = DEFAULT_CORRELATION_WINDOW_SECONDS,
+        top_k: int = 5,
+    ) -> None:
+        if afr_window_seconds <= 0.0 or correlation_window_seconds <= 0.0:
+            raise ValueError("aggregation windows must be positive")
+        self.afr_window_seconds = float(afr_window_seconds)
+        self.correlation_window_seconds = float(correlation_window_seconds)
+        self.top_k = top_k
+        self.fleet: Optional[FleetInfo] = None
+        self.kind_counts: Dict[str, int] = {}
+        self.type_counts: Dict[str, int] = {}
+        self.last_t = 0.0
+        # (window index, failure type) -> failures in that AFR window.
+        self._afr_counts: Dict[Tuple[int, str], int] = {}
+        # scope -> (unit id, correlation-window index) -> failure count.
+        self._unit_counts: Dict[str, Dict[Tuple[str, int], int]] = {
+            scope: {} for scope in BURST_SCOPES
+        }
+        self._shelf_model_counts: Dict[str, int] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, event: Mapping[str, object]) -> None:
+        """Fold one fleet event into the aggregates."""
+        kind = str(event.get("kind", "?"))
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        t = float(event.get("t", 0.0))
+        self.last_t = max(self.last_t, t)
+        if kind == "fleet":
+            self.fleet = FleetInfo(
+                systems=int(event.get("systems", 0)),
+                shelves=int(event.get("shelves", 0)),
+                raid_groups=int(event.get("raid_groups", 0)),
+                disks=int(event.get("disks", 0)),
+                duration_seconds=float(event.get("duration_seconds", 0.0)),
+                seed=event.get("seed"),  # type: ignore[arg-type]
+            )
+            return
+        if kind != "failure":
+            return
+        failure_type = str(event.get("failure_type", "?"))
+        self.type_counts[failure_type] = self.type_counts.get(failure_type, 0) + 1
+        window = int(t // self.afr_window_seconds)
+        self._afr_counts[(window, failure_type)] = (
+            self._afr_counts.get((window, failure_type), 0) + 1
+        )
+        cell = int(t // self.correlation_window_seconds)
+        for scope, field in (("shelf", "shelf_id"), ("raid_group", "raid_group_id")):
+            unit = event.get(field)
+            if unit is None:
+                continue
+            counts = self._unit_counts[scope]
+            key = (str(unit), cell)
+            counts[key] = counts.get(key, 0) + 1
+        shelf_model = event.get("shelf_model")
+        if shelf_model is not None:
+            key = str(shelf_model)
+            self._shelf_model_counts[key] = self._shelf_model_counts.get(key, 0) + 1
+
+    def ingest_all(self, events: Iterable[Mapping[str, object]]) -> "FleetHealth":
+        """Fold a whole stream; returns self for chaining."""
+        for event in events:
+            self.ingest(event)
+        return self
+
+    # -- series --------------------------------------------------------------
+
+    @property
+    def failures(self) -> int:
+        """Total failure events ingested."""
+        return self.kind_counts.get("failure", 0)
+
+    def afr_by_type(self) -> Dict[str, float]:
+        """Whole-stream annualized failure rate (percent) per type.
+
+        Uses the ``fleet`` event's disk count and observation window as
+        the denominator; without one the rates are undefined and the
+        result is empty.
+        """
+        if self.fleet is None or self.fleet.disks <= 0:
+            return {}
+        years = self.fleet.duration_seconds / SECONDS_PER_YEAR
+        if years <= 0.0:
+            return {}
+        return {
+            failure_type: 100.0 * count / self.fleet.disks / years
+            for failure_type, count in sorted(self.type_counts.items())
+        }
+
+    def afr_series(
+        self, failure_type: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """Rolling AFR: ``(window start seconds, annualized percent)``.
+
+        Windows with zero failures between the first and last active
+        window are reported explicitly (a healthy stretch is a data
+        point, not a gap).  Empty without a ``fleet`` event.
+        """
+        if self.fleet is None or self.fleet.disks <= 0:
+            return []
+        windows = [w for (w, ft) in self._afr_counts if failure_type in (None, ft)]
+        if not windows:
+            return []
+        window_years = self.afr_window_seconds / SECONDS_PER_YEAR
+        series: List[Tuple[float, float]] = []
+        for window in range(min(windows), max(windows) + 1):
+            count = sum(
+                n
+                for (w, ft), n in self._afr_counts.items()
+                if w == window and failure_type in (None, ft)
+            )
+            afr = 100.0 * count / self.fleet.disks / window_years
+            series.append((window * self.afr_window_seconds, afr))
+        return series
+
+    def burst_check(self, scope: str = "shelf") -> BurstCheck:
+        """The P(2)-vs-P(1)^2/2 check over one scope's windows.
+
+        Every (unit, window) cell with at least one ingested failure
+        plus the fleet's silent units (from the ``fleet`` event's
+        counts, when available) form the cell population; the paper's
+        equation 3 then gives the independence prediction for P(2).
+        """
+        if scope not in BURST_SCOPES:
+            raise ValueError(
+                "scope must be one of %s, not %r" % (", ".join(BURST_SCOPES), scope)
+            )
+        counts = self._unit_counts[scope]
+        exactly = {1: 0, 2: 0}
+        for value in counts.values():
+            if value in exactly:
+                exactly[value] += 1
+        active_units = {unit for (unit, _cell) in counts}
+        n_windows = max(
+            1, int(math.ceil(max(self.last_t, 1.0) / self.correlation_window_seconds))
+        )
+        population = len(active_units)
+        if self.fleet is not None:
+            fleet_units = (
+                self.fleet.shelves if scope == "shelf" else self.fleet.raid_groups
+            )
+            population = max(population, fleet_units)
+        n_cells = population * n_windows
+        p1 = exactly[1] / n_cells if n_cells else 0.0
+        p2 = exactly[2] / n_cells if n_cells else 0.0
+        return BurstCheck(
+            scope=scope,
+            window_seconds=self.correlation_window_seconds,
+            n_cells=n_cells,
+            count_exactly_one=exactly[1],
+            count_exactly_two=exactly[2],
+            p1=p1,
+            p2_empirical=p2,
+            p2_theoretical=p1 * p1 / 2.0,
+        )
+
+    def top_shelf_models(self, k: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Shelf models by failure count, worst first."""
+        ranked = sorted(
+            self._shelf_model_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[: (self.top_k if k is None else k)]
+
+    # -- export --------------------------------------------------------------
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Set the current aggregates as gauges on ``registry``."""
+        registry.set_gauge("health.events", float(sum(self.kind_counts.values())))
+        registry.set_gauge("health.failures", float(self.failures))
+        for failure_type, afr in self.afr_by_type().items():
+            registry.set_gauge("health.afr_pct", afr, failure_type=failure_type)
+        for scope in BURST_SCOPES:
+            check = self.burst_check(scope)
+            if check.n_cells == 0:
+                continue
+            inflation = check.inflation
+            if math.isfinite(inflation):
+                registry.set_gauge("health.burst_inflation", inflation, scope=scope)
+            registry.set_gauge("health.burst_p1", check.p1, scope=scope)
+            registry.set_gauge("health.burst_p2", check.p2_empirical, scope=scope)
+        for shelf_model, count in self.top_shelf_models():
+            registry.set_gauge(
+                "health.shelf_failures", float(count), shelf_model=shelf_model
+            )
+
+
+def health_from_events(
+    events: "Iterable[Mapping[str, object]] | str", **kwargs: float
+) -> FleetHealth:
+    """A :class:`FleetHealth` folded over ``events`` in one call.
+
+    ``events`` may be an in-memory iterable of event records or the
+    path of a flushed event-stream file.
+    """
+    if isinstance(events, str):
+        from repro.obs.events import read_events
+
+        events = read_events(events)
+    return FleetHealth(**kwargs).ingest_all(events)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "BURST_SCOPES",
+    "BurstCheck",
+    "DEFAULT_AFR_WINDOW_SECONDS",
+    "DEFAULT_CORRELATION_WINDOW_SECONDS",
+    "FleetHealth",
+    "FleetInfo",
+    "health_from_events",
+]

@@ -35,6 +35,11 @@ DEFAULT_MAX_LABEL_SETS = 64
 #: Label key marking series that overflowed the cardinality cap.
 OVERFLOW_LABEL = "__overflow__"
 
+#: Counter recording label-cardinality overflow, one series per
+#: affected metric: ``obs.labels_dropped{metric=<name>}`` counts the
+#: recordings that collapsed into the ``__overflow__`` series.
+LABELS_DROPPED = "obs.labels_dropped"
+
 
 def series_key(name: str, labels: Mapping[str, object]) -> str:
     """Flattened storage key: ``name`` or ``name{k=v,...}`` (keys sorted)."""
@@ -286,6 +291,11 @@ class MetricsRegistry:
             return key
         used = self._label_sets.get(name, 0)
         if used >= self.max_label_sets:
+            # Overflow is no longer silent: each collapsed recording
+            # bumps a per-metric drop counter that exporters, the CLI
+            # summary, and the run report surface as a warning.
+            dropped_key = series_key(LABELS_DROPPED, {"metric": name})
+            self._counters[dropped_key] = self._counters.get(dropped_key, 0) + 1
             return series_key(name, {OVERFLOW_LABEL: "true"})
         self._label_sets[name] = used + 1
         return key
@@ -303,6 +313,7 @@ __all__ = [
     "DEFAULT_BOUNDS",
     "DEFAULT_MAX_LABEL_SETS",
     "Histogram",
+    "LABELS_DROPPED",
     "MetricsRegistry",
     "OVERFLOW_LABEL",
     "merged",

@@ -1,0 +1,366 @@
+"""Self-contained HTML run reports from trace + metrics + fleet events.
+
+``repro obs report`` renders everything one observed run produced into
+a single HTML file an engineer can open (or CI can archive) with zero
+runtime dependencies: all CSS is inline, all charts are inline SVG, and
+nothing is fetched from the network.
+
+Sections (each present only when its input is):
+
+- **span waterfall** — the trace's spans on a shared timeline,
+  indented by nesting depth (the longest spans when the trace is huge);
+- **span summary** — the exact-percentile table ``repro obs summary``
+  prints, as HTML;
+- **runtime metrics** — cache / pool / job counters and gauges from the
+  Prometheus textfile, with a label-overflow warning when any metric
+  dropped series;
+- **fleet health** — AFR-by-type bar chart, the burst / self-correlation
+  table (the paper's P(2) vs P(1)^2/2 check), and the top failing shelf
+  models, all folded from the fleet event stream by
+  :class:`repro.obs.health.FleetHealth`.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.health import FleetHealth
+from repro.obs.registry import LABELS_DROPPED, parse_series_key
+from repro.obs.exporters import summarize_trace
+
+#: Most spans the waterfall draws (longest-duration spans win).
+WATERFALL_MAX_SPANS = 80
+
+_CSS = """
+body { font: 13px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 70em; color: #1a1a24; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #27636e; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 2em; color: #27636e; }
+table { border-collapse: collapse; margin: .7em 0; }
+th, td { border: 1px solid #d5d9e0; padding: .25em .6em; text-align: right; }
+th { background: #eef1f5; }
+td.name, th.name { text-align: left; font-family: ui-monospace, monospace; }
+.warn { background: #fff3cd; border: 1px solid #e0c36a; padding: .5em .8em;
+        border-radius: 4px; margin: .6em 0; }
+.meta { color: #667; }
+svg { background: #fafbfc; border: 1px solid #e2e5ea; border-radius: 4px; }
+svg text { font: 10px ui-monospace, monospace; fill: #333; }
+"""
+
+#: Bar palette, keyed by a stable hash of the span's root name.
+_PALETTE = (
+    "#27636e", "#b4543c", "#5b8c5a", "#7b6d8d", "#c2963f",
+    "#476a92", "#a05c7b", "#6b8e23",
+)
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.3gs" % seconds
+    if seconds >= 1e-3:
+        return "%.3gms" % (seconds * 1e3)
+    return "%.3gµs" % (seconds * 1e6)
+
+
+def _table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], name_cols: int = 1
+) -> str:
+    """An HTML table; the first ``name_cols`` columns left-align."""
+    parts = ["<table><tr>"]
+    for index, header in enumerate(headers):
+        cls = ' class="name"' if index < name_cols else ""
+        parts.append("<th%s>%s</th>" % (cls, _esc(header)))
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for index, cell in enumerate(row):
+            cls = ' class="name"' if index < name_cols else ""
+            parts.append("<td%s>%s</td>" % (cls, _esc(cell)))
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+# -- span waterfall ----------------------------------------------------------
+
+
+def _span_depths(events: Sequence[Mapping[str, object]]) -> Dict[object, int]:
+    """Nesting depth per span id (0 for roots, parents resolved iteratively)."""
+    parents = {e.get("span_id"): e.get("parent_id") for e in events}
+    depths: Dict[object, int] = {}
+    for span_id in parents:
+        depth, cursor = 0, parents.get(span_id)
+        while cursor is not None and cursor in parents and depth < 32:
+            depth += 1
+            cursor = parents.get(cursor)
+        depths[span_id] = depth
+    return depths
+
+
+def render_waterfall(events: Sequence[Mapping[str, object]]) -> str:
+    """The trace's spans as an inline-SVG timeline."""
+    spans = [e for e in events if "start" in e and "duration" in e]
+    if not spans:
+        return "<p class='meta'>(no spans recorded)</p>"
+    dropped = 0
+    if len(spans) > WATERFALL_MAX_SPANS:
+        keep = sorted(spans, key=lambda e: -float(e["duration"]))[:WATERFALL_MAX_SPANS]
+        dropped = len(spans) - len(keep)
+        spans = keep
+    spans.sort(key=lambda e: (float(e["start"]), -float(e["duration"])))
+    depths = _span_depths(spans)
+    t0 = min(float(e["start"]) for e in spans)
+    t1 = max(float(e["start"]) + float(e["duration"]) for e in spans)
+    total = max(t1 - t0, 1e-9)
+    width, row_height, label_width = 760, 16, 230
+    height = row_height * len(spans) + 24
+    parts = [
+        '<svg width="%d" height="%d" role="img" aria-label="span waterfall">'
+        % (width + label_width, height)
+    ]
+    # Time axis ticks along the top.
+    for tick in range(5):
+        t = t0 + total * tick / 4.0
+        x = label_width + (width - 60) * tick / 4.0
+        parts.append(
+            '<text x="%.1f" y="12">%s</text>' % (x, _esc(_fmt_seconds(t - t0)))
+        )
+    for row, event in enumerate(spans):
+        name = str(event.get("name", "?"))
+        start = float(event["start"]) - t0
+        duration = float(event["duration"])
+        depth = depths.get(event.get("span_id"), 0)
+        y = 20 + row * row_height
+        x = label_width + (width - 60) * (start / total)
+        bar = max(1.0, (width - 60) * (duration / total))
+        color = _PALETTE[hash(name.split(".", 1)[0]) % len(_PALETTE)]
+        parts.append(
+            '<text x="%d" y="%.1f">%s%s</text>'
+            % (4 + depth * 10, y + 11, "&#183;" * min(depth, 6), _esc(name[:34]))
+        )
+        parts.append(
+            '<rect x="%.1f" y="%.1f" width="%.1f" height="%d" fill="%s">'
+            "<title>%s: %s</title></rect>"
+            % (x, y + 2, bar, row_height - 5, color, _esc(name),
+               _esc(_fmt_seconds(duration)))
+        )
+    parts.append("</svg>")
+    note = (
+        "<p class='meta'>showing the %d longest of %d spans</p>"
+        % (len(spans), len(spans) + dropped)
+        if dropped
+        else ""
+    )
+    return "".join(parts) + note
+
+
+def _summary_section(events: Sequence[Mapping[str, object]]) -> str:
+    summary = summarize_trace(events)
+    rows = []
+    for name in sorted(summary, key=lambda n: -summary[n]["total"]):
+        stats = summary[name]
+        rows.append(
+            (
+                name,
+                int(stats["count"]),
+                _fmt_seconds(stats["total"]),
+                _fmt_seconds(stats["mean"]),
+                _fmt_seconds(stats["p50"]),
+                _fmt_seconds(stats["p95"]),
+                _fmt_seconds(stats["max"]),
+                int(stats["errors"]) or "",
+            )
+        )
+    return _table(
+        ("span", "count", "total", "mean", "p50", "p95", "max", "errors"), rows
+    )
+
+
+# -- metrics section ---------------------------------------------------------
+
+
+def _metrics_section(metrics: Mapping[str, Dict[str, object]]) -> str:
+    parts: List[str] = []
+    counters: Mapping[str, float] = metrics.get("counters", {})  # type: ignore[assignment]
+    gauges: Mapping[str, float] = metrics.get("gauges", {})  # type: ignore[assignment]
+    # Matches both wire forms: the raw registry key (obs.labels_dropped)
+    # and the Prometheus-sanitized one (repro_obs_labels_dropped).
+    dropped = {
+        key: value
+        for key, value in counters.items()
+        if parse_series_key(key)[0]
+        .replace(".", "_")
+        .endswith(LABELS_DROPPED.replace(".", "_"))
+    }
+    for key, value in sorted(dropped.items()):
+        _, labels = parse_series_key(key)
+        parts.append(
+            "<div class='warn'>metric <code>%s</code> dropped %d recording(s) "
+            "past the label-cardinality cap</div>"
+            % (_esc(labels.get("metric", "?")), int(value))
+        )
+    if counters:
+        rows = [
+            (key, "%g" % value)
+            for key, value in sorted(counters.items())
+            if key not in dropped
+        ]
+        parts.append("<h3>counters</h3>" + _table(("series", "value"), rows))
+    if gauges:
+        rows = [(key, "%g" % value) for key, value in sorted(gauges.items())]
+        parts.append("<h3>gauges</h3>" + _table(("series", "value"), rows))
+    hists: Mapping[str, Mapping[str, object]]
+    hists = metrics.get("histograms", {})  # type: ignore[assignment]
+    if hists:
+        rows = []
+        for key, hist in sorted(hists.items()):
+            count = float(hist.get("count", 0.0))
+            total = float(hist.get("sum", 0.0))
+            mean = total / count if count else 0.0
+            rows.append((key, int(count), _fmt_seconds(total), _fmt_seconds(mean)))
+        parts.append(
+            "<h3>latency histograms</h3>"
+            + _table(("series", "count", "sum", "mean"), rows)
+        )
+    return "".join(parts) or "<p class='meta'>(no metrics recorded)</p>"
+
+
+# -- fleet health section ----------------------------------------------------
+
+
+def _bar_chart(pairs: Sequence[Tuple[str, float]], unit: str) -> str:
+    """Horizontal bars with value labels, inline SVG."""
+    if not pairs:
+        return "<p class='meta'>(no data)</p>"
+    peak = max(value for _, value in pairs) or 1.0
+    width, row_height, label_width = 560, 22, 170
+    height = row_height * len(pairs) + 8
+    parts = ['<svg width="%d" height="%d">' % (width + label_width, height)]
+    for row, (name, value) in enumerate(pairs):
+        y = 4 + row * row_height
+        bar = max(1.0, (width - 110) * (value / peak))
+        color = _PALETTE[row % len(_PALETTE)]
+        parts.append('<text x="4" y="%.1f">%s</text>' % (y + 14, _esc(name[:24])))
+        parts.append(
+            '<rect x="%d" y="%.1f" width="%.1f" height="%d" fill="%s"/>'
+            % (label_width, y + 3, bar, row_height - 8, color)
+        )
+        parts.append(
+            '<text x="%.1f" y="%.1f">%.3g%s</text>'
+            % (label_width + bar + 6, y + 14, value, _esc(unit))
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _health_section(health: FleetHealth) -> str:
+    parts: List[str] = []
+    if health.fleet is not None:
+        info = health.fleet
+        parts.append(
+            "<p class='meta'>fleet: %d systems, %d shelves, %d RAID groups, "
+            "%d disks; %d failure events over %.2f simulated years</p>"
+            % (
+                info.systems, info.shelves, info.raid_groups, info.disks,
+                health.failures, info.duration_seconds / (365.25 * 86400.0),
+            )
+        )
+    afr = health.afr_by_type()
+    if afr:
+        parts.append("<h3>annualized failure rate by type</h3>")
+        parts.append(_bar_chart(sorted(afr.items(), key=lambda kv: -kv[1]), "%"))
+    parts.append("<h3>burst / self-correlation check (P(2) vs P(1)&#178;/2)</h3>")
+    rows = []
+    for scope in ("shelf", "raid_group"):
+        check = health.burst_check(scope)
+        inflation = check.inflation
+        rows.append(
+            (
+                scope,
+                check.n_cells,
+                check.count_exactly_one,
+                check.count_exactly_two,
+                "%.4g" % check.p1,
+                "%.4g" % check.p2_empirical,
+                "%.4g" % check.p2_theoretical,
+                ("%.3gx" % inflation) if math.isfinite(inflation) else "&#8734;",
+                "yes" if check.bursty else "no",
+            )
+        )
+    parts.append(
+        _table(
+            (
+                "scope", "windows", "exactly 1", "exactly 2",
+                "P(1)", "P(2)", "P(1)²/2", "inflation", "bursty",
+            ),
+            rows,
+        )
+    )
+    top = health.top_shelf_models()
+    if top:
+        parts.append("<h3>top failing shelf models</h3>")
+        parts.append(_table(("shelf model", "failures"), top))
+    return "".join(parts)
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+def render_report(
+    trace_events: Optional[Sequence[Mapping[str, object]]] = None,
+    metrics: Optional[Mapping[str, Dict[str, object]]] = None,
+    fleet_events: Optional[Sequence[Mapping[str, object]]] = None,
+    title: str = "repro run report",
+    subtitle: str = "",
+) -> str:
+    """Build the full self-contained HTML document.
+
+    Args:
+        trace_events: span events (``read_trace`` output).
+        metrics: parsed Prometheus payload (``parse_prometheus`` output).
+        fleet_events: fleet event dicts (``read_events`` output).
+        title / subtitle: report header lines.
+    """
+    sections: List[str] = []
+    if trace_events is not None:
+        sections.append("<h2>span waterfall</h2>" + render_waterfall(trace_events))
+        sections.append("<h2>span summary</h2>" + _summary_section(trace_events))
+    if metrics is not None:
+        sections.append("<h2>runtime metrics</h2>" + _metrics_section(metrics))
+    if fleet_events is not None:
+        health = FleetHealth().ingest_all(fleet_events)
+        sections.append("<h2>fleet health</h2>" + _health_section(health))
+    if not sections:
+        sections.append("<p class='meta'>(no inputs provided)</p>")
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        "<title>%s</title><style>%s</style></head><body>"
+        "<h1>%s</h1>%s%s</body></html>\n"
+        % (
+            _esc(title),
+            _CSS,
+            _esc(title),
+            "<p class='meta'>%s</p>" % _esc(subtitle) if subtitle else "",
+            "".join(sections),
+        )
+    )
+
+
+def write_report(path: str, html_text: str) -> None:
+    """Write the rendered report to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(html_text)
+
+
+__all__ = [
+    "WATERFALL_MAX_SPANS",
+    "render_report",
+    "render_waterfall",
+    "write_report",
+]

@@ -72,6 +72,20 @@ class SimulationEngine:
         with obs.span("simulate.run", seed=seed, via_logs=via_logs):
             fleet = build_fleet(self.spec, source)
             injection = self.injector.inject(fleet, source)
+            if obs.OBSERVER.fleet_events.enabled:
+                # The topology record the health aggregator needs as an
+                # AFR denominator; emitted after injection so the disk
+                # count includes replacements (Table 1's convention).
+                obs.emit(
+                    "fleet",
+                    0.0,
+                    seed=seed,
+                    systems=fleet.system_count,
+                    shelves=fleet.shelf_count,
+                    raid_groups=fleet.raid_group_count,
+                    disks=fleet.disk_count_ever,
+                    duration_seconds=fleet.duration_seconds,
+                )
             archive: Optional[LogArchive] = None
             if via_logs:
                 with obs.span("simulate.logs.write"):

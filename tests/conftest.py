@@ -48,7 +48,12 @@ def _reset_obs():
     from repro import obs
 
     yield
-    if obs.OBSERVER.enabled or obs.OBSERVER.trace_path or obs.OBSERVER.metrics_path:
+    if (
+        obs.OBSERVER.enabled
+        or obs.OBSERVER.trace_path
+        or obs.OBSERVER.metrics_path
+        or obs.OBSERVER.events_path
+    ):
         obs.reset()
 
 

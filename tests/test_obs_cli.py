@@ -107,6 +107,95 @@ class TestTracedRun:
         assert trace.exists()
 
 
+class TestObsSummaryMerge:
+    def write_trace(self, path, spans):
+        with open(path, "w") as handle:
+            for index, (name, duration) in enumerate(spans):
+                handle.write(
+                    json.dumps(
+                        {"type": "span", "name": name, "duration": duration,
+                         "start": float(index), "span_id": index + 1,
+                         "parent_id": None}
+                    )
+                    + "\n"
+                )
+        return str(path)
+
+    def test_multiple_traces_merge_before_percentiles(self, tmp_path, capsys):
+        first = self.write_trace(tmp_path / "a.jsonl", [("sim", 0.1)] * 3)
+        second = self.write_trace(tmp_path / "b.jsonl", [("sim", 0.9)])
+        assert main(["obs", "summary", first, second]) == 0
+        out = capsys.readouterr().out
+        # Merged population of 4 -> count column shows 4 and the p95 is
+        # the slow run's sample, which per-file summaries couldn't show.
+        assert " 4 " in out
+        assert "0.9" in out
+
+    def test_truncated_lines_warn_per_line_without_traceback(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            json.dumps({"type": "span", "name": "ok", "duration": 0.1})
+            + "\n{торн json\n"
+        )
+        assert main(["obs", "summary", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "warning:" in captured.err
+        assert ":2:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_metrics_flag_reports_label_overflow(self, tmp_path, capsys):
+        from repro.obs.exporters import render_prometheus
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.increment("by_disk", 1, disk="a")
+        registry.increment("by_disk", 1, disk="b")
+        metrics = tmp_path / "m.prom"
+        metrics.write_text(render_prometheus(registry))
+        trace = self.write_trace(tmp_path / "t.jsonl", [("sim", 0.1)])
+        assert main(["obs", "summary", trace, "--metrics", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        assert "by_disk" in err
+        assert "overflow" in err
+
+
+class TestEventsFlag:
+    def test_run_fig4b_emits_round_trippable_stream(self, tmp_path, capsys):
+        """The ISSUE acceptance path: ``repro run fig4b --events``."""
+        events_path = tmp_path / "e.jsonl"
+        code = main(
+            ["run", "fig4b", "--scale", "0.004", "--seed", "3", "--no-cache",
+             "--events", str(events_path)]
+        )
+        assert code in (0, 1)
+        assert "obs: wrote events to %s" % events_path in capsys.readouterr().err
+        obs.reset()
+        meta = obs.read_events_meta(str(events_path))
+        assert meta["schema"] == obs.EVENTS_SCHEMA_VERSION
+        events = obs.read_events(str(events_path))
+        assert meta["events"] == len(events)
+        kinds = {e["kind"] for e in events}
+        assert "fleet" in kinds and "failure" in kinds
+
+    def test_events_only_run_does_not_write_trace_or_metrics(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["simulate", "paper-default", "--scale", "0.002", "--seed", "5",
+             "--out", str(tmp_path / "logs"),
+             "--events", str(tmp_path / "e.jsonl")]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "wrote events" in err
+        assert "wrote trace" not in err
+        assert "wrote metrics" not in err
+
+
 class TestObsSummaryErrors:
     def test_missing_trace_file_is_a_clean_error(self, capsys):
         assert main(["obs", "summary", "/nonexistent/trace.jsonl"]) == 2

@@ -1,0 +1,252 @@
+"""Run snapshots and the trace-diff regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import (
+    DEFAULT_MIN_SECONDS,
+    SNAPSHOT_SCHEMA_VERSION,
+    build_snapshot,
+    diff_snapshots,
+    load_snapshot,
+    parse_fail_on,
+    render_diff,
+    write_snapshot,
+)
+
+
+def write_trace(path, spans):
+    """spans: [(name, duration), ...] -> a minimal JSONL trace file."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"type": "meta", "events": len(spans)}) + "\n")
+        for index, (name, duration) in enumerate(spans):
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": name,
+                        "start": float(index),
+                        "duration": duration,
+                        "span_id": index + 1,
+                        "parent_id": None,
+                    }
+                )
+                + "\n"
+            )
+    return str(path)
+
+
+def snapshot_of(spans, label="snap"):
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": "run-snapshot",
+        "label": label,
+        "spans": spans,
+        "counters": {},
+        "gauges": {},
+    }
+
+
+def stats(seconds, count=1):
+    return {
+        "count": float(count),
+        "total": seconds * count,
+        "mean": seconds,
+        "p50": seconds,
+        "p95": seconds,
+        "max": seconds,
+        "errors": 0.0,
+    }
+
+
+class TestParseFailOn:
+    def test_parses_stat_and_percent(self):
+        parsed = parse_fail_on("p95:50%")
+        assert parsed.stat == "p95"
+        assert parsed.percent == 50.0
+
+    def test_percent_sign_is_optional(self):
+        assert parse_fail_on("mean:10").percent == 10.0
+
+    @pytest.mark.parametrize(
+        "bad", ["p95", "p99:50%", ":50%", "p95:", "p95:x%", "p95:-5%"]
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_fail_on(bad)
+
+
+class TestSnapshots:
+    def test_build_from_trace_and_metrics(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", [("simulate.run", 0.5)])
+        metrics = tmp_path / "m.prom"
+        metrics.write_text(
+            "# TYPE repro_sim_runs counter\nrepro_sim_runs 3\n"
+            "# TYPE repro_fleet_disks gauge\nrepro_fleet_disks 120\n"
+        )
+        snapshot = build_snapshot(trace_path=trace, metrics_path=str(metrics))
+        assert snapshot["kind"] == "run-snapshot"
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA_VERSION
+        assert snapshot["spans"]["simulate.run"]["p95"] == 0.5
+        assert snapshot["counters"]["repro_sim_runs"] == 3.0
+        assert snapshot["gauges"]["repro_fleet_disks"] == 120.0
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "snap.json"
+        snapshot = snapshot_of({"a": stats(0.1)})
+        write_snapshot(str(path), snapshot)
+        assert load_snapshot(str(path)) == snapshot
+
+    def test_load_accepts_raw_traces(self, tmp_path):
+        trace = write_trace(tmp_path / "t.jsonl", [("a", 0.25)])
+        snapshot = load_snapshot(trace)
+        assert snapshot["spans"]["a"]["p50"] == 0.25
+        assert snapshot["label"] == "t.jsonl"
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"spans": {}}')
+        with pytest.raises(ValueError, match="not a run snapshot"):
+            load_snapshot(str(path))
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        doc = snapshot_of({})
+        doc["schema"] = SNAPSHOT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_snapshot(str(path))
+
+
+class TestDiff:
+    def test_identical_snapshots_have_no_regressions(self):
+        snapshot = snapshot_of({"a": stats(0.1), "b": stats(0.2)})
+        result = diff_snapshots(snapshot, snapshot, parse_fail_on("p95:50%"))
+        assert not result.failed
+        assert result.regressions == []
+        assert result.counter_deltas == {}
+
+    def test_doubled_latency_fails_the_gate(self):
+        base = snapshot_of({"a": stats(0.010)})
+        slow = snapshot_of({"a": stats(0.020)})
+        result = diff_snapshots(base, slow, parse_fail_on("p95:50%"))
+        assert result.failed
+        (regression,) = result.regressions
+        assert regression.name == "a"
+        assert regression.percent == pytest.approx(100.0)
+
+    def test_improvement_never_fails(self):
+        base = snapshot_of({"a": stats(0.020)})
+        fast = snapshot_of({"a": stats(0.010)})
+        assert not diff_snapshots(base, fast, parse_fail_on("p95:50%")).failed
+
+    def test_sub_floor_spans_are_not_gated(self):
+        base = snapshot_of({"tiny": stats(DEFAULT_MIN_SECONDS / 10)})
+        slow = snapshot_of({"tiny": stats(DEFAULT_MIN_SECONDS)})
+        result = diff_snapshots(base, slow, parse_fail_on("p95:50%"))
+        assert not result.failed
+
+    def test_min_seconds_floor_is_configurable(self):
+        base = snapshot_of({"tiny": stats(0.0001)})
+        slow = snapshot_of({"tiny": stats(0.0002)})
+        strict = diff_snapshots(
+            base, slow, parse_fail_on("p95:50%"), min_seconds=0.0
+        )
+        assert strict.failed
+
+    def test_new_and_removed_spans_are_reported_not_failed(self):
+        base = snapshot_of({"old": stats(0.1)})
+        new = snapshot_of({"fresh": stats(0.1)})
+        result = diff_snapshots(base, new, parse_fail_on("p95:50%"))
+        assert not result.failed
+        text = render_diff(result)
+        assert "only in base: old" in text
+        assert "only in new: fresh" in text
+
+    def test_counter_deltas_surface(self):
+        base = snapshot_of({})
+        new = snapshot_of({})
+        base["counters"] = {"repro_sim_runs": 1.0, "same": 5.0}
+        new["counters"] = {"repro_sim_runs": 2.0, "same": 5.0}
+        result = diff_snapshots(base, new)
+        assert result.counter_deltas == {"repro_sim_runs": (1.0, 2.0)}
+
+    def test_no_threshold_never_fails(self):
+        base = snapshot_of({"a": stats(0.010)})
+        slow = snapshot_of({"a": stats(10.0)})
+        assert not diff_snapshots(base, slow, fail_on=None).failed
+
+    def test_render_mentions_threshold_verdict(self):
+        base = snapshot_of({"a": stats(0.010)})
+        result = diff_snapshots(base, base, parse_fail_on("p95:50%"))
+        assert "no regression past p95:50%" in render_diff(result)
+
+
+class TestCliGate:
+    """The ISSUE acceptance path: exit codes through ``repro obs diff``."""
+
+    def test_same_run_exits_zero(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "t.jsonl", [("simulate.run", 0.5)])
+        snap = tmp_path / "snap.json"
+        assert main(["obs", "snapshot", "--trace", trace, "--out", str(snap)]) == 0
+        assert (
+            main(["obs", "diff", str(snap), str(snap), "--fail-on", "p95:50%"])
+            == 0
+        )
+        assert "no regression" in capsys.readouterr().out
+
+    def test_injected_2x_slowdown_exits_nonzero(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", [("simulate.run", 0.010)])
+        slow = write_trace(tmp_path / "slow.jsonl", [("simulate.run", 0.020)])
+        code = main(["obs", "diff", base, slow, "--fail-on", "p95:50%"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "simulate.run" in out
+
+    def test_slowdown_without_threshold_exits_zero(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", [("simulate.run", 0.010)])
+        slow = write_trace(tmp_path / "slow.jsonl", [("simulate.run", 0.020)])
+        assert main(["obs", "diff", base, slow]) == 0
+        capsys.readouterr()
+
+    def test_malformed_fail_on_is_a_clean_error(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "t.jsonl", [("a", 0.1)])
+        assert main(["obs", "diff", trace, trace, "--fail-on", "p99:50%"]) == 2
+        assert "fail-on" in capsys.readouterr().err
+
+    def test_missing_snapshot_is_a_clean_error(self, capsys):
+        assert main(["obs", "diff", "/no/such.json", "/no/such.json"]) == 2
+        assert "cannot load snapshot" in capsys.readouterr().err
+
+    def test_min_seconds_flag_reaches_the_gate(self, tmp_path, capsys):
+        base = write_trace(tmp_path / "base.jsonl", [("tiny", 0.0001)])
+        slow = write_trace(tmp_path / "slow.jsonl", [("tiny", 0.0002)])
+        assert main(["obs", "diff", base, slow, "--fail-on", "p95:50%"]) == 0
+        assert (
+            main(
+                ["obs", "diff", base, slow, "--fail-on", "p95:50%",
+                 "--min-seconds", "0"]
+            )
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_snapshot_cli_writes_committable_json(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "t.jsonl", [("simulate.run", 0.5)])
+        snap = tmp_path / "snap.json"
+        assert (
+            main(
+                ["obs", "snapshot", "--trace", trace, "--out", str(snap),
+                 "--label", "baseline"]
+            )
+            == 0
+        )
+        assert "wrote snapshot" in capsys.readouterr().out
+        document = json.loads(snap.read_text())
+        assert document["label"] == "baseline"
+        assert document["kind"] == "run-snapshot"

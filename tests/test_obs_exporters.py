@@ -1,0 +1,157 @@
+"""Prometheus exporter edge cases and trace-reader robustness.
+
+The round-trip tests render a registry to textfile format and parse it
+back with :func:`parse_prometheus` — the histogram consistency checks
+(`_bucket` monotone and cumulative, ``_count`` equals the +Inf bucket)
+therefore hold *through a text parse*, not just in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.exporters import (
+    parse_prometheus,
+    read_trace,
+    read_traces,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestRenderEdgeCases:
+    def test_empty_registry_renders_empty_payload(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_gauge_only_registry(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("fleet.disks", 120.0)
+        registry.set_gauge("fleet.afr", 2.5, failure_type="disk")
+        text = render_prometheus(registry)
+        assert "# TYPE repro_fleet_disks gauge" in text
+        parsed = parse_prometheus(text)
+        assert parsed["counters"] == {}
+        assert parsed["histograms"] == {}
+        assert parsed["gauges"]["repro_fleet_disks"] == 120.0
+        assert parsed["gauges"]["repro_fleet_afr{failure_type=disk}"] == 2.5
+
+    def test_overflow_series_survives_the_round_trip(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        for i in range(5):
+            registry.increment("by_disk", 1, disk="disk-%d" % i)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["counters"]["repro_by_disk{__overflow__=true}"] == 3.0
+        assert parsed["counters"]["repro_obs_labels_dropped{metric=by_disk}"] == 3.0
+
+    def test_label_values_with_quotes_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.increment("c", 1, k='va"lue')
+        text = render_prometheus(registry)
+        assert '"va\\"lue"' in text
+        parsed = parse_prometheus(text)
+        assert parsed["counters"] == {'repro_c{k=va"lue}': 1.0}
+
+
+class TestHistogramRoundTrip:
+    @pytest.fixture
+    def parsed_histogram(self):
+        registry = MetricsRegistry()
+        for seconds in (0.0005, 0.003, 0.003, 0.7, 5.0, 1000.0):
+            registry.observe("job.latency", seconds)
+        parsed = parse_prometheus(render_prometheus(registry))
+        return parsed["histograms"]["repro_job_latency_seconds"]
+
+    def test_bucket_bounds_are_monotone(self, parsed_histogram):
+        bounds = [le for le, _count in parsed_histogram["buckets"]]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] == math.inf
+
+    def test_bucket_counts_are_cumulative(self, parsed_histogram):
+        counts = [count for _le, count in parsed_histogram["buckets"]]
+        assert counts == sorted(counts)
+
+    def test_count_equals_inf_bucket_and_observations(self, parsed_histogram):
+        assert parsed_histogram["count"] == 6.0
+        assert parsed_histogram["buckets"][-1][1] == 6.0
+
+    def test_sum_matches_observations(self, parsed_histogram):
+        # %g renders 6 significant digits on the wire.
+        assert parsed_histogram["sum"] == pytest.approx(1005.7065, rel=1e-4)
+
+    def test_labeled_histograms_group_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.observe("job.latency", 0.1, kind="a")
+        registry.observe("job.latency", 0.2, kind="b")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert set(parsed["histograms"]) == {
+            "repro_job_latency_seconds{kind=a}",
+            "repro_job_latency_seconds{kind=b}",
+        }
+        for hist in parsed["histograms"].values():
+            assert hist["count"] == 1.0
+
+    def test_histogram_series_do_not_leak_into_counters(self):
+        registry = MetricsRegistry()
+        registry.observe("job.latency", 0.1)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert not any("job_latency" in key for key in parsed["counters"])
+        assert not any("job_latency" in key for key in parsed["gauges"])
+
+
+class TestParseRobustness:
+    def test_unparseable_sample_lines_are_skipped(self):
+        text = "# TYPE repro_c counter\nrepro_c 1\ngarbage line without value\n"
+        assert parse_prometheus(text)["counters"] == {"repro_c": 1.0}
+
+    def test_untyped_samples_default_to_counters(self):
+        assert parse_prometheus("mystery 4\n")["counters"] == {"mystery": 4.0}
+
+
+class TestReadTraceLenient:
+    def write(self, path, lines):
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_strict_mode_raises_on_garbage(self, tmp_path):
+        path = self.write(tmp_path / "t.jsonl", ['{"type": "span"}', "{oops"])
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_lenient_mode_warns_and_continues(self, tmp_path):
+        path = self.write(
+            tmp_path / "t.jsonl",
+            [
+                json.dumps({"type": "meta", "events": 2}),
+                json.dumps({"type": "span", "name": "a", "duration": 0.1}),
+                '{"type": "span", "name": "torn',
+                json.dumps({"type": "span", "name": "b", "duration": 0.2}),
+            ],
+        )
+        warnings = []
+        events = read_trace(path, strict=False, warn=warnings.append)
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert len(warnings) == 1
+        assert ":3:" in warnings[0]  # line number in the warning
+
+    def test_empty_file_yields_no_events(self, tmp_path):
+        path = self.write(tmp_path / "t.jsonl", [""])
+        assert read_trace(path) == []
+
+    def test_read_traces_merges_in_order(self, tmp_path):
+        first = self.write(
+            tmp_path / "a.jsonl",
+            [json.dumps({"type": "span", "name": "a", "duration": 0.1})],
+        )
+        second = self.write(
+            tmp_path / "b.jsonl",
+            [json.dumps({"type": "span", "name": "b", "duration": 0.2})],
+        )
+        assert [e["name"] for e in read_traces([first, second])] == ["a", "b"]

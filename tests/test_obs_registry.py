@@ -9,6 +9,7 @@ import pytest
 
 from repro.obs.registry import (
     DEFAULT_BOUNDS,
+    LABELS_DROPPED,
     OVERFLOW_LABEL,
     Histogram,
     MetricsRegistry,
@@ -117,7 +118,33 @@ class TestCardinalityCap:
         series = registry.series()["counters"]
         overflow_key = series_key("by_disk", {OVERFLOW_LABEL: "true"})
         assert series[overflow_key] == 7
-        assert len(series) == 4  # 3 real label sets + the overflow series
+        # 3 real label sets + the overflow series + the labels_dropped
+        # meta-counter reporting the collapse.
+        assert len(series) == 5
+
+    def test_overflow_is_reported_as_labels_dropped_counter(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        for i in range(6):
+            registry.increment("by_disk", 1, disk="disk-%d" % i)
+        assert registry.count(LABELS_DROPPED, metric="by_disk") == 4
+
+    def test_labels_dropped_absent_without_overflow(self):
+        registry = MetricsRegistry(max_label_sets=8)
+        registry.increment("by_disk", 1, disk="disk-0")
+        assert registry.count(LABELS_DROPPED, metric="by_disk") == 0
+        assert not any(
+            key.startswith(LABELS_DROPPED)
+            for key in registry.series()["counters"]
+        )
+
+    def test_labels_dropped_survives_the_prometheus_round_trip(self):
+        from repro.obs.exporters import parse_prometheus, render_prometheus
+
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.increment("by_disk", 1, disk="a")
+        registry.increment("by_disk", 1, disk="b")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["counters"]["repro_obs_labels_dropped{metric=by_disk}"] == 1.0
 
     def test_existing_series_keep_recording_after_cap(self):
         registry = MetricsRegistry(max_label_sets=1)

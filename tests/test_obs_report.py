@@ -1,0 +1,193 @@
+"""HTML run reports: self-contained output, sections, escaping."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.health import health_from_events
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    WATERFALL_MAX_SPANS,
+    render_report,
+    render_waterfall,
+    write_report,
+)
+from repro.units import SECONDS_PER_YEAR
+
+
+def span(name, start, duration, span_id=1, parent_id=None, **attrs):
+    event = {
+        "type": "span",
+        "name": name,
+        "start": start,
+        "duration": duration,
+        "span_id": span_id,
+        "parent_id": parent_id,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+def sample_metrics():
+    registry = MetricsRegistry()
+    registry.increment("sim.runs", 3)
+    registry.set_gauge("fleet.disks", 120.0)
+    registry.observe("job.latency", 0.25)
+    from repro.obs.exporters import parse_prometheus, render_prometheus
+
+    return parse_prometheus(render_prometheus(registry))
+
+
+def sample_fleet_events():
+    return [
+        {"kind": "fleet", "t": 0.0, "disks": 100, "shelves": 10,
+         "raid_groups": 10, "systems": 5,
+         "duration_seconds": SECONDS_PER_YEAR},
+        {"kind": "failure", "t": 1.0, "failure_type": "disk",
+         "shelf_id": "sh-0", "raid_group_id": "rg-0", "shelf_model": "A"},
+        {"kind": "failure", "t": 2.0, "failure_type": "disk",
+         "shelf_id": "sh-0", "raid_group_id": "rg-0", "shelf_model": "A"},
+    ]
+
+
+class TestWaterfall:
+    def test_svg_with_one_rect_per_span(self):
+        events = [
+            span("root", 0.0, 1.0, span_id=1),
+            span("child", 0.2, 0.5, span_id=2, parent_id=1),
+        ]
+        svg = render_waterfall(events)
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == 2
+        assert "root" in svg and "child" in svg
+
+    def test_caps_at_longest_spans(self):
+        events = [
+            span("s%d" % i, float(i), 0.001 + i * 0.001, span_id=i + 1)
+            for i in range(WATERFALL_MAX_SPANS + 20)
+        ]
+        svg = render_waterfall(events)
+        assert svg.count("<rect") == WATERFALL_MAX_SPANS
+        assert "s0\"" not in svg  # the shortest spans fell off
+
+    def test_empty_trace_renders_placeholder(self):
+        assert "no spans" in render_waterfall([])
+
+
+class TestRenderReport:
+    def test_report_is_self_contained_html(self):
+        html_text = render_report(
+            trace_events=[span("cli.run", 0.0, 1.0)],
+            metrics=sample_metrics(),
+            fleet_events=sample_fleet_events(),
+            title="t",
+        )
+        assert html_text.lower().startswith("<!doctype html>")
+        assert "</html>" in html_text
+        # Zero external fetches: no src/href URLs, styles inline.
+        assert "http://" not in html_text and "https://" not in html_text
+        assert "<style>" in html_text
+        assert "<svg" in html_text
+
+    def test_all_sections_present_with_full_inputs(self):
+        html_text = render_report(
+            trace_events=[span("cli.run", 0.0, 1.0)],
+            metrics=sample_metrics(),
+            fleet_events=sample_fleet_events(),
+        )
+        for section in (
+            "span waterfall", "span summary", "runtime metrics", "fleet health",
+        ):
+            assert "<h2>%s</h2>" % section in html_text, section
+
+    def test_sections_omitted_without_their_input(self):
+        html_text = render_report(trace_events=[span("cli.run", 0.0, 1.0)])
+        assert "<h2>span summary</h2>" in html_text
+        assert "<h2>runtime metrics</h2>" not in html_text
+        assert "<h2>fleet health</h2>" not in html_text
+
+    def test_health_section_carries_burst_verdict(self):
+        html_text = render_report(fleet_events=sample_fleet_events())
+        health = health_from_events(sample_fleet_events())
+        check = health.burst_check("shelf")
+        assert check.bursty
+        assert "bursty" in html_text
+        assert "shelf" in html_text
+
+    def test_span_attrs_are_escaped(self):
+        html_text = render_report(
+            trace_events=[span("<script>alert(1)</script>", 0.0, 1.0)]
+        )
+        assert "<script>alert(1)" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+    def test_labels_dropped_warning_surfaces(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.increment("by_disk", 1, disk="a")
+        registry.increment("by_disk", 1, disk="b")
+        from repro.obs.exporters import parse_prometheus, render_prometheus
+
+        metrics = parse_prometheus(render_prometheus(registry))
+        html_text = render_report(metrics=metrics)
+        assert "label-cardinality cap" in html_text
+
+
+class TestWriteReport:
+    def test_write_and_cli_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        with open(trace, "w") as handle:
+            handle.write(json.dumps({"type": "meta", "events": 1}) + "\n")
+            handle.write(json.dumps(span("cli.run", 0.0, 1.0)) + "\n")
+        out = tmp_path / "r.html"
+        from repro.cli import main
+
+        assert main(
+            ["obs", "report", "--trace", str(trace), "--out", str(out)]
+        ) == 0
+        assert "wrote report" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.lower().startswith("<!doctype html>")
+        assert "cli.run" in text
+
+    def test_report_without_inputs_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "report", "--out", "/tmp/x.html"]) == 2
+        assert "needs at least one" in capsys.readouterr().err
+
+    def test_atomic_write_replaces_existing(self, tmp_path):
+        out = tmp_path / "r.html"
+        out.write_text("old")
+        write_report(str(out), "<!doctype html><html></html>")
+        assert out.read_text().startswith("<!doctype html>")
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestEndToEnd:
+    def test_traced_events_run_renders_every_section(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        events = tmp_path / "e.jsonl"
+        code = main(
+            ["run", "table1", "--scale", "0.004", "--seed", "3", "--no-cache",
+             "--trace", str(trace), "--metrics", str(metrics),
+             "--events", str(events)]
+        )
+        assert code in (0, 1)
+        obs.reset()
+        out = tmp_path / "r.html"
+        assert main(
+            ["obs", "report", "--trace", str(trace), "--metrics", str(metrics),
+             "--events", str(events), "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        for section in (
+            "span waterfall", "span summary", "runtime metrics", "fleet health",
+        ):
+            assert "<h2>%s</h2>" % section in text, section
+        assert "simulate.run" in text

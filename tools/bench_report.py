@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Consolidate pytest-benchmark JSON into a trimmed, committable report.
+
+``pytest --benchmark-json`` dumps every raw timing sample, interpolated
+stats, and full machine info — hundreds of KB that churn on every run
+and drown a reviewer.  This tool distills one or more of those dumps
+into the numbers a regression reader actually compares (per-bench
+min / mean / median / stddev / rounds, grouped), which is what the
+repo commits as ``BENCH_*.json`` and what CI uploads.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=.bench_raw.json
+    python tools/bench_report.py .bench_raw.json --out BENCH_ALL.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Version stamped into consolidated reports.
+BENCH_REPORT_SCHEMA = 1
+
+#: The stats kept per benchmark (seconds, except rounds).
+KEPT_STATS = ("min", "mean", "median", "stddev", "rounds")
+
+
+def consolidate(raw_documents: List[dict], sources: List[str]) -> dict:
+    """Merge raw pytest-benchmark dumps into one trimmed report."""
+    benchmarks: Dict[str, dict] = {}
+    machine = {}
+    for document in raw_documents:
+        info = document.get("machine_info") or {}
+        if info and not machine:
+            machine = {
+                "python": info.get("python_version"),
+                "machine": info.get("machine"),
+                "system": info.get("system"),
+            }
+        for bench in document.get("benchmarks", []):
+            stats = bench.get("stats", {})
+            benchmarks[bench["name"]] = {
+                "group": bench.get("group"),
+                **{key: stats.get(key) for key in KEPT_STATS},
+            }
+    return {
+        "schema": BENCH_REPORT_SCHEMA,
+        "kind": "bench-report",
+        "sources": sources,
+        "machine": machine,
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "raw", nargs="+", help="pytest-benchmark JSON dump(s) to consolidate"
+    )
+    parser.add_argument("--out", required=True, help="trimmed report path")
+    args = parser.parse_args(argv)
+
+    documents = []
+    for path in args.raw:
+        try:
+            with open(path) as handle:
+                documents.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print("error: cannot read %s: %s" % (path, exc), file=sys.stderr)
+            return 2
+    report = consolidate(documents, sources=list(args.raw))
+    if not report["benchmarks"]:
+        print("error: no benchmarks found in %s" % ", ".join(args.raw),
+              file=sys.stderr)
+        return 2
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        "wrote %d benchmark(s) from %d dump(s) to %s"
+        % (len(report["benchmarks"]), len(documents), args.out)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

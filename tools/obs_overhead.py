@@ -46,6 +46,8 @@ def run_once(scale: float, trace_dir: str = "") -> float:
             os.path.join(trace_dir, "t.jsonl"),
             "--metrics",
             os.path.join(trace_dir, "m.prom"),
+            "--events",
+            os.path.join(trace_dir, "e.jsonl"),
         ]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")
