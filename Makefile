@@ -24,7 +24,7 @@ bench:
 		--benchmark-json=.bench_raw.json
 	python tools/bench_report.py .bench_raw.json --out BENCH_ALL.json
 
-# Refresh the committed per-subsystem baselines (runtime + obs).
+# Refresh the committed per-subsystem baselines (runtime + obs + analysis).
 bench-seed:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_runtime.py \
 		--benchmark-only --benchmark-json=.bench_runtime_raw.json
@@ -32,6 +32,9 @@ bench-seed:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py \
 		--benchmark-only --benchmark-json=.bench_obs_raw.json
 	python tools/bench_report.py .bench_obs_raw.json --out BENCH_OBS.json
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_analysis.py \
+		--benchmark-only --benchmark-json=.bench_analysis_raw.json
+	python tools/bench_report.py .bench_analysis_raw.json --out BENCH_ANALYSIS.json
 
 # Run every registered experiment (tables, figures, ablations) with checks.
 experiments:
@@ -47,5 +50,6 @@ figures:
 
 clean:
 	rm -rf figures .pytest_cache .hypothesis
-	rm -f .bench_raw.json .bench_runtime_raw.json .bench_obs_raw.json
+	rm -f .bench_raw.json .bench_runtime_raw.json .bench_obs_raw.json \
+		.bench_analysis_raw.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,5 +1,7 @@
 """The paper's analyses: AFR breakdowns, burstiness, correlation, findings.
 
+- :mod:`repro.core.columns` — the columnar event core (structure-of-
+  arrays :class:`EventTable` + interned string tables).
 - :mod:`repro.core.dataset` — the failure dataset container (events +
   exposure accounting + filtering).
 - :mod:`repro.core.afr` — annualized failure rate estimation.
@@ -11,6 +13,12 @@
 - :mod:`repro.core.report` — plain-text rendering of analysis tables.
 """
 
+from repro.core.columns import (
+    EventTable,
+    StringTable,
+    legacy_events_enabled,
+    use_columnar,
+)
 from repro.core.dataset import FailureDataset
 from repro.core.afr import AFREstimate, afr_estimate
 from repro.core.breakdown import (
@@ -25,6 +33,10 @@ from repro.core.correlation import CorrelationResult, correlation_by_type
 from repro.core.findings import Finding, evaluate_findings
 
 __all__ = [
+    "EventTable",
+    "StringTable",
+    "legacy_events_enabled",
+    "use_columnar",
     "FailureDataset",
     "AFREstimate",
     "afr_estimate",

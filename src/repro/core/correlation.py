@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro import obs
+from repro.core.columns import use_columnar
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
 from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
@@ -98,23 +102,37 @@ def correlation_for(
         raise AnalysisError("window must be positive")
     window = window_years * SECONDS_PER_YEAR
     deduped = dataset.deduplicated()
-    events_by_unit = deduped.events_by_scope(scope, failure_type)
-
-    n_units = 0
-    exactly = {1: 0, 2: 0}
-    for unit_id, system in deduped.scope_population(scope):
-        in_field = dataset.duration_seconds - system.deploy_time
-        if in_field < window:
-            continue
-        n_units += 1
-        start = system.deploy_time
-        count = sum(
-            1
-            for event in events_by_unit.get(unit_id, [])
-            if start <= event.detect_time < start + window
-        )
-        if count in exactly:
-            exactly[count] += 1
+    if use_columnar():
+        with obs.span(
+            "core.correlation", path="columnar", scope=scope, type=failure_type.value
+        ):
+            n_units, unit_counts = _columnar_unit_counts(
+                dataset, deduped, failure_type, scope, window
+            )
+            exactly = {
+                1: int(np.count_nonzero(unit_counts == 1)),
+                2: int(np.count_nonzero(unit_counts == 2)),
+            }
+    else:
+        with obs.span(
+            "core.correlation", path="legacy", scope=scope, type=failure_type.value
+        ):
+            events_by_unit = deduped.events_by_scope(scope, failure_type)
+            n_units = 0
+            exactly = {1: 0, 2: 0}
+            for unit_id, system in deduped.scope_population(scope):
+                in_field = dataset.duration_seconds - system.deploy_time
+                if in_field < window:
+                    continue
+                n_units += 1
+                start = system.deploy_time
+                count = sum(
+                    1
+                    for event in events_by_unit.get(unit_id, [])
+                    if start <= event.detect_time < start + window
+                )
+                if count in exactly:
+                    exactly[count] += 1
     if n_units == 0:
         raise AnalysisError("no scope units fielded >= %.2f years" % window_years)
 
@@ -135,6 +153,55 @@ def correlation_for(
         p2_interval=wilson_interval(exactly[2], n_units, confidence=0.995),
         test=test,
     )
+
+
+def _columnar_unit_counts(
+    dataset: FailureDataset,
+    deduped: FailureDataset,
+    failure_type: Optional[FailureType],
+    scope: str,
+    window: float,
+) -> Tuple[int, np.ndarray]:
+    """Eligible-unit total and per-unit in-window event counts.
+
+    ``n_units`` comes from the fleet topology (units that never failed
+    still count); the counts array is indexed by the deduped table's
+    scope codes, so units absent from it simply have zero events.
+    """
+    table = deduped.table
+    codes, names = table.scope_codes(scope)
+
+    duration = dataset.duration_seconds
+    eligible_ids = set()
+    n_units = 0
+    for system in dataset.fleet.systems:
+        if duration - system.deploy_time < window:
+            continue
+        eligible_ids.add(system.system_id)
+        n_units += (
+            len(system.shelves) if scope == "shelf" else len(system.raid_groups)
+        )
+
+    system_values = table.system_ids.values
+    deploys = np.empty(len(system_values), dtype=np.float64)
+    eligible = np.zeros(len(system_values), dtype=bool)
+    for code, system_id in enumerate(system_values):
+        deploys[code] = dataset.fleet.system(system_id).deploy_time
+        eligible[code] = system_id in eligible_ids
+
+    detect = table.detect_time
+    starts = deploys[table.system_codes]
+    mask = (
+        eligible[table.system_codes]
+        & (detect >= starts)
+        & (detect < starts + window)
+    )
+    if failure_type is not None:
+        mask &= table.type_mask(failure_type)
+    unit_counts = np.bincount(
+        codes[mask].astype(np.int64), minlength=len(names)
+    )
+    return n_units, unit_counts
 
 
 def correlation_by_type(
@@ -202,8 +269,20 @@ def count_distribution(
     """
     window = window_years * SECONDS_PER_YEAR
     deduped = dataset.deduplicated()
-    events_by_unit = deduped.events_by_scope(scope, failure_type)
     histogram = {n: 0 for n in range(max_n + 1)}
+    if use_columnar():
+        n_units, unit_counts = _columnar_unit_counts(
+            dataset, deduped, failure_type, scope, window
+        )
+        nonzero = unit_counts[unit_counts > 0]
+        binned = np.bincount(
+            np.minimum(nonzero, max_n).astype(np.int64), minlength=max_n + 1
+        )
+        histogram[0] = n_units - int(nonzero.size)
+        for n in range(1, max_n + 1):
+            histogram[n] = int(binned[n])
+        return histogram
+    events_by_unit = deduped.events_by_scope(scope, failure_type)
     for unit_id, system in deduped.scope_population(scope):
         if dataset.duration_seconds - system.deploy_time < window:
             continue

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import CalibrationError
+from repro.core.columns import EventTable, use_columnar
 from repro.failures.events import ComponentError, FailureEvent
 from repro.failures.hazards import GammaInterarrival, renewal_arrivals
 from repro.failures.multipath import MultipathModel
@@ -110,24 +111,74 @@ class InjectorConfig:
         return self.rate_multipliers.get(failure_type, 1.0)
 
 
-@dataclasses.dataclass
 class InjectionResult:
     """Everything the injector produced over a fleet.
 
     Attributes:
-        events: delivered subsystem failures, sorted by detection time.
+        events: delivered subsystem failures, sorted by detection time
+            (lazily materialized from the columnar table after a cache
+            round-trip).
         recovered_errors: component errors of incidents that lower layers
             recovered (masked interconnect faults, successful retries);
             these never became subsystem failures.
         fleet: the (mutated) fleet, with disk replacements applied.
     """
 
-    events: List[FailureEvent]
-    recovered_errors: List[ComponentError]
-    fleet: Fleet
+    def __init__(
+        self,
+        events: List[FailureEvent],
+        recovered_errors: List[ComponentError],
+        fleet: Fleet,
+    ) -> None:
+        self.recovered_errors = recovered_errors
+        self.fleet = fleet
+        self._events: Optional[List[FailureEvent]] = list(events)
+        self._table: Optional[EventTable] = None
+
+    @property
+    def events(self) -> List[FailureEvent]:
+        """The delivered failures as dataclasses."""
+        if self._events is None:
+            self._events = list(self._table.events())
+        return self._events
+
+    def to_table(self) -> EventTable:
+        """The delivered failures as a columnar :class:`EventTable`.
+
+        Cached: :meth:`FailureDataset.from_injection` and the result
+        cache share one table per injection.
+        """
+        if self._table is None:
+            self._table = EventTable.from_events(self._events)
+        return self._table
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Pickle the columnar form; the shared table object means a
+        # SimulationResult's injection and dataset cost one table.
+        return {
+            "table": self.to_table(),
+            "recovered_errors": self.recovered_errors,
+            "fleet": self.fleet,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.recovered_errors = state["recovered_errors"]
+        self.fleet = state["fleet"]
+        self._events = None
+        self._table = None
+        if "table" in state:
+            self._table = state["table"]
+        else:  # entry pickled before the columnar refactor
+            self._events = list(state.get("events", []))
 
     def counts_by_type(self) -> Dict[FailureType, int]:
         """Event counts per failure type (Table 1's rightmost column)."""
+        if use_columnar():
+            table_counts = self.to_table().counts_by_type()
+            return {
+                failure_type: int(table_counts[code])
+                for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+            }
         counts = {failure_type: 0 for failure_type in FAILURE_TYPE_ORDER}
         for event in self.events:
             counts[event.failure_type] += 1

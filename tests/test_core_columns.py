@@ -1,0 +1,306 @@
+"""Differential golden tests: columnar path == legacy path, exactly.
+
+The columnar event core must be invisible in the numbers: every
+aggregation taken over the structure-of-arrays ``EventTable`` has to
+reproduce the legacy list-walking implementation byte for byte — same
+counts, same float AFRs, same pooled gap arrays (float summation is
+order-sensitive, so even the *order* of pooling must match), same
+findings, same rendered experiment text.  ``REPRO_LEGACY_EVENTS=1``
+flips the implementations on the same dataset objects, which is what
+these tests exercise across multiple seeds, directly simulated and via
+the AutoSupport log pipeline.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.afr import afr_stack
+from repro.core.breakdown import afr_by_class
+from repro.core.bursts import find_bursts, summarize_bursts
+from repro.core.columns import (
+    LEGACY_EVENTS_ENV,
+    EventTable,
+    StringTable,
+    first_occurrence_ranks,
+    legacy_events_enabled,
+    use_columnar,
+)
+from repro.core.correlation import correlation_by_type, count_distribution
+from repro.core.dataset import FailureDataset
+from repro.core.findings import evaluate_findings
+from repro.core.timebetween import gaps_by_scope
+from repro.errors import AnalysisError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.failures.types import FAILURE_TYPE_ORDER
+from repro.simulate.scenario import run_scenario
+
+#: Small fleets, three seeds — enough events for every scope to repeat.
+DIFF_SEEDS = (3, 5, 7)
+DIFF_SCALE = 0.005
+
+
+@pytest.fixture
+def legacy(monkeypatch):
+    monkeypatch.setenv(LEGACY_EVENTS_ENV, "1")
+
+
+def _on_both_paths(monkeypatch, fn):
+    """Run ``fn`` on the columnar then the legacy path; return both."""
+    monkeypatch.delenv(LEGACY_EVENTS_ENV, raising=False)
+    columnar = fn()
+    monkeypatch.setenv(LEGACY_EVENTS_ENV, "1")
+    legacy = fn()
+    monkeypatch.delenv(LEGACY_EVENTS_ENV, raising=False)
+    return columnar, legacy
+
+
+def _assert_identical(a, b, where=""):
+    """Deep exact equality, including dtype-exact numpy comparison."""
+    assert type(a) is type(b) or (
+        isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer))
+    ), "type mismatch at %s: %r vs %r" % (where, type(a), type(b))
+    if isinstance(a, np.ndarray):
+        assert a.shape == b.shape, "shape mismatch at %s" % where
+        assert np.array_equal(a, b), "array mismatch at %s" % where
+    elif isinstance(a, dict):
+        assert list(a.keys()) == list(b.keys()), "key mismatch at %s" % where
+        for key in a:
+            _assert_identical(a[key], b[key], "%s[%r]" % (where, key))
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), "length mismatch at %s" % where
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_identical(x, y, "%s[%d]" % (where, i))
+    else:
+        assert a == b, "value mismatch at %s: %r vs %r" % (where, a, b)
+
+
+class TestEscapeHatch:
+    def test_env_flag_flips_path(self, monkeypatch):
+        monkeypatch.delenv(LEGACY_EVENTS_ENV, raising=False)
+        assert use_columnar() and not legacy_events_enabled()
+        monkeypatch.setenv(LEGACY_EVENTS_ENV, "1")
+        assert legacy_events_enabled() and not use_columnar()
+        monkeypatch.setenv(LEGACY_EVENTS_ENV, "0")
+        assert use_columnar()
+
+
+class TestEventTable:
+    def test_round_trip_preserves_events(self, small_dataset):
+        table = EventTable.from_events(small_dataset.events, keep_view=False)
+        rebuilt = [table.row(i) for i in range(len(table))]
+        assert rebuilt == small_dataset.events
+
+    def test_view_reuses_original_objects(self, small_dataset):
+        table = EventTable.from_events(small_dataset.events)
+        assert table.row(0) is small_dataset.events[0]
+        picked = table.select(np.arange(3))
+        assert picked.row(2) is small_dataset.events[2]
+
+    def test_select_by_mask_and_indices(self, small_dataset):
+        table = small_dataset.table
+        mask = table.type_mask(FAILURE_TYPE_ORDER[0])
+        subset = table.select(mask)
+        assert len(subset) == int(np.count_nonzero(mask))
+        assert np.all(subset.type_codes == 0)
+        assert subset.is_sorted_by_detect
+
+    def test_counts_match_event_loop(self, small_dataset):
+        table = small_dataset.table
+        counts = table.counts_by_type()
+        for code, failure_type in enumerate(FAILURE_TYPE_ORDER):
+            expected = sum(
+                1
+                for e in small_dataset.events
+                if e.failure_type is failure_type
+            )
+            assert int(counts[code]) == expected
+
+    def test_pickle_drops_dataclasses(self, small_dataset):
+        blob = pickle.dumps(small_dataset.table)
+        assert b"FailureEvent" not in blob
+        restored = pickle.loads(blob)
+        assert restored.events() == tuple(small_dataset.events)
+
+    def test_scope_codes_rejects_bad_scope(self, small_dataset):
+        with pytest.raises(AnalysisError):
+            small_dataset.table.scope_codes("bay")
+
+    def test_string_table_interning(self):
+        table = StringTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+        assert table.code("missing") == -1
+        assert table.values == ["a", "b"]
+        assert list(table.member_mask({"b"})) == [False, True]
+
+    def test_first_occurrence_ranks(self):
+        codes = np.array([7, 2, 7, 5, 2, 9])
+        ranks = first_occurrence_ranks(codes)
+        assert list(ranks) == [0, 1, 0, 2, 1, 3]
+
+
+class TestDatasetColumnarEquivalence:
+    """Method-level equality on the shared session dataset."""
+
+    def test_counts_by_type(self, small_dataset, monkeypatch):
+        col, leg = _on_both_paths(monkeypatch, small_dataset.counts_by_type)
+        _assert_identical(col, leg, "counts_by_type")
+
+    def test_events_of_type(self, small_dataset, monkeypatch):
+        for failure_type in FAILURE_TYPE_ORDER:
+            col, leg = _on_both_paths(
+                monkeypatch,
+                lambda ft=failure_type: small_dataset.events_of_type(ft),
+            )
+            assert col == leg
+
+    def test_filter_systems(self, small_dataset, monkeypatch):
+        predicate = lambda s: s.system_id.endswith(("0", "1"))  # noqa: E731
+        col, leg = _on_both_paths(
+            monkeypatch,
+            lambda: small_dataset.filter_systems(predicate).events,
+        )
+        assert col == leg
+
+    def test_excluding_disk_family(self, small_dataset, monkeypatch):
+        col, leg = _on_both_paths(
+            monkeypatch,
+            lambda: small_dataset.excluding_disk_family().events,
+        )
+        assert col == leg
+
+    def test_deduplicated(self, small_dataset, monkeypatch):
+        col, leg = _on_both_paths(
+            monkeypatch, lambda: small_dataset.deduplicated().events
+        )
+        assert col == leg
+
+    def test_dedup_synthetic_chain(self, small_dataset, monkeypatch):
+        """A chain of near-duplicates exercises the last-KEPT window rule."""
+        import dataclasses as dc
+
+        base = small_dataset.events[0]
+        chain = [
+            dc.replace(
+                base,
+                occur_time=base.occur_time + offset,
+                detect_time=base.detect_time + offset,
+            )
+            # 0.6h apart: each is within an hour of the previous *report*
+            # but only every other one is within an hour of the last
+            # *kept* event — the semantics the mask must reproduce.
+            for offset in (2160.0, 4320.0, 6480.0)
+        ]
+        events = sorted(
+            list(small_dataset.events) + chain, key=lambda e: e.detect_time
+        )
+        dataset = FailureDataset(events=events, fleet=small_dataset.fleet)
+        col, leg = _on_both_paths(
+            monkeypatch, lambda: dataset.deduplicated().events
+        )
+        assert col == leg
+
+
+class TestAnalysisEquivalence:
+    """Aggregation-level equality across seeds and pipelines."""
+
+    @pytest.mark.parametrize("seed", DIFF_SEEDS)
+    def test_direct_simulation(self, seed, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dataset = run_scenario(
+            "paper-default", scale=DIFF_SCALE, seed=seed
+        ).dataset
+
+        def aggregate():
+            return {
+                "counts": dataset.counts_by_type(),
+                "afr": afr_stack(dataset),
+                "by_class": afr_by_class(dataset),
+                "by_class_no_h": afr_by_class(dataset.excluding_disk_family()),
+                "gaps_shelf": gaps_by_scope(dataset, "shelf"),
+                "gaps_rg": gaps_by_scope(dataset, "raid_group"),
+                "bursts": find_bursts(dataset, "shelf"),
+                "burst_summary": summarize_bursts(dataset, "raid_group"),
+                "correlation": correlation_by_type(dataset, "shelf"),
+                "count_dist": count_distribution(dataset, None, "raid_group"),
+            }
+
+        col, leg = _on_both_paths(monkeypatch, aggregate)
+        _assert_identical(col, leg, "seed=%d" % seed)
+
+    def test_via_logs_pipeline(self, logged_sim, monkeypatch):
+        dataset = logged_sim.dataset
+
+        def aggregate():
+            return {
+                "counts": dataset.counts_by_type(),
+                "afr": afr_stack(dataset),
+                "gaps_shelf": gaps_by_scope(dataset, "shelf"),
+                "correlation": correlation_by_type(dataset, "shelf"),
+            }
+
+        col, leg = _on_both_paths(monkeypatch, aggregate)
+        _assert_identical(col, leg, "via_logs")
+
+    def test_findings_report(self, midsize_dataset, monkeypatch):
+        col, leg = _on_both_paths(
+            monkeypatch, lambda: evaluate_findings(midsize_dataset)
+        )
+        assert col == leg
+
+    @pytest.mark.parametrize("experiment_id", ["fig4a", "fig9a", "fig10a"])
+    def test_figure_experiments(self, experiment_id, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        context = ExperimentContext(scale=0.02, seed=1)
+        col, leg = _on_both_paths(
+            monkeypatch, lambda: run_experiment(experiment_id, context)
+        )
+        assert col.text == leg.text
+        _assert_identical(col.data, leg.data, experiment_id)
+        assert col.checks == leg.checks
+
+
+class TestSerialization:
+    def test_dataset_pickle_is_columnar_and_lossless(self, small_dataset):
+        blob = pickle.dumps(small_dataset)
+        assert b"FailureEvent" not in blob
+        restored = pickle.loads(blob)
+        assert restored.events == small_dataset.events
+        assert restored.counts_by_type() == small_dataset.counts_by_type()
+
+    def test_injection_pickle_round_trip(self, small_sim):
+        restored = pickle.loads(pickle.dumps(small_sim.injection))
+        assert restored.events == small_sim.injection.events
+        assert restored.counts_by_type() == small_sim.injection.counts_by_type()
+
+    def test_old_format_state_tolerated(self, small_dataset):
+        stale = FailureDataset.__new__(FailureDataset)
+        stale.__setstate__(
+            {"events": list(small_dataset.events), "fleet": small_dataset.fleet}
+        )
+        assert stale.counts_by_type() == small_dataset.counts_by_type()
+
+
+class TestSortedness:
+    def test_sorted_input_list_not_copied(self, small_dataset):
+        events = list(small_dataset.events)
+        dataset = FailureDataset(events=events, fleet=small_dataset.fleet)
+        assert dataset.events == events
+
+    def test_unsorted_input_sorted_once(self, small_dataset):
+        events = list(reversed(small_dataset.events))
+        dataset = FailureDataset(events=events, fleet=small_dataset.fleet)
+        detect = [e.detect_time for e in dataset.events]
+        assert detect == sorted(detect)
+
+    def test_filtered_table_stays_marked_sorted(self, small_dataset):
+        table = small_dataset.table
+        assert table.is_sorted_by_detect
+        subset = table.select(table.type_mask(FAILURE_TYPE_ORDER[0]))
+        # Sortedness is carried, not recomputed: the flag is already set.
+        assert subset._sorted is True

@@ -96,6 +96,12 @@ class TestValidation:
             )
 
     def test_requires_component_errors(self, sim):
-        stripped = dataclasses.replace(sim.injection, recovered_errors=[])
+        from repro.failures.injector import InjectionResult
+
+        stripped = InjectionResult(
+            events=sim.injection.events,
+            recovered_errors=[],
+            fleet=sim.injection.fleet,
+        )
         with pytest.raises(AnalysisError):
             evaluate_proactive_policy(stripped)

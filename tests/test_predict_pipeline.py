@@ -129,9 +129,13 @@ class TestPipeline:
         assert a.auc == b.auc
 
     def test_requires_component_errors(self, sim):
-        import dataclasses
+        from repro.failures.injector import InjectionResult
 
-        stripped = dataclasses.replace(sim.injection, recovered_errors=[])
+        stripped = InjectionResult(
+            events=sim.injection.events,
+            recovered_errors=[],
+            fleet=sim.injection.fleet,
+        )
         with pytest.raises(AnalysisError):
             train_failure_predictor(stripped)
 
