@@ -1,6 +1,7 @@
 # Developer entry points.
 
-.PHONY: install test check lint bench bench-seed experiments figures docs clean
+.PHONY: install test check lint lint-baseline bench bench-seed experiments \
+	figures docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,9 +14,15 @@ check:
 	python -m compileall -q src
 	PYTHONPATH=src python -m pytest -x -q
 
-# Style gate: ruff when installed, else the bundled AST fallback.
+# Lint gate: style (ruff or the bundled fallback) + invariants
+# (reprolint — see docs/LINTING.md).
 lint:
 	python tools/lint.py
+
+# Deliberately regenerate the grandfathered-findings baseline
+# (tools/reprolint_baseline.json); review the diff before committing.
+lint-baseline:
+	PYTHONPATH=src python -m repro.lintkit --write-baseline
 
 # Full benchmark sweep; consolidates the raw pytest-benchmark dump into
 # the trimmed BENCH_ALL.json at the repo root (see tools/bench_report.py).
@@ -40,9 +47,13 @@ bench-seed:
 experiments:
 	python -m repro run all
 
-# Regenerate EXPERIMENTS.md with fresh measured numbers.
+# Regenerate EXPERIMENTS.md with fresh measured numbers, plus the
+# environment-variable table generated from repro/envvars.py.
 docs:
 	python tools/generate_experiments_md.py
+	PYTHONPATH=src python -c \
+		'import repro.envvars as e; print(e.render_docs(), end="")' \
+		> docs/ENVIRONMENT.md
 
 # Export every figure's data series as CSV into figures/.
 figures:

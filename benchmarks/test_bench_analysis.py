@@ -14,10 +14,9 @@ smaller fleet to stay inside the smoke-job budget).
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro import envvars
 from repro.core.afr import afr_stack
 from repro.core.breakdown import afr_by_class
 from repro.core.bursts import summarize_bursts
@@ -26,7 +25,7 @@ from repro.core.correlation import correlation_by_type
 from repro.core.timebetween import gaps_by_scope
 from repro.experiments import ExperimentContext
 
-SCALE = float(os.environ.get("REPRO_BENCH_ANALYSIS_SCALE", "0.5"))
+SCALE = envvars.get_float("REPRO_BENCH_ANALYSIS_SCALE", 0.5)
 SEED = 1
 
 

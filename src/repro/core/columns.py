@@ -35,11 +35,11 @@ to prove the columnar path reproduces the legacy path exactly.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import envvars
 from repro.failures.events import FailureEvent
 from repro.failures.types import FAILURE_TYPE_ORDER, FailureType, InterconnectCause
 
@@ -59,8 +59,7 @@ _CAUSE_CODE: Dict[InterconnectCause, int] = {
 
 def legacy_events_enabled() -> bool:
     """Whether ``REPRO_LEGACY_EVENTS`` forces the legacy analysis path."""
-    value = os.environ.get(LEGACY_EVENTS_ENV, "")
-    return value.strip().lower() not in ("", "0", "false", "no")
+    return envvars.get_flag(LEGACY_EVENTS_ENV)
 
 
 def use_columnar() -> bool:

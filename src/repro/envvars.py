@@ -1,0 +1,221 @@
+"""Central registry of ``REPRO_*`` environment variables.
+
+Every environment variable the library honors is declared here, once,
+with its default, parse kind, and consumer.  Library code reads the
+environment exclusively through :func:`get` / :func:`get_flag` /
+:func:`get_float`; raw ``os.environ`` access to a ``REPRO_*`` name
+anywhere else under ``repro`` is a reprolint violation (rule RPL004,
+see docs/LINTING.md).  Centralizing the reads buys three things:
+
+* one authoritative list — ``make docs`` renders the markdown table
+  committed at docs/ENVIRONMENT.md from this registry, and a unit test
+  cross-checks that every registered variable appears there;
+* typo safety — :func:`get` raises ``KeyError`` for names nobody
+  registered, so a misspelled variable fails loudly instead of
+  silently falling back to a default;
+* consistent parsing — flag variables share one truthiness rule
+  (:func:`get_flag`) instead of per-call-site reimplementations.
+
+This module must stay stdlib-only: it is imported by ``repro.obs`` and
+``repro.core.columns`` during package init, and by tooling that runs
+without numpy installed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional
+
+#: Flag values parsed as "off" (everything else, e.g. ``1``, is "on").
+_FALSY = ("", "0", "false", "no")
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvVar:
+    """One registered environment variable.
+
+    Attributes:
+        name: the ``REPRO_*`` variable name.
+        kind: ``path`` | ``flag`` | ``float`` | ``string`` — how
+            consumers parse the raw value.
+        default: human-readable default shown in docs (``None`` when
+            the variable is simply unset by default).
+        consumer: the module that acts on the value.
+        description: one-line purpose, rendered into the docs table.
+    """
+
+    name: str
+    kind: str
+    default: Optional[str]
+    consumer: str
+    description: str
+
+
+#: Every environment variable the library and its tooling honor.
+REGISTRY: Dict[str, EnvVar] = {
+    var.name: var
+    for var in (
+        EnvVar(
+            name="REPRO_TRACE",
+            kind="path",
+            default=None,
+            consumer="repro.obs",
+            description="Default JSONL trace destination; enables tracing "
+            "(same as the CLI's --trace).",
+        ),
+        EnvVar(
+            name="REPRO_METRICS",
+            kind="path",
+            default=None,
+            consumer="repro.obs",
+            description="Default Prometheus textfile destination; enables "
+            "metrics (same as --metrics).",
+        ),
+        EnvVar(
+            name="REPRO_EVENTS",
+            kind="path",
+            default=None,
+            consumer="repro.obs",
+            description="Default fleet event stream destination; enables "
+            "domain event emission (same as --events).",
+        ),
+        EnvVar(
+            name="REPRO_PROFILE",
+            kind="string",
+            default=None,
+            consumer="repro.obs.trace",
+            description="Span-name prefix; matching spans dump per-span "
+            "cProfile .pstats files.",
+        ),
+        EnvVar(
+            name="REPRO_PROFILE_DIR",
+            kind="path",
+            default=".",
+            consumer="repro.obs.trace",
+            description="Directory where per-span profile dumps land.",
+        ),
+        EnvVar(
+            name="REPRO_CACHE_DIR",
+            kind="path",
+            default="~/.cache/repro",
+            consumer="repro.runtime.cache",
+            description="On-disk location of the content-addressed result "
+            "cache (same as --cache-dir).",
+        ),
+        EnvVar(
+            name="REPRO_LEGACY_EVENTS",
+            kind="flag",
+            default="0",
+            consumer="repro.core.columns",
+            description="Force every analysis onto the legacy list-walking "
+            "path instead of the columnar EventTable path (the escape hatch "
+            "the differential golden tests flip).",
+        ),
+        EnvVar(
+            name="REPRO_BENCH_ANALYSIS_SCALE",
+            kind="float",
+            default="0.5",
+            consumer="benchmarks.test_bench_analysis",
+            description="Fleet scale for the analysis benchmark suite "
+            "(CI shrinks it to fit the job budget).",
+        ),
+    )
+}
+
+
+def get(name: str, default: Optional[str] = None) -> Optional[str]:
+    """The raw environment value of a *registered* variable.
+
+    Args:
+        name: a key of :data:`REGISTRY`.
+        default: returned when the variable is unset or empty.
+
+    Raises:
+        KeyError: when ``name`` was never registered — add it to
+            :data:`REGISTRY` (and docs/ENVIRONMENT.md) first.
+    """
+    if name not in REGISTRY:
+        raise KeyError(
+            "unregistered environment variable %r; add it to "
+            "repro.envvars.REGISTRY" % (name,)
+        )
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return default
+    return value
+
+
+def get_flag(name: str) -> bool:
+    """Parse a registered variable as an on/off flag.
+
+    Unset, empty, ``0``, ``false``, and ``no`` (any case) are off;
+    anything else is on.
+    """
+    value = get(name) or ""
+    return value.strip().lower() not in _FALSY
+
+
+def get_float(name: str, default: float) -> float:
+    """Parse a registered variable as a float, falling back on absence."""
+    value = get(name)
+    if value is None:
+        return default
+    return float(value)
+
+
+def markdown_table() -> str:
+    """The authoritative ``REPRO_*`` table (docs/ENVIRONMENT.md body)."""
+    rows: List[str] = [
+        "| Variable | Kind | Default | Consumer | Purpose |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for name in sorted(REGISTRY):
+        var = REGISTRY[name]
+        default = "`%s`" % var.default if var.default is not None else "unset"
+        rows.append(
+            "| `%s` | %s | %s | `%s` | %s |"
+            % (var.name, var.kind, default, var.consumer, var.description)
+        )
+    return "\n".join(rows)
+
+
+def undocumented(doc_text: str) -> List[str]:
+    """Registered variables missing from ``doc_text`` (docs cross-check)."""
+    return [name for name in sorted(REGISTRY) if name not in doc_text]
+
+
+def render_docs() -> str:
+    """The full generated docs/ENVIRONMENT.md contents."""
+    return (
+        "# Environment variables\n"
+        "\n"
+        "<!-- Generated from src/repro/envvars.py by `make docs`; do "
+        "not edit by hand. -->\n"
+        "\n"
+        "Every `REPRO_*` environment variable the library honors, "
+        "generated from the\n"
+        "single authoritative registry in `src/repro/envvars.py`.  "
+        "Library code may\n"
+        "only read these through `repro.envvars.get` / `get_flag` / "
+        "`get_float`;\n"
+        "reprolint rule RPL004 (see [LINTING.md](LINTING.md)) enforces "
+        "this.\n"
+        "\n" + markdown_table() + "\n"
+    )
+
+
+__all__ = [
+    "EnvVar",
+    "REGISTRY",
+    "get",
+    "get_flag",
+    "get_float",
+    "markdown_table",
+    "render_docs",
+    "undocumented",
+]
+
+
+if __name__ == "__main__":
+    print(render_docs(), end="")

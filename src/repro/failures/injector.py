@@ -203,14 +203,16 @@ class FailureInjector:
             observing = obs.OBSERVER.registry.enabled
             for system in fleet.systems:
                 rng = random_source.stream("inject", system.system_id)
-                start = time.perf_counter() if observing else 0.0
+                # Instrumentation, not simulation time: the per-system
+                # latency metric below needs the wall clock.
+                start = time.perf_counter() if observing else 0.0  # reprolint: disable=RPL002
                 sys_events, sys_recovered = self._inject_system(
                     system, rng, fleet.duration_seconds
                 )
                 if observing:
                     obs.observe(
                         "inject.system",
-                        time.perf_counter() - start,
+                        time.perf_counter() - start,  # reprolint: disable=RPL002
                         system_class=system.system_class.value,
                     )
                 events.extend(sys_events)

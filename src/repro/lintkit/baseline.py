@@ -1,0 +1,120 @@
+"""Committed baseline of grandfathered reprolint findings.
+
+A baseline entry fingerprints a finding as ``(code, path, stripped
+source line)`` rather than ``(code, path, line number)``, so unrelated
+edits that shift line numbers do not churn the file, while editing the
+offending line itself surfaces the finding again — which is the point.
+Identical lines in one file (e.g. two ``for event in self.events:``
+loops) are handled as a multiset: each entry absorbs as many findings
+as its recorded count.
+
+The file is JSON, sorted, and regenerated deliberately with ``make
+lint-baseline`` (never implicitly).  Entries whose violation has been
+fixed show up as *stale* in every run as a nudge to regenerate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.lintkit.engine import Finding
+
+#: Baseline file location relative to the repo root.
+DEFAULT_BASELINE_RELPATH = os.path.join("tools", "reprolint_baseline.json")
+
+BASELINE_VERSION = 1
+
+#: The multiset key: (code, path, stripped line content).
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.code, finding.path, finding.content)
+
+
+def load_baseline(path: str) -> Dict[Fingerprint, int]:
+    """Load a baseline file into a fingerprint multiset.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a silently-ignored baseline would un-grandfather
+    every finding at once).
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError("baseline %s is not valid JSON: %s" % (path, exc))
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError("baseline %s has no 'entries' list" % path)
+    if int(payload.get("version", 0)) > BASELINE_VERSION:
+        raise ValueError(
+            "baseline %s has version %s; this reprolint understands <= %d"
+            % (path, payload.get("version"), BASELINE_VERSION)
+        )
+    counts: Dict[Fingerprint, int] = {}
+    for entry in payload["entries"]:
+        key = (
+            str(entry["code"]),
+            str(entry["path"]),
+            str(entry["content"]),
+        )
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[Fingerprint, int]
+) -> Tuple[List[Finding], int, List[Fingerprint]]:
+    """Split findings into (new, absorbed count, stale entries).
+
+    Consumes the baseline multiset: each entry absorbs up to ``count``
+    matching findings; leftover entry capacity is reported stale.
+    """
+    remaining = dict(baseline)
+    kept: List[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            kept.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return kept, absorbed, stale
+
+
+def render_baseline(findings: List[Finding]) -> str:
+    """Serialize findings as a stable, reviewable baseline document."""
+    counts: Dict[Fingerprint, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"code": code, "path": path, "content": content, "count": count}
+        for (code, path, content), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "reprolint",
+        "comment": (
+            "Grandfathered findings; regenerate deliberately with "
+            "`make lint-baseline` (see docs/LINTING.md)."
+        ),
+        "entries": entries,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: str, findings: List[Finding]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    document = render_baseline(findings)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return len(json.loads(document)["entries"])

@@ -1,0 +1,77 @@
+"""Reporters: findings as terminal text or a machine-readable document.
+
+The JSON document is what the CI job uploads as an artifact; its shape
+is versioned so downstream tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lintkit.engine import LintResult
+
+#: Schema version of the JSON report document.
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = True) -> str:
+    """Human-readable findings, one ``path:line:col: CODE message`` per line."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            "%s: %s %s" % (finding.location(), finding.code, finding.message)
+        )
+    if result.stale_baseline:
+        for code, path, content in result.stale_baseline:
+            lines.append(
+                "stale baseline entry: %s %s (%r fixed? run `make "
+                "lint-baseline`)" % (code, path, content)
+            )
+    if verbose:
+        summary = (
+            "reprolint: %d file(s), %d finding(s), %d baselined, "
+            "%d suppressed"
+            % (
+                result.files,
+                len(result.findings),
+                result.baselined,
+                result.suppressed,
+            )
+        )
+        if result.stale_baseline:
+            summary += ", %d stale baseline entr(ies)" % len(
+                result.stale_baseline
+            )
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> Dict[str, object]:
+    """The JSON report document (CI artifact)."""
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "tool": "reprolint",
+        "files": result.files,
+        "findings": [
+            {
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "content": finding.content,
+            }
+            for finding in result.findings
+        ],
+        "counts": dict(sorted(counts.items())),
+        "baselined": result.baselined,
+        "suppressed": result.suppressed,
+        "stale_baseline": [
+            {"code": code, "path": path, "content": content}
+            for code, path, content in result.stale_baseline
+        ],
+        "clean": result.clean,
+    }

@@ -29,9 +29,9 @@ span timings alike.  Profiling: set ``REPRO_PROFILE=<span prefix>``
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional
 
+from repro import envvars
 from repro.obs.events import (
     EVENTS_SCHEMA_VERSION,
     FleetEventLog,
@@ -125,14 +125,14 @@ class Observer:
             events: fleet event stream destination (enables domain
                 event emission; defaults to ``$REPRO_EVENTS``).
         """
-        trace = trace if trace is not None else os.environ.get(ENV_TRACE)
+        trace = trace if trace is not None else envvars.get(ENV_TRACE)
         metrics = (
-            metrics if metrics is not None else os.environ.get(ENV_METRICS)
+            metrics if metrics is not None else envvars.get(ENV_METRICS)
         )
         profile = (
-            profile if profile is not None else os.environ.get(ENV_PROFILE)
+            profile if profile is not None else envvars.get(ENV_PROFILE)
         )
-        events = events if events is not None else os.environ.get(ENV_EVENTS)
+        events = events if events is not None else envvars.get(ENV_EVENTS)
         if trace:
             self.trace_path = trace
             self.tracer.enabled = True

@@ -34,6 +34,8 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro import envvars
+
 
 class NullSpan:
     """The no-op span returned while tracing is disabled.
@@ -224,7 +226,7 @@ class Tracer:
         self, profile: cProfile.Profile, name: str, span_id: Optional[int]
     ) -> str:
         """Persist one span's profile; returns the dump path."""
-        directory = self.profile_dir or os.environ.get("REPRO_PROFILE_DIR") or "."
+        directory = self.profile_dir or envvars.get("REPRO_PROFILE_DIR") or "."
         os.makedirs(directory, exist_ok=True)
         safe = name.replace("/", "_").replace(" ", "_")
         path = os.path.join(directory, "profile-%s-%s.pstats" % (safe, span_id))

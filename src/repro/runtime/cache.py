@@ -28,6 +28,8 @@ import pickle
 import tempfile
 from typing import Dict, List, Optional
 
+from repro import envvars
+
 #: Soft cap on on-disk entries; the oldest (by mtime) are evicted first.
 DEFAULT_MAX_ENTRIES = 512
 
@@ -38,7 +40,7 @@ MISSING = object()
 
 def default_cache_dir() -> str:
     """The default cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = envvars.get("REPRO_CACHE_DIR")
     if env:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")

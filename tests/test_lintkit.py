@@ -1,0 +1,308 @@
+"""reprolint engine: suppressions, baseline, reporters, CLI, repo gate.
+
+Rule-specific positive/negative cases live in
+``tests/test_lintkit_rules.py``; this module covers the machinery
+around them — and, last, runs the real engine over the real repository
+with the committed baseline, which is the gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lintkit import (
+    apply_baseline,
+    check_source,
+    fingerprint,
+    load_baseline,
+    module_name_for,
+    render_baseline,
+    render_json,
+    rule_catalog,
+    run,
+    write_baseline,
+)
+from repro.lintkit.baseline import DEFAULT_BASELINE_RELPATH
+from repro.lintkit.cli import main as cli_main
+from repro.lintkit.engine import PARSE_ERROR_CODE, LintResult, iter_python_files
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def check(source: str, relpath: str = "src/repro/core/mod.py"):
+    findings, suppressed = check_source(textwrap.dedent(source), relpath)
+    return findings, suppressed
+
+
+# -- module name derivation ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "relpath, expected",
+    [
+        ("src/repro/core/afr.py", "repro.core.afr"),
+        ("src/repro/obs/__init__.py", "repro.obs"),
+        ("src/repro/envvars.py", "repro.envvars"),
+        ("src/repro/__init__.py", "repro"),
+        ("tests/test_core_afr.py", None),
+        ("tools/lint.py", None),
+    ],
+)
+def test_module_name_for(relpath, expected):
+    assert module_name_for(relpath) == expected
+
+
+# -- suppression comments -----------------------------------------------------
+
+BAD_CLOCK = """\
+import time
+
+def f():
+    return time.time(){comment}
+"""
+
+
+def test_finding_without_suppression():
+    findings, suppressed = check(BAD_CLOCK.format(comment=""))
+    assert [f.code for f in findings] == ["RPL002"]
+    assert suppressed == 0
+    assert findings[0].line == 4
+    assert findings[0].content == "return time.time()"
+
+
+def test_same_line_suppression():
+    findings, suppressed = check(
+        BAD_CLOCK.format(comment="  # reprolint: disable=RPL002")
+    )
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_multi_code_and_all_suppression():
+    findings, _ = check(
+        BAD_CLOCK.format(comment="  # reprolint: disable=RPL001,RPL002")
+    )
+    assert findings == []
+    findings, _ = check(
+        BAD_CLOCK.format(comment="  # reprolint: disable=all")
+    )
+    assert findings == []
+
+
+def test_wrong_code_does_not_suppress():
+    findings, suppressed = check(
+        BAD_CLOCK.format(comment="  # reprolint: disable=RPL001")
+    )
+    assert [f.code for f in findings] == ["RPL002"]
+    assert suppressed == 0
+
+
+def test_file_level_suppression():
+    source = "# reprolint: disable-file=RPL002\n" + BAD_CLOCK.format(
+        comment=""
+    )
+    findings, suppressed = check(source)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_comment_inside_string_is_ignored():
+    source = (
+        'NOTE = "# reprolint: disable=RPL002"\n'
+        + BAD_CLOCK.format(comment="")
+    )
+    findings, _ = check(source)
+    assert [f.code for f in findings] == ["RPL002"]
+
+
+def test_parse_error_reported():
+    findings, _ = check("def broken(:\n")
+    assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def _clock_findings():
+    findings, _ = check(BAD_CLOCK.format(comment=""))
+    return findings
+
+
+def test_baseline_absorbs_matching_finding(tmp_path):
+    findings = _clock_findings()
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings)
+    baseline = load_baseline(path)
+    kept, absorbed, stale = apply_baseline(findings, baseline)
+    assert kept == [] and absorbed == 1 and stale == []
+
+
+def test_baseline_is_content_keyed_not_line_keyed():
+    findings = _clock_findings()
+    moved = check("\n\n\n" + BAD_CLOCK.format(comment=""))[0]
+    assert moved[0].line != findings[0].line
+    assert fingerprint(moved[0]) == fingerprint(findings[0])
+
+
+def test_baseline_multiset_counts():
+    source = """\
+    import time
+
+    def f():
+        return time.time()
+
+    def g():
+        return time.time()
+    """
+    findings, _ = check(source)
+    assert len(findings) == 2
+    # Both findings share one fingerprint; a count-1 baseline entry
+    # absorbs only one of them.
+    document = json.loads(render_baseline(findings[:1]))
+    assert document["entries"][0]["count"] == 1
+    baseline = {fingerprint(findings[0]): 1}
+    kept, absorbed, stale = apply_baseline(findings, baseline)
+    assert len(kept) == 1 and absorbed == 1 and stale == []
+
+
+def test_baseline_stale_entry_reported():
+    baseline = {("RPL002", "src/repro/core/gone.py", "time.time()"): 1}
+    kept, absorbed, stale = apply_baseline([], baseline)
+    assert kept == [] and absorbed == 0
+    assert stale == [("RPL002", "src/repro/core/gone.py", "time.time()")]
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+
+def test_baseline_malformed_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+    path.write_text('{"no_entries": []}')
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# -- reporters ----------------------------------------------------------------
+
+
+def test_json_report_shape():
+    findings = _clock_findings()
+    result = LintResult(findings=findings, baselined=2, suppressed=1, files=3)
+    document = render_json(result)
+    assert document["version"] == 1
+    assert document["tool"] == "reprolint"
+    assert document["files"] == 3
+    assert document["counts"] == {"RPL002": 1}
+    assert document["baselined"] == 2
+    assert document["suppressed"] == 1
+    assert document["clean"] is False
+    (entry,) = document["findings"]
+    assert entry["code"] == "RPL002"
+    assert entry["path"] == "src/repro/core/mod.py"
+    assert entry["line"] == 4
+    assert entry["content"] == "return time.time()"
+    assert "wall clock" in entry["message"]
+    json.dumps(document)  # must be serializable as-is
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def bad_repo(tmp_path):
+    """A throwaway repo with one RPL002 violation under src/repro."""
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(BAD_CLOCK.format(comment=""))
+    return tmp_path
+
+
+def test_cli_exits_nonzero_on_findings(bad_repo, capsys):
+    assert cli_main(["--root", str(bad_repo)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL002" in out and "src/repro/core/mod.py:4" in out
+
+
+def test_cli_baseline_roundtrip(bad_repo, capsys):
+    assert cli_main(["--root", str(bad_repo), "--write-baseline"]) == 0
+    baseline = bad_repo / DEFAULT_BASELINE_RELPATH
+    assert baseline.exists()
+    assert cli_main(["--root", str(bad_repo)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline resurfaces the grandfathered finding.
+    assert cli_main(["--root", str(bad_repo), "--no-baseline"]) == 1
+
+
+def test_cli_json_report(bad_repo, tmp_path, capsys):
+    out = tmp_path / "findings.json"
+    assert cli_main(["--root", str(bad_repo), "--json", str(out)]) == 1
+    document = json.loads(out.read_text())
+    assert document["counts"] == {"RPL002": 1}
+    capsys.readouterr()
+
+
+def test_cli_select(bad_repo, capsys):
+    assert cli_main(["--root", str(bad_repo), "--select", "RPL001"]) == 0
+    assert cli_main(["--root", str(bad_repo), "--select", "RPL002"]) == 1
+    assert cli_main(["--root", str(bad_repo), "--select", "RPL999"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
+                 "RPL901", "RPL902"):
+        assert code in out
+
+
+def test_walker_skips_pycache(tmp_path):
+    src = tmp_path / "src" / "repro"
+    cache = src / "__pycache__"
+    cache.mkdir(parents=True)
+    (src / "ok.py").write_text("x = 1\n")
+    (cache / "ok.cpython-312.py").write_text("x = 1\n")
+    (src / "ok.pyc").write_text("not python")
+    files = list(iter_python_files(str(tmp_path), ["src"]))
+    assert [os.path.basename(f) for f in files] == ["ok.py"]
+
+
+# -- the real repository gate -------------------------------------------------
+
+
+def test_repo_is_clean_under_committed_baseline():
+    """The acceptance gate: repo + committed baseline = zero findings.
+
+    Also asserts the baseline carries no stale entries, so fixed
+    violations cannot linger grandfathered.
+    """
+    baseline = load_baseline(
+        os.path.join(REPO_ROOT, DEFAULT_BASELINE_RELPATH)
+    )
+    assert baseline, "committed baseline should grandfather legacy RPL003"
+    result = run(REPO_ROOT, baseline=baseline)
+    assert result.files > 100
+    assert result.findings == [], "new invariant violations:\n%s" % "\n".join(
+        "%s %s %s" % (f.location(), f.code, f.message)
+        for f in result.findings
+    )
+    assert result.stale_baseline == []
+    assert result.baselined > 0
+    # Every grandfathered finding today is the RPL003 legacy escape
+    # hatch; anything else must be fixed, not baselined.
+    for code, _path, _content in baseline:
+        assert code == "RPL003"
+
+
+def test_rule_catalog_documented_in_linting_md():
+    text = open(os.path.join(REPO_ROOT, "docs", "LINTING.md")).read()
+    for code, _title, _rationale in rule_catalog():
+        assert code in text, "rule %s missing from docs/LINTING.md" % code

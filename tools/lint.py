@@ -1,33 +1,68 @@
 #!/usr/bin/env python
-"""Style gate: run ruff when installed, else a built-in fallback.
+"""The repo's lint gate: style (ruff or fallback) + invariants (reprolint).
 
-CI installs ruff and gets the full E/F/W/I rule set from
-``[tool.ruff]`` in pyproject.toml.  Development containers without
-ruff (this project cannot assume network access to install it) still
-get a meaningful ``make lint`` from the fallback below, which enforces
-the subset that needs no third-party code:
+Two independent layers run by default:
 
-* the file parses (syntax errors),
-* no line longer than the configured ``line-length``,
-* no tabs in indentation,
-* no trailing whitespace,
-* files end with exactly one newline.
+* **Style** — ruff when installed (CI installs it and gets the full
+  E/F/W/I rule set from ``[tool.ruff]``); otherwise a conservative
+  built-in fallback (syntax, line length, tabs, trailing whitespace,
+  final newline) that only flags things ruff would also flag.
+* **Invariants** — reprolint (``src/repro/lintkit``): the AST checks
+  for determinism, sim-clock purity, columnar-core discipline, and
+  env-var hygiene.  See docs/LINTING.md.
 
-The fallback is intentionally conservative — it only flags things ruff
-would also flag, so a clean fallback run never masks a CI failure the
-other way around.
+reprolint is stdlib-only and is loaded here *without executing the
+numpy-heavy ``repro`` package init*, so development containers without
+network access — and the dependency-free CI lint job — still get full
+invariant checking: ``python tools/lint.py --invariants-only`` needs
+nothing but a Python interpreter.
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib.util
 import os
 import shutil
 import subprocess
 import sys
+import types
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT_DIRS = ("src", "tests", "benchmarks", "tools", "examples")
 LINE_LENGTH = 100  # keep in sync with [tool.ruff] in pyproject.toml
+
+#: Directory names every walker prunes (compiled/pycache noise).
+SKIP_DIRS = ("__pycache__", ".git", ".hypothesis", ".pytest_cache")
+
+
+def load_lintkit():
+    """Import ``repro.lintkit`` without running ``repro/__init__``.
+
+    The package init pulls in numpy/scipy, which the lint environments
+    cannot assume.  Registering a namespace-style parent module first
+    makes ``import repro.lintkit`` resolve through ``__path__`` while
+    skipping the parent's ``__init__`` body entirely.
+    """
+    try:
+        import repro.lintkit as lintkit  # already importable? use it
+
+        return lintkit
+    except ImportError:
+        pass
+    src = os.path.join(REPO, "src")
+    if "repro" not in sys.modules:
+        parent = types.ModuleType("repro")
+        parent.__path__ = [os.path.join(src, "repro")]
+        parent.__spec__ = importlib.util.spec_from_loader(
+            "repro", loader=None, is_package=True
+        )
+        sys.modules["repro"] = parent
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    import repro.lintkit as lintkit
+
+    return lintkit
 
 
 def run_ruff() -> int:
@@ -50,7 +85,11 @@ def iter_python_files():
     for base in LINT_DIRS:
         root_dir = os.path.join(REPO, base)
         for dirpath, dirnames, filenames in os.walk(root_dir):
-            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            dirnames[:] = [
+                d
+                for d in dirnames
+                if d not in SKIP_DIRS and not d.startswith(".")
+            ]
             for name in sorted(filenames):
                 if name.endswith(".py"):
                     yield os.path.join(dirpath, name)
@@ -102,7 +141,8 @@ def run_fallback() -> int:
     return 0
 
 
-def main() -> int:
+def run_style() -> int:
+    """Ruff when available, else the built-in fallback."""
     status = run_ruff()
     if status >= 0:
         return status
@@ -111,6 +151,46 @@ def main() -> int:
         file=sys.stderr,
     )
     return run_fallback()
+
+
+def run_reprolint(json_out=None) -> int:
+    """Invariant checks via reprolint; see docs/LINTING.md."""
+    lintkit = load_lintkit()
+    argv = ["--root", REPO]
+    if json_out:
+        argv += ["--json", json_out]
+    return lintkit.cli_main(argv)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Style gate (ruff/fallback) + invariant gate (reprolint)."
+    )
+    parser.add_argument(
+        "--style-only",
+        action="store_true",
+        help="run only the style layer (ruff or fallback)",
+    )
+    parser.add_argument(
+        "--invariants-only",
+        action="store_true",
+        help="run only reprolint (needs no third-party packages)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write reprolint's JSON findings report to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if not args.invariants_only:
+        status = run_style()
+    if not args.style_only:
+        invariant_status = run_reprolint(json_out=args.json)
+        status = status or invariant_status
+    return status
 
 
 if __name__ == "__main__":
