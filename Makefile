@@ -31,7 +31,8 @@ bench:
 		--benchmark-json=.bench_raw.json
 	python tools/bench_report.py .bench_raw.json --out BENCH_ALL.json
 
-# Refresh the committed per-subsystem baselines (runtime + obs + analysis).
+# Refresh the committed per-subsystem baselines (runtime + obs +
+# analysis + simulation).
 bench-seed:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_runtime.py \
 		--benchmark-only --benchmark-json=.bench_runtime_raw.json
@@ -42,6 +43,9 @@ bench-seed:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_analysis.py \
 		--benchmark-only --benchmark-json=.bench_analysis_raw.json
 	python tools/bench_report.py .bench_analysis_raw.json --out BENCH_ANALYSIS.json
+	PYTHONPATH=src python -m pytest benchmarks/test_bench_simulate.py \
+		--benchmark-only --benchmark-json=.bench_simulate_raw.json
+	python tools/bench_report.py .bench_simulate_raw.json --out BENCH_SIMULATE.json
 
 # Run every registered experiment (tables, figures, ablations) with checks.
 experiments:
@@ -62,5 +66,5 @@ figures:
 clean:
 	rm -rf figures .pytest_cache .hypothesis
 	rm -f .bench_raw.json .bench_runtime_raw.json .bench_obs_raw.json \
-		.bench_analysis_raw.json
+		.bench_analysis_raw.json .bench_simulate_raw.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

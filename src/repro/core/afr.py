@@ -83,16 +83,10 @@ def dataset_afr(
         kept_ids = {
             s.system_id for s in dataset.fleet.systems if system_predicate(s)
         }
-    if use_columnar():
-        count = _columnar_count(dataset, failure_type, kept_ids)
-    else:
-        count = 0
-        for event in dataset.events:
-            if failure_type is not None and event.failure_type is not failure_type:
-                continue
-            if kept_ids is not None and event.system_id not in kept_ids:
-                continue
-            count += 1
+    # Counting is a pure reduction with one observable answer, so unlike
+    # the grouped analyses there is no legacy list-walking twin here —
+    # the columnar count *is* the implementation.
+    count = _columnar_count(dataset, failure_type, kept_ids)
     return afr_estimate(count, exposure, confidence)
 
 

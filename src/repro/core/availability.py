@@ -17,11 +17,13 @@ ones of the same count, while hurting *data loss* more.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
+
+import numpy as np
 
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.failures.types import FailureType
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
 from repro.topology.classes import SystemClass
 from repro.units import SECONDS_PER_HOUR
 
@@ -114,15 +116,10 @@ def availability_by_class(
         if outage_seconds.get(failure_type, 0.0) < 0.0:
             raise AnalysisError("outage durations must be non-negative")
 
-    per_system: Dict[str, List[Tuple[float, float]]] = {}
-    for event in dataset.deduplicated().events:
-        duration = outage_seconds.get(event.failure_type, 0.0)
-        if duration <= 0.0:
-            continue
-        end = min(event.detect_time + duration, dataset.duration_seconds)
-        per_system.setdefault(event.system_id, []).append(
-            (event.detect_time, end)
-        )
+    table = dataset.deduplicated().table
+    per_sys_outage, id_table = _merged_outage_by_system(
+        table, outage_seconds, dataset.duration_seconds
+    )
 
     reports: List[AvailabilityReport] = []
     from repro.topology.classes import SYSTEM_CLASS_ORDER
@@ -137,7 +134,9 @@ def availability_by_class(
             in_service += max(
                 0.0, dataset.duration_seconds - system.deploy_time
             )
-            outage += _merge_intervals(per_system.get(system.system_id, []))
+            code = id_table.code(system.system_id)
+            if code >= 0:
+                outage += float(per_sys_outage[code])
         reports.append(
             AvailabilityReport(
                 label=system_class.label,
@@ -147,6 +146,52 @@ def availability_by_class(
             )
         )
     return reports
+
+
+def _merged_outage_by_system(table, outage_seconds, duration_seconds):
+    """Per-system union-of-outage-windows length, vectorized.
+
+    Returns an array indexed by the table's system code plus the system
+    string table.  The interval union is computed in one pass over all
+    systems: each system's windows are shifted onto a disjoint stretch
+    of the number line (offsets exceed any in-window time), after which
+    merged runs never span systems and a single running-max scan finds
+    every run — exactly the merge :func:`_merge_intervals` performs per
+    system, touching-window semantics included.
+    """
+    durations = np.array(
+        [outage_seconds.get(t, 0.0) for t in FAILURE_TYPE_ORDER],
+        dtype=np.float64,
+    )
+    n_systems = len(table.system_ids)
+    per_sys = np.zeros(n_systems, dtype=np.float64)
+    row_durations = durations[table.type_codes]
+    rows = np.flatnonzero(row_durations > 0.0)
+    if rows.size == 0:
+        return per_sys, table.system_ids
+    start = table.detect_time[rows]
+    end = np.minimum(start + row_durations[rows], duration_seconds)
+    sys_codes = table.system_codes[rows].astype(np.int64)
+
+    order = np.lexsort((start, sys_codes))
+    s = start[order]
+    e = end[order]
+    g = sys_codes[order]
+    # A new merged run begins wherever a window opens strictly after
+    # every earlier window of the same system closed (touching windows
+    # merge, as in the scalar walk).  Shifting each system onto its own
+    # stretch of the number line lets one global running max detect run
+    # boundaries without leaking a system's close into the next.
+    shift = max(duration_seconds, float(e.max())) + 1.0
+    run_end = np.maximum.accumulate(e + g * shift)
+    is_run_start = np.ones(s.size, dtype=bool)
+    is_run_start[1:] = (s[1:] + g[1:] * shift) > run_end[:-1]
+    # Run lengths come from the *unshifted* times — a segmented max over
+    # each run's ends — so large system offsets cost no float precision.
+    run_starts = np.flatnonzero(is_run_start)
+    run_close = np.maximum.reduceat(e, run_starts)
+    np.add.at(per_sys, g[run_starts], run_close - s[run_starts])
+    return per_sys, table.system_ids
 
 
 def format_availability(reports: List[AvailabilityReport]) -> str:

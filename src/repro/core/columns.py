@@ -80,22 +80,35 @@ class StringTable:
 
     def __init__(self, values: Iterable[str] = ()) -> None:
         self._values: List[str] = []
-        self._index: Dict[str, int] = {}
+        self._index: Optional[Dict[str, int]] = {}
         for value in values:
             self.intern(value)
 
+    def _ensure_index(self) -> Dict[str, int]:
+        """The string->code dict, built on first lookup.
+
+        Bulk constructors leave ``_index`` unset — most tables are only
+        ever read by code, so the dict would be pure build cost.
+        """
+        index = self._index
+        if index is None:
+            index = {value: code for code, value in enumerate(self._values)}
+            self._index = index
+        return index
+
     def intern(self, value: str) -> int:
         """The code for ``value``, assigning a new one when unseen."""
-        code = self._index.get(value)
+        index = self._ensure_index()
+        code = index.get(value)
         if code is None:
             code = len(self._values)
             self._values.append(value)
-            self._index[value] = code
+            index[value] = code
         return code
 
     def code(self, value: str) -> int:
         """The code for ``value``, or ``-1`` when absent."""
-        return self._index.get(value, -1)
+        return self._ensure_index().get(value, -1)
 
     def value(self, code: int) -> str:
         """The string for a code."""
@@ -114,7 +127,7 @@ class StringTable:
 
     def __setstate__(self, values: List[str]) -> None:
         self._values = list(values)
-        self._index = {value: code for code, value in enumerate(self._values)}
+        self._index = None
 
     def member_mask(self, kept: Iterable[str]) -> np.ndarray:
         """Boolean array (indexed by code) of membership in ``kept``."""
@@ -133,6 +146,52 @@ def _code_dtype(n: int):
     if n <= 30_000:
         return np.int16
     return np.int32
+
+
+def _intern_column(values: Sequence[str], n: int):
+    """Intern one string column: (codes array, string table).
+
+    Vectorized: uniques are found with one :func:`numpy.unique` pass and
+    then re-ranked by first appearance, which assigns exactly the codes
+    sequential per-row interning would (first-intern order) at a fraction
+    of the per-row Python cost.
+    """
+    if n == 0:
+        return np.zeros(0, dtype=_code_dtype(0)), StringTable()
+    arr = np.asarray(values, dtype=object)
+    uniq, first, inverse = np.unique(arr, return_index=True, return_inverse=True)
+    rank = np.argsort(first, kind="stable")
+    code_of_uniq = np.empty(rank.size, dtype=np.int64)
+    code_of_uniq[rank] = np.arange(rank.size)
+    table = StringTable()
+    table._values = uniq[rank].tolist()
+    table._index = None  # built lazily on first string lookup
+    return code_of_uniq[inverse].astype(_code_dtype(len(table))), table
+
+
+def _as_interned(column, n: int):
+    """Codes + table for a string column given as rows or pre-coded.
+
+    A column is either a sequence of per-row strings (interned here) or
+    a ``(codes, values)`` pair — an integer code per row plus the
+    distinct strings in code order — produced by a caller that already
+    knows the column's structure (the vector engine derives codes from
+    integer topology keys without ever building per-row strings).
+    """
+    if isinstance(column, tuple):
+        codes, values = column
+        table = StringTable()
+        table._values = list(values)
+        table._index = None  # built lazily on first string lookup
+        if len(set(table._values)) != len(table._values):
+            raise ValueError("pre-coded column values must be distinct")
+        return (
+            np.ascontiguousarray(codes, dtype=np.int64).astype(
+                _code_dtype(len(table))
+            ),
+            table,
+        )
+    return _intern_column(column, n)
 
 
 class EventTable:
@@ -243,6 +302,102 @@ class EventTable:
             _view=tuple(events) if keep_view else None,
         )
         return table
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        occur_time: np.ndarray,
+        detect_time: np.ndarray,
+        type_codes: np.ndarray,
+        cause_codes: np.ndarray,
+        dual_path: np.ndarray,
+        replaced_disk: np.ndarray,
+        disk_id: Sequence[str],
+        shelf_id: Sequence[str],
+        raid_group_id: Sequence[str],
+        system_id: Sequence[str],
+        system_class: Sequence[str],
+        disk_model: Sequence[str],
+        shelf_model: Sequence[str],
+        sorted_by_detect: Optional[bool] = None,
+    ) -> "EventTable":
+        """Bulk-build a table from parallel columns — the batch path.
+
+        The vectorized simulation engine produces whole column arrays at
+        once; this constructor packs them without ever materializing
+        :class:`FailureEvent` objects.  Numeric columns are copied into
+        their canonical dtypes; string columns (one Python string per
+        row) are interned in row order, preserving the first-occurrence
+        code convention of :meth:`from_events`.
+
+        Args:
+            occur_time / detect_time: float seconds since study start.
+            type_codes: codes into ``FAILURE_TYPE_ORDER``.
+            cause_codes: codes into :data:`CAUSE_ORDER` (-1 = none).
+            dual_path / replaced_disk: boolean rows.
+            disk_id ... shelf_model: per-row strings to intern, or a
+                pre-coded ``(codes, values)`` pair (see
+                :func:`_as_interned`).
+            sorted_by_detect: pass ``True`` when rows are known to be in
+                detection-time order (skips the check on first use).
+        """
+        occur = np.ascontiguousarray(occur_time, dtype=np.float64)
+        detect = np.ascontiguousarray(detect_time, dtype=np.float64)
+        n = int(occur.shape[0])
+        named = {
+            "detect_time": detect,
+            "type_codes": type_codes,
+            "cause_codes": cause_codes,
+            "dual_path": dual_path,
+            "replaced_disk": replaced_disk,
+            "disk_id": disk_id,
+            "shelf_id": shelf_id,
+            "raid_group_id": raid_group_id,
+            "system_id": system_id,
+            "system_class": system_class,
+            "disk_model": disk_model,
+            "shelf_model": shelf_model,
+        }
+        for name, column in named.items():
+            length = len(column[0]) if isinstance(column, tuple) else len(column)
+            if length != n:
+                raise ValueError(
+                    "column %s has %d rows, expected %d" % (name, length, n)
+                )
+        if n and bool(np.any(detect < occur)):
+            raise ValueError("detect_time precedes occur_time in bulk columns")
+        disks, disk_ids = _as_interned(disk_id, n)
+        shelves, shelf_ids = _as_interned(shelf_id, n)
+        groups, raid_group_ids = _as_interned(raid_group_id, n)
+        systems, system_ids = _as_interned(system_id, n)
+        classes, system_classes = _as_interned(system_class, n)
+        disk_model_codes, disk_model_table = _as_interned(disk_model, n)
+        shelf_model_codes, shelf_model_table = _as_interned(shelf_model, n)
+        return cls(
+            occur_time=occur,
+            detect_time=detect,
+            type_codes=np.ascontiguousarray(type_codes, dtype=np.int8),
+            cause_codes=np.ascontiguousarray(cause_codes, dtype=np.int8),
+            class_codes=classes.astype(np.int8),
+            disk_codes=disks,
+            shelf_codes=shelves,
+            raid_group_codes=groups,
+            system_codes=systems,
+            disk_model_codes=disk_model_codes.astype(np.int16),
+            shelf_model_codes=shelf_model_codes.astype(np.int16),
+            dual_path=np.ascontiguousarray(dual_path, dtype=bool),
+            replaced_disk=np.ascontiguousarray(replaced_disk, dtype=bool),
+            disk_ids=disk_ids,
+            shelf_ids=shelf_ids,
+            raid_group_ids=raid_group_ids,
+            system_ids=system_ids,
+            system_classes=system_classes,
+            disk_models=disk_model_table,
+            shelf_models=shelf_model_table,
+            _view=None,
+            _sorted=sorted_by_detect,
+        )
 
     @classmethod
     def empty(cls) -> "EventTable":

@@ -120,6 +120,23 @@ REGISTRY: Dict[str, EnvVar] = {
             description="Fleet scale for the analysis benchmark suite "
             "(CI shrinks it to fit the job budget).",
         ),
+        EnvVar(
+            name="REPRO_VECTOR_ENGINE",
+            kind="flag",
+            default="0",
+            consumer="repro.simulate.vector",
+            description="Route make_engine/run_scenario through the "
+            "batched (vectorized) simulation engine; the legacy per-unit "
+            "engine stays the default and the differential oracle.",
+        ),
+        EnvVar(
+            name="REPRO_BENCH_SIMULATE_SCALE",
+            kind="float",
+            default="0.4",
+            consumer="benchmarks.test_bench_simulate",
+            description="Fleet scale for the simulation benchmark suite "
+            "(CI shrinks it to fit the job budget).",
+        ),
     )
 }
 

@@ -19,7 +19,7 @@ from repro.experiments.base import ExperimentContext, ExperimentResult, register
 from repro.failures.injector import InjectorConfig
 from repro.fleet.spec import FleetSpec
 from repro.raid.dataloss import estimate_dataloss
-from repro.simulate.engine import SimulationEngine
+from repro.simulate.vector.engine import make_engine
 from repro.units import SECONDS_PER_HOUR
 
 
@@ -29,7 +29,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
     lag_mean: Dict[float, float] = {}
     loss_rate: Dict[float, float] = {}
     for hours in (1.0, 8.0, 48.0):
-        engine = SimulationEngine(
+        engine = make_engine(
             FleetSpec.paper_default(scale=context.scale),
             injector_config=InjectorConfig(
                 detection_lag_max_seconds=hours * SECONDS_PER_HOUR

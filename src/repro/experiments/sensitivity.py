@@ -27,11 +27,11 @@ from repro.failures.multipath import MultipathModel
 from repro.failures.types import FailureType
 from repro.fleet import calibration
 from repro.fleet.spec import FleetSpec
-from repro.simulate.engine import SimulationEngine
+from repro.simulate.vector.engine import make_engine
 
 
 def _simulate(context: ExperimentContext, config: InjectorConfig) -> FailureDataset:
-    engine = SimulationEngine(
+    engine = make_engine(
         FleetSpec.paper_default(scale=context.scale), injector_config=config
     )
     return engine.run(seed=context.seed).dataset

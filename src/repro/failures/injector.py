@@ -117,23 +117,41 @@ class InjectionResult:
     Attributes:
         events: delivered subsystem failures, sorted by detection time
             (lazily materialized from the columnar table after a cache
-            round-trip).
+            round-trip or a vectorized run).
         recovered_errors: component errors of incidents that lower layers
             recovered (masked interconnect faults, successful retries);
             these never became subsystem failures.
         fleet: the (mutated) fleet, with disk replacements applied.
+
+    Either ``events`` (the legacy injector's dataclass list) or
+    ``table`` (the vector engine's columnar output) seeds the result;
+    the other representation materializes on first access.  Similarly
+    ``recovered_errors`` may be an eager list or any lazy batch object
+    exposing ``__len__`` and ``materialize()``.
     """
 
     def __init__(
         self,
-        events: List[FailureEvent],
-        recovered_errors: List[ComponentError],
-        fleet: Fleet,
+        events: Optional[List[FailureEvent]] = None,
+        recovered_errors: object = None,
+        fleet: Optional[Fleet] = None,
+        table: Optional[EventTable] = None,
     ) -> None:
-        self.recovered_errors = recovered_errors
+        if (events is None) == (table is None):
+            raise ValueError("provide exactly one of events= or table=")
         self.fleet = fleet
-        self._events: Optional[List[FailureEvent]] = list(events)
-        self._table: Optional[EventTable] = None
+        self._events: Optional[List[FailureEvent]] = (
+            list(events) if events is not None else None
+        )
+        self._table: Optional[EventTable] = table
+        if recovered_errors is None:
+            recovered_errors = []
+        if isinstance(recovered_errors, list):
+            self._recovered: Optional[List[ComponentError]] = recovered_errors
+            self._recovered_batch = None
+        else:
+            self._recovered = None
+            self._recovered_batch = recovered_errors
 
     @property
     def events(self) -> List[FailureEvent]:
@@ -141,6 +159,25 @@ class InjectionResult:
         if self._events is None:
             self._events = list(self._table.events())
         return self._events
+
+    @property
+    def recovered_errors(self) -> List[ComponentError]:
+        """Recovered incidents as dataclasses (materialized on demand)."""
+        if self._recovered is None:
+            self._recovered = self._recovered_batch.materialize()
+        return self._recovered
+
+    def n_events(self) -> int:
+        """Delivered failure count, without materializing dataclasses."""
+        if self._table is not None:
+            return len(self._table)
+        return len(self._events)
+
+    def n_recovered(self) -> int:
+        """Recovered error count, without materializing dataclasses."""
+        if self._recovered is not None:
+            return len(self._recovered)
+        return len(self._recovered_batch)
 
     def to_table(self) -> EventTable:
         """The delivered failures as a columnar :class:`EventTable`.
@@ -162,7 +199,8 @@ class InjectionResult:
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
-        self.recovered_errors = state["recovered_errors"]
+        self._recovered = state["recovered_errors"]
+        self._recovered_batch = None
         self.fleet = state["fleet"]
         self._events = None
         self._table = None
@@ -183,6 +221,79 @@ class InjectionResult:
         for event in self.events:
             counts[event.failure_type] += 1
         return counts
+
+
+def emit_fleet_events(result: InjectionResult) -> None:
+    """Stream an injection onto the fleet event log (``--events``).
+
+    One ``failure`` record per delivered subsystem failure, one
+    ``rebuild`` record per disk failure (window length from the RAID
+    rebuild model and the disk's catalog capacity), and one ``repair``
+    record per replacement disk entering service — merged into
+    simulation-time order so downstream consumers can stream the file
+    without sorting.  Shared by the legacy and the vector injectors.
+    """
+    rebuild = RebuildModel()
+    records: List[Dict[str, object]] = []
+    for event in result.events:
+        record: Dict[str, object] = {
+            "type": "fleet",
+            "kind": "failure",
+            "t": event.detect_time,
+            "occur_t": event.occur_time,
+            "failure_type": event.failure_type.value,
+            "disk_id": event.disk_id,
+            "disk_model": event.disk_model,
+            "shelf_id": event.shelf_id,
+            "shelf_model": event.shelf_model,
+            "raid_group_id": event.raid_group_id,
+            "system_id": event.system_id,
+            "system_class": event.system_class,
+        }
+        if event.cause is not None:
+            record["cause"] = event.cause.value
+        records.append(record)
+        if event.failure_type is FailureType.DISK:
+            try:
+                capacity = catalog.disk_model(event.disk_model).capacity_gb
+            except CalibrationError:
+                capacity = 0  # off-catalog model: no rebuild estimate
+            if capacity > 0:
+                records.append(
+                    {
+                        "type": "fleet",
+                        "kind": "rebuild",
+                        "t": event.detect_time,
+                        "duration_seconds": rebuild.window_seconds(capacity),
+                        "disk_id": event.disk_id,
+                        "shelf_id": event.shelf_id,
+                        "raid_group_id": event.raid_group_id,
+                        "system_id": event.system_id,
+                    }
+                )
+    for system in result.fleet.systems:
+        for slot in system.iter_slots():
+            for failed, replacement in zip(slot.disks, slot.disks[1:]):
+                down = replacement.install_time - (
+                    failed.remove_time
+                    if failed.remove_time is not None
+                    else replacement.install_time
+                )
+                records.append(
+                    {
+                        "type": "fleet",
+                        "kind": "repair",
+                        "t": replacement.install_time,
+                        "disk_id": failed.disk_id,
+                        "replacement_id": replacement.disk_id,
+                        "down_seconds": down,
+                        "shelf_id": slot.shelf_id,
+                        "raid_group_id": slot.raid_group_id,
+                        "system_id": system.system_id,
+                    }
+                )
+    records.sort(key=lambda record: record["t"])  # type: ignore[arg-type, return-value]
+    obs.OBSERVER.fleet_events.emit_many(records)
 
 
 class FailureInjector:
@@ -231,76 +342,7 @@ class FailureInjector:
         return result
 
     def _emit_fleet_events(self, result: InjectionResult) -> None:
-        """Stream the injection onto the fleet event log (``--events``).
-
-        One ``failure`` record per delivered subsystem failure, one
-        ``rebuild`` record per disk failure (window length from the
-        RAID rebuild model and the disk's catalog capacity), and one
-        ``repair`` record per replacement disk entering service —
-        merged into simulation-time order so downstream consumers can
-        stream the file without sorting.
-        """
-        rebuild = RebuildModel()
-        records: List[Dict[str, object]] = []
-        for event in result.events:
-            record: Dict[str, object] = {
-                "type": "fleet",
-                "kind": "failure",
-                "t": event.detect_time,
-                "occur_t": event.occur_time,
-                "failure_type": event.failure_type.value,
-                "disk_id": event.disk_id,
-                "disk_model": event.disk_model,
-                "shelf_id": event.shelf_id,
-                "shelf_model": event.shelf_model,
-                "raid_group_id": event.raid_group_id,
-                "system_id": event.system_id,
-                "system_class": event.system_class,
-            }
-            if event.cause is not None:
-                record["cause"] = event.cause.value
-            records.append(record)
-            if event.failure_type is FailureType.DISK:
-                try:
-                    capacity = catalog.disk_model(event.disk_model).capacity_gb
-                except CalibrationError:
-                    capacity = 0  # off-catalog model: no rebuild estimate
-                if capacity > 0:
-                    records.append(
-                        {
-                            "type": "fleet",
-                            "kind": "rebuild",
-                            "t": event.detect_time,
-                            "duration_seconds": rebuild.window_seconds(capacity),
-                            "disk_id": event.disk_id,
-                            "shelf_id": event.shelf_id,
-                            "raid_group_id": event.raid_group_id,
-                            "system_id": event.system_id,
-                        }
-                    )
-        for system in result.fleet.systems:
-            for slot in system.iter_slots():
-                for failed, replacement in zip(slot.disks, slot.disks[1:]):
-                    down = replacement.install_time - (
-                        failed.remove_time
-                        if failed.remove_time is not None
-                        else replacement.install_time
-                    )
-                    records.append(
-                        {
-                            "type": "fleet",
-                            "kind": "repair",
-                            "t": replacement.install_time,
-                            "disk_id": failed.disk_id,
-                            "replacement_id": replacement.disk_id,
-                            "down_seconds": down,
-                            "shelf_id": slot.shelf_id,
-                            "raid_group_id": slot.raid_group_id,
-                            "system_id": system.system_id,
-                        }
-                    )
-        records.sort(key=lambda record: record["t"])  # type: ignore[arg-type, return-value]
-        obs.OBSERVER.fleet_events.emit_many(records)
+        emit_fleet_events(result)
 
     # -- per-system simulation --------------------------------------------
 

@@ -21,6 +21,7 @@ import dataclasses
 import hashlib
 from typing import Dict, Tuple
 
+from repro import envvars
 from repro.errors import SpecificationError
 from repro.version import __version__
 
@@ -73,15 +74,20 @@ class Job:
         """The canonical string the content-address is derived from.
 
         Embeds the package version so a new release invalidates every
-        cached result; floats use ``repr`` so the string is exact.
+        cached result, and the simulation-engine selection
+        (``REPRO_VECTOR_ENGINE``) because the two engines produce
+        statistically — not byte — equivalent results, so one flag's
+        cached simulations must never be served to the other; floats
+        use ``repr`` so the string is exact.
         """
-        return "repro/%s kind=%s name=%s scale=%r seed=%d via_logs=%d" % (
+        return "repro/%s kind=%s name=%s scale=%r seed=%d via_logs=%d engine=%s" % (
             __version__,
             self.kind,
             self.name,
             float(self.scale),
             self.seed,
             1 if self.via_logs else 0,
+            "vector" if envvars.get_flag("REPRO_VECTOR_ENGINE") else "legacy",
         )
 
     def key(self) -> str:

@@ -1,13 +1,23 @@
-"""Simulation orchestration: clock, engine, and predefined scenarios."""
+"""Simulation orchestration: clock, engines, and predefined scenarios."""
 
 from repro.simulate.clock import SimulationClock
 from repro.simulate.engine import SimulationEngine, SimulationResult
 from repro.simulate.scenario import SCENARIOS, run_scenario
+from repro.simulate.vector import (
+    VectorFailureInjector,
+    VectorSimulationEngine,
+    make_engine,
+    vector_engine_enabled,
+)
 
 __all__ = [
     "SimulationClock",
     "SimulationEngine",
     "SimulationResult",
     "SCENARIOS",
+    "VectorFailureInjector",
+    "VectorSimulationEngine",
+    "make_engine",
     "run_scenario",
+    "vector_engine_enabled",
 ]

@@ -94,8 +94,10 @@ class SimulationEngine:
                     dataset = parse_archive(archive, self.clock, fleet=fleet)
             else:
                 dataset = FailureDataset.from_injection(injection)
-        obs.inc("sim.events", len(injection.events))
-        obs.inc("sim.recovered_errors", len(injection.recovered_errors))
+        # Count from the columnar table / lazy batch: len(injection.events)
+        # would materialize every dataclass just to take a length.
+        obs.inc("sim.events", injection.n_events())
+        obs.inc("sim.recovered_errors", injection.n_recovered())
         return SimulationResult(
             spec=self.spec,
             seed=seed,

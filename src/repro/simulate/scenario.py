@@ -23,7 +23,8 @@ from typing import Callable, Dict
 from repro.failures.injector import InjectorConfig
 from repro.failures.multipath import MultipathModel
 from repro.fleet.spec import FleetSpec
-from repro.simulate.engine import SimulationEngine, SimulationResult
+from repro.simulate.engine import SimulationResult
+from repro.simulate.vector.engine import make_engine
 from repro.topology.layout import LayoutPolicy
 from repro.errors import SpecificationError
 
@@ -108,7 +109,7 @@ def run_scenario(
         raise SpecificationError(
             "unknown scenario %r (have: %s)" % (name, ", ".join(sorted(SCENARIOS)))
         ) from None
-    engine = SimulationEngine(
+    engine = make_engine(
         spec=scenario.make_spec(scale),
         injector_config=scenario.make_config(),
     )

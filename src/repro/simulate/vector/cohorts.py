@@ -1,0 +1,161 @@
+"""Cohort grouping: the unit of batched hazard sampling.
+
+All systems sharing (system class, shelf model, primary disk model,
+dual-path flag) see *identical* delivered failure rates — the rate
+formula in :func:`repro.fleet.calibration.delivered_afr_percent` has no
+other inputs — so their shelves can be simulated as one batch: every
+hazard draw that the legacy injector makes per shelf or per slot
+becomes one NumPy vector over the cohort.
+
+Each cohort owns one deterministic random stream keyed by its *content*
+(class value, model names, path flag), not by enumeration order — so
+adding a system class or reordering the builder cannot silently shift
+another cohort's randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro.failures.injector import InjectorConfig
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.fleet import calibration
+from repro.rng import RandomSource
+from repro.simulate.vector.frame import FleetFrame
+from repro.topology.classes import SystemClass
+from repro.units import afr_percent_to_rate_per_second
+
+
+
+@dataclasses.dataclass
+class Cohort:
+    """One batch of same-configuration systems.
+
+    Attributes:
+        system_class / shelf_model / disk_model / dual_path: the grouping
+            key — everything the delivered rates depend on.
+        systems: global system indices (fleet order).
+        shelves: global shelf indices, ascending.
+        shelf_deploy: per-cohort-shelf deployment time.
+        shelf_n_slots: per-cohort-shelf bay count.
+        shelf_offset: per-cohort-shelf global index of its first slot.
+        slots: global slot indices of every cohort bay, ascending.
+        slot_deploy: per-cohort-slot deployment time.
+        rates: per-type delivered failure rate (events per second per
+            disk), multipliers applied.
+    """
+
+    system_class: SystemClass
+    shelf_model: str
+    disk_model: str
+    dual_path: bool
+    systems: np.ndarray
+    shelves: np.ndarray
+    shelf_deploy: np.ndarray
+    shelf_n_slots: np.ndarray
+    shelf_offset: np.ndarray
+    slots: np.ndarray
+    slot_deploy: np.ndarray
+    rates: Dict[FailureType, float]
+    _rng: object = None  # cached (source, generator) pair
+
+    @property
+    def n_shelves(self) -> int:
+        return int(self.shelves.shape[0])
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.slots.shape[0])
+
+    def stream(self, source: RandomSource) -> np.random.Generator:
+        """The cohort's deterministic random stream.
+
+        Content-addressed: keyed by the grouping tuple (class value,
+        model names, path flag), never by cohort enumeration order — so
+        adding a system class or reordering the builder cannot silently
+        shift another cohort's randomness.  One generator serves the
+        whole cohort, consumed in the engine's fixed stage order, just
+        as the legacy injector consumes one stream per system.
+        """
+        cached = self._rng
+        if cached is None or cached[0] is not source:
+            cached = (
+                source,
+                source.stream(
+                    "vector",
+                    self.system_class.value,
+                    self.shelf_model,
+                    self.disk_model,
+                    int(self.dual_path),
+                ),
+            )
+            self._rng = cached
+        return cached[1]
+
+
+def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
+    """Partition a fleet frame into cohorts, in first-seen system order."""
+    keys = [
+        (
+            system.system_class,
+            system.shelf_model,
+            system.primary_disk_model,
+            system.dual_path,
+        )
+        for system in frame.sys_refs
+    ]
+    order: Dict[tuple, int] = {}
+    for key in keys:
+        if key not in order:
+            order[key] = len(order)
+    cohort_of_sys = np.asarray([order[key] for key in keys], dtype=np.int64)
+
+    cohorts: List[Cohort] = []
+    shelf_cohort = (
+        cohort_of_sys[frame.shelf_sys]
+        if frame.n_shelves
+        else np.zeros(0, dtype=np.int64)
+    )
+    for key, index in order.items():
+        system_class, shelf_model, disk_model, dual_path = key
+        systems = np.flatnonzero(cohort_of_sys == index)
+        shelves = np.flatnonzero(shelf_cohort == index)
+        n_slots = frame.shelf_n_slots[shelves]
+        starts = frame.shelf_slot_offset[shelves]
+        total = int(n_slots.sum())
+        # Global slot index of every cohort bay: per-shelf ranges,
+        # flattened without a Python loop.
+        local = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(n_slots) - n_slots, n_slots
+        )
+        slots = np.repeat(starts, n_slots) + local
+        shelf_deploy = frame.sys_deploy[frame.shelf_sys[shelves]]
+        rates = {
+            failure_type: config.rate_multiplier(failure_type)
+            * afr_percent_to_rate_per_second(
+                calibration.delivered_afr_percent(
+                    system_class, failure_type, disk_model, shelf_model
+                )
+            )
+            for failure_type in FAILURE_TYPE_ORDER
+        }
+        cohorts.append(
+            Cohort(
+                system_class=system_class,
+                shelf_model=shelf_model,
+                disk_model=disk_model,
+                dual_path=dual_path,
+                systems=systems,
+                shelves=shelves,
+                shelf_deploy=shelf_deploy,
+                shelf_n_slots=n_slots,
+                shelf_offset=starts,
+                slots=slots,
+                slot_deploy=np.repeat(shelf_deploy, n_slots),
+                rates=rates,
+            )
+        )
+    return cohorts

@@ -1,0 +1,330 @@
+"""Columnar emission: vector-engine output without per-event objects.
+
+Three responsibilities sit at the boundary between the batched
+simulation and the rest of the library:
+
+* :func:`build_event_table` — concatenate per-cohort event blocks,
+  globally sort by detection time, and pack them straight into an
+  :class:`~repro.core.columns.EventTable` via its bulk constructor.
+  Identifier strings are produced per *unique bay*, not per event.
+* :class:`RecoveredBatch` — recovered (masked / retried) incidents kept
+  as flat arrays; the :class:`~repro.failures.events.ComponentError`
+  dataclasses the log writer wants are materialized only on demand.
+* :func:`apply_mutations` — write disk removals and replacement
+  installs back onto the fleet's object graph, so downstream exposure
+  accounting sees the same lifetimes the legacy injector produces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.columns import EventTable
+from repro.failures.events import ComponentError
+from repro.failures.raidlayer import component_errors_for_recovery
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.simulate.vector.cohorts import Cohort
+from repro.simulate.vector.frame import FleetFrame
+from repro.simulate.vector.queueing import DiskChain
+from repro.topology.components import Disk
+
+_TYPE_CODE = {
+    failure_type: code for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+}
+
+
+@dataclasses.dataclass
+class EventBlock:
+    """One cohort's delivered failures, as parallel arrays.
+
+    ``slot``/``gen`` identify the failed-or-afflicted disk; the cohort
+    supplies every per-system constant (class, models, path flag).
+    """
+
+    cohort: Cohort
+    slot: np.ndarray
+    gen: np.ndarray
+    occur: np.ndarray
+    detect: np.ndarray
+    type_code: np.ndarray
+    cause_code: np.ndarray
+    replaced: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.detect.shape[0])
+
+
+def _first_appearance(row_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Unique integer keys in first-appearance order, plus per-row codes.
+
+    The unique pass runs on integers — no per-row strings, no
+    object-array sort — and the code assignment matches what sequential
+    per-row interning would produce.
+    """
+    uniq, first, inverse = np.unique(
+        row_keys, return_index=True, return_inverse=True
+    )
+    rank = np.argsort(first, kind="stable")
+    code_of_key = np.empty(rank.size, dtype=np.int64)
+    code_of_key[rank] = np.arange(rank.size)
+    return uniq[rank], code_of_key[inverse]
+
+
+def _dedup(
+    codes: np.ndarray, values: List[str]
+) -> Tuple[np.ndarray, List[str]]:
+    """Merge duplicate strings in a provisional (codes, values) column.
+
+    Distinct integer keys may share a value — bays of one RAID group,
+    cohorts of one disk model — and :class:`StringTable` codes must be
+    per distinct *string*.
+    """
+    index = {}
+    remap = np.empty(len(values), dtype=np.int64)
+    merged: List[str] = []
+    for provisional, value in enumerate(values):
+        code = index.get(value)
+        if code is None:
+            code = len(merged)
+            index[value] = code
+            merged.append(value)
+        remap[provisional] = code
+    if len(merged) == len(values):
+        return codes, values
+    return remap[codes], merged
+
+
+def build_event_table(
+    frame: FleetFrame, blocks: List[EventBlock]
+) -> EventTable:
+    """Pack cohort event blocks into one detection-sorted EventTable.
+
+    Every string column is derived from integer topology keys (slot,
+    shelf, system, cohort indices); the only Python-level string work is
+    one render per unique key, never per event row.
+    """
+    blocks = [block for block in blocks if len(block)]
+    if not blocks:
+        return EventTable.empty()
+
+    occur = np.concatenate([b.occur for b in blocks])
+    detect = np.concatenate([b.detect for b in blocks])
+    slot = np.concatenate([b.slot for b in blocks])
+    gen = np.concatenate([b.gen for b in blocks])
+    type_codes = np.concatenate([b.type_code for b in blocks])
+    cause_codes = np.concatenate([b.cause_code for b in blocks])
+    replaced = np.concatenate([b.replaced for b in blocks])
+    block_row = np.repeat(
+        np.arange(len(blocks), dtype=np.int64),
+        [len(b) for b in blocks],
+    )
+
+    order = np.argsort(detect, kind="stable")
+    slot = slot[order]
+    gen = gen[order]
+    block_row = block_row[order]
+    shelf_index = frame.slot_shelf[slot]
+    sys_index = frame.shelf_sys[shelf_index]
+    shelf_refs = frame.shelf_refs
+    sys_refs = frame.sys_refs
+    cohorts = [b.cohort for b in blocks]
+
+    # disk_id: keyed by the (bay, generation) pair, packed into one
+    # integer; distinct pairs give distinct ids, so no dedup needed.
+    gen_span = int(gen.max()) + 1 if gen.size else 1
+    disk_keys, disk_codes = _first_appearance(slot * gen_span + gen)
+    key_gens = (disk_keys % gen_span).tolist()
+    slot_key_list = frame.slot_keys_for(disk_keys // gen_span)
+    disk_values = [
+        "%s#%d" % (k, g) for k, g in zip(slot_key_list, key_gens)
+    ]
+
+    shelf_keys, shelf_codes = _first_appearance(shelf_index)
+    shelf_values = [shelf_refs[s].shelf_id for s in shelf_keys.tolist()]
+    sys_keys, sys_codes = _first_appearance(sys_index)
+    sys_values = [sys_refs[s].system_id for s in sys_keys.tolist()]
+    raid_keys, raid_codes = _first_appearance(slot)
+    raid = _dedup(
+        raid_codes,
+        [s.raid_group_id for s in frame.slot_refs_for(raid_keys)],
+    )
+    blk_keys, blk_codes = _first_appearance(block_row)
+    blk_list = blk_keys.tolist()
+    classes = _dedup(
+        blk_codes, [cohorts[b].system_class.value for b in blk_list]
+    )
+    disk_models = _dedup(
+        blk_codes, [cohorts[b].disk_model for b in blk_list]
+    )
+    shelf_models = _dedup(
+        blk_codes, [cohorts[b].shelf_model for b in blk_list]
+    )
+
+    dual = np.asarray([c.dual_path for c in cohorts], dtype=bool)[block_row]
+    return EventTable.from_columns(
+        occur_time=occur[order],
+        detect_time=detect[order],
+        type_codes=type_codes[order],
+        cause_codes=cause_codes[order],
+        dual_path=dual,
+        replaced_disk=replaced[order],
+        disk_id=(disk_codes, disk_values),
+        shelf_id=(shelf_codes, shelf_values),
+        raid_group_id=raid,
+        system_id=(sys_codes, sys_values),
+        system_class=classes,
+        disk_model=disk_models,
+        shelf_model=shelf_models,
+        sorted_by_detect=True,
+    )
+
+
+class RecoveredBatch:
+    """Recovered incidents as flat arrays; dataclasses on demand.
+
+    Every recovered incident expands to exactly three
+    :class:`ComponentError` records (two cascade-prefix events plus the
+    recovery terminal — see
+    :func:`repro.failures.raidlayer.component_errors_for_recovery`), so
+    the count is known without materializing anything.
+    """
+
+    def __init__(self, frame: FleetFrame) -> None:
+        self._frame = frame
+        self._chunks: List[
+            Tuple[FailureType, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        self._incidents = 0
+
+    def add(
+        self,
+        failure_type: FailureType,
+        time: np.ndarray,
+        slot: np.ndarray,
+        gen: np.ndarray,
+    ) -> None:
+        """Append a batch of recovered incidents of one type."""
+        if time.size == 0:
+            return
+        self._chunks.append((failure_type, time, slot, gen))
+        self._incidents += int(time.size)
+
+    def add_mixed(
+        self,
+        type_codes: np.ndarray,
+        time: np.ndarray,
+        slot: np.ndarray,
+        gen: np.ndarray,
+    ) -> None:
+        """Append incidents with per-row failure types (background noise)."""
+        for code, failure_type in enumerate(FAILURE_TYPE_ORDER):
+            rows = np.flatnonzero(type_codes == code)
+            if rows.size:
+                self.add(failure_type, time[rows], slot[rows], gen[rows])
+
+    def __len__(self) -> int:
+        return 3 * self._incidents
+
+    def materialize(self) -> List[ComponentError]:
+        """Expand to time-sorted ComponentError dataclasses."""
+        frame = self._frame
+        errors: List[ComponentError] = []
+        for failure_type, times, slots, gens in self._chunks:
+            keys = frame.slot_keys_for(np.asarray(slots, dtype=np.int64))
+            for t, key, g in zip(times, keys, gens):
+                disk_id = "%s#%d" % (key, int(g))
+                errors.extend(
+                    component_errors_for_recovery(
+                        failure_type, disk_id, float(t)
+                    )
+                )
+        errors.sort(key=lambda error: error.time)
+        return errors
+
+
+def apply_mutations(
+    frame: FleetFrame, chains: List[Tuple[Cohort, DiskChain]]
+) -> None:
+    """Write disk removals and replacement installs onto the fleet.
+
+    Processed per bay in generation order so
+    :meth:`~repro.topology.components.DiskSlot.install`'s occupancy
+    validation holds at every step.
+    """
+    for cohort, chain in chains:
+        if chain.ev_slot.size == 0:
+            continue
+        order = np.lexsort((chain.ev_gen, chain.ev_slot))
+        ev_slot = chain.ev_slot[order]
+        ev_gen = chain.ev_gen[order]
+        # Match each removal to the replacement of the next generation in
+        # the same bay — a sorted-key merge instead of a per-event dict.
+        span = int(max(ev_gen.max(), chain.rep_gen.max(initial=0))) + 2
+        rep_keys = chain.rep_slot * span + chain.rep_gen
+        rep_order = np.argsort(rep_keys, kind="stable")
+        rep_keys = rep_keys[rep_order]
+        if rep_keys.size:
+            want = ev_slot * span + ev_gen + 1
+            clipped = np.minimum(
+                np.searchsorted(rep_keys, want), rep_keys.size - 1
+            )
+            has_rep = rep_keys[clipped] == want
+            rep_at = rep_order[clipped]
+            install_times = np.where(has_rep, chain.rep_install[rep_at], 0.0)
+            serials = np.where(has_rep, chain.rep_serial[rep_at], 0)
+        else:
+            has_rep = np.zeros(ev_slot.size, dtype=bool)
+            install_times = np.zeros(ev_slot.size, dtype=np.float64)
+            serials = np.zeros(ev_slot.size, dtype=np.int64)
+
+        ev_shelf = frame.slot_shelf[ev_slot]
+        ev_local = (ev_slot - frame.shelf_slot_offset[ev_shelf]).tolist()
+        ev_sys = frame.shelf_sys[ev_shelf].tolist()
+        shelf_refs = frame.shelf_refs
+        sys_refs = frame.sys_refs
+        last_index, slot, slot_key, system_id = -1, None, "", ""
+        rows = zip(
+            ev_slot.tolist(),
+            ev_shelf.tolist(),
+            ev_local,
+            ev_sys,
+            ev_gen.tolist(),
+            chain.ev_detect[order].tolist(),
+            has_rep.tolist(),
+            install_times.tolist(),
+            serials.tolist(),
+        )
+        for (
+            slot_index,
+            shelf_i,
+            local,
+            sys_i,
+            generation,
+            detect,
+            replaced,
+            install_time,
+            serial,
+        ) in rows:
+            if slot_index != last_index:  # removals are slot-grouped
+                last_index = slot_index
+                slot = shelf_refs[shelf_i].slots[local]
+                slot_key = slot.slot_key
+                system_id = sys_refs[sys_i].system_id
+            slot.disks[generation].remove_time = detect
+            if not replaced:
+                continue
+            slot.install(
+                Disk(
+                    disk_id="%s#%d" % (slot_key, generation + 1),
+                    model=cohort.disk_model,
+                    system_id=system_id,
+                    shelf_id=slot.shelf_id,
+                    slot_index=slot.slot_index,
+                    raid_group_id=slot.raid_group_id,
+                    install_time=install_time,
+                    serial="S%08X" % serial,
+                )
+            )

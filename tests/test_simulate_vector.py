@@ -1,0 +1,403 @@
+"""Tests for the vector (batched) simulation engine.
+
+Three layers of assurance:
+
+* unit tests for the frame / cohort / sampling substrate;
+* exactness tests where the engine *is* deterministic — same seed,
+  same table; one cohort replayed in isolation reproduces its rows
+  bit-for-bit (content-addressed streams);
+* a multi-seed statistical differential against the legacy engine,
+  which stays the oracle: the two consume randomness in different
+  orders, so they agree on distributions, not on individual draws.
+  Tolerances here are ~3x the deviations observed across seeds.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import envvars
+from repro.core.afr import dataset_afr
+from repro.failures.injector import InjectorConfig
+from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.fleet.builder import build_fleet
+from repro.fleet.spec import FleetSpec
+from repro.rng import RandomSource
+from repro.simulate.engine import SimulationEngine
+from repro.simulate.scenario import run_scenario
+from repro.simulate.vector.cohorts import Cohort, group_cohorts
+from repro.simulate.vector.emit import RecoveredBatch
+from repro.simulate.vector.engine import (
+    VECTOR_ENGINE_ENV,
+    VectorFailureInjector,
+    VectorSimulationEngine,
+    _inject_cohort,
+    make_engine,
+)
+from repro.simulate.vector.frame import build_frame
+from repro.simulate.vector.sampling import (
+    CandidateSet,
+    sample_disk_renewals,
+    sample_independent,
+    sample_shock_candidates,
+)
+from repro.topology.classes import SYSTEM_CLASS_ORDER
+
+
+@pytest.fixture(scope="module")
+def pristine_fleet():
+    """A small fleet that is never injected into (read-only topology)."""
+    return build_fleet(FleetSpec.paper_default(scale=0.002), RandomSource(21))
+
+
+@pytest.fixture(scope="module")
+def frame(pristine_fleet):
+    return build_frame(pristine_fleet)
+
+
+@pytest.fixture(scope="module")
+def cohorts(frame):
+    return group_cohorts(frame, InjectorConfig())
+
+
+def _fresh_fleet(seed: int = 21, scale: float = 0.002):
+    return build_fleet(FleetSpec.paper_default(scale=scale), RandomSource(seed))
+
+
+class TestFleetFrame:
+    def test_shapes_consistent(self, frame):
+        assert frame.n_shelves == len(frame.shelf_refs)
+        assert frame.n_systems == len(frame.sys_refs)
+        assert frame.n_slots == int(frame.shelf_n_slots.sum())
+        assert frame.slot_shelf.shape == (frame.n_slots,)
+        # Offsets are the exclusive prefix sum of per-shelf bay counts.
+        expected = np.concatenate(
+            ([0], np.cumsum(frame.shelf_n_slots)[:-1])
+        )
+        assert np.array_equal(frame.shelf_slot_offset, expected)
+
+    def test_cached_on_fleet(self, pristine_fleet, frame):
+        assert build_frame(pristine_fleet) is frame
+
+    def test_slot_resolution_matches_object_walk(self, frame):
+        walked = [
+            slot for shelf in frame.shelf_refs for slot in shelf.slots
+        ]
+        assert len(walked) == frame.n_slots
+        every = np.arange(frame.n_slots, dtype=np.int64)
+        assert frame.slot_refs_for(every) == walked
+        assert frame.slot_keys_for(every) == [s.slot_key for s in walked]
+        # Scalar and vector resolution agree.
+        for index in (0, frame.n_slots // 2, frame.n_slots - 1):
+            assert frame.slot_ref(index) is walked[index]
+
+    def test_shelf_sys_points_at_owning_system(self, frame):
+        for shelf_index in (0, frame.n_shelves - 1):
+            system = frame.sys_refs[int(frame.shelf_sys[shelf_index])]
+            assert frame.shelf_refs[shelf_index] in system.shelves
+
+
+class TestCohorts:
+    def test_partition_is_exact(self, frame, cohorts):
+        shelves = np.concatenate([c.shelves for c in cohorts])
+        slots = np.concatenate([c.slots for c in cohorts])
+        assert np.array_equal(np.sort(shelves), np.arange(frame.n_shelves))
+        assert np.array_equal(np.sort(slots), np.arange(frame.n_slots))
+
+    def test_rates_positive(self, cohorts):
+        for cohort in cohorts:
+            for failure_type in FAILURE_TYPE_ORDER:
+                assert cohort.rates[failure_type] > 0.0
+
+    def test_streams_content_addressed(self, frame, cohorts):
+        assert len(cohorts) >= 2  # paper default mixes classes
+        # Same cohort key + equal-seed sources => identical draws ...
+        a = cohorts[0].stream(RandomSource(5)).random(8)
+        b = group_cohorts(frame, InjectorConfig())[0].stream(
+            RandomSource(5)
+        ).random(8)
+        assert np.array_equal(a, b)
+        # ... while a different cohort key diverges on the same seed.
+        other = group_cohorts(frame, InjectorConfig())[1].stream(
+            RandomSource(5)
+        ).random(8)
+        assert not np.array_equal(a, other)
+
+    def test_stream_cached_per_source(self, cohorts):
+        source = RandomSource(6)
+        assert cohorts[0].stream(source) is cohorts[0].stream(source)
+
+
+def _one_shelf_cohort(n_bays: int = 14) -> Cohort:
+    return Cohort(
+        system_class=SYSTEM_CLASS_ORDER[0],
+        shelf_model="test-shelf",
+        disk_model="test-disk",
+        dual_path=False,
+        systems=np.asarray([0], dtype=np.int64),
+        shelves=np.asarray([0], dtype=np.int64),
+        shelf_deploy=np.zeros(1),
+        shelf_n_slots=np.asarray([n_bays], dtype=np.int64),
+        shelf_offset=np.asarray([0], dtype=np.int64),
+        slots=np.arange(n_bays, dtype=np.int64),
+        slot_deploy=np.zeros(n_bays),
+        rates={},
+    )
+
+
+class TestSampling:
+    def test_zero_rate_is_empty(self, cohorts):
+        rng = np.random.default_rng(0)
+        cohort = cohorts[0]
+        config = InjectorConfig()
+        empty = sample_shock_candidates(
+            rng,
+            cohort,
+            FailureType.DISK,
+            0.0,
+            config.shock_params[FailureType.DISK],
+            1.0e6,
+            config.multipath,
+        )
+        assert len(empty) == 0
+        assert len(sample_disk_renewals(rng, cohort, 0.0, 1.4, 1.0e6)) == 0
+
+    def test_renewal_equilibrium_rate(self):
+        # The renewal process starts in equilibrium, so arrivals over the
+        # window are rate * bays * window in expectation; the tolerance
+        # is several standard deviations wide.
+        cohort = _one_shelf_cohort(n_bays=14)
+        rate, window = 2.0e-5, 1.0e6
+        out = sample_disk_renewals(
+            np.random.default_rng(7), cohort, rate, 1.4, window
+        )
+        expected = rate * 14 * window
+        assert abs(len(out) - expected) / expected < 0.2
+        assert np.all((out.time > 0.0) & (out.time < window))
+        assert np.all((out.slot >= 0) & (out.slot < 14))
+        assert not out.masked.any()
+
+    def test_independent_interconnect_has_causes(self):
+        cohort = _one_shelf_cohort(n_bays=10)
+        out = sample_independent(
+            np.random.default_rng(3),
+            cohort,
+            FailureType.PHYSICAL_INTERCONNECT,
+            1.0e-5,
+            1.0e6,
+            InjectorConfig().multipath,
+        )
+        assert len(out) > 0
+        assert np.all(out.cause >= 0)  # interconnect faults carry a cause
+        assert not out.masked.any()  # single-path cohort masks nothing
+
+    def test_concat_round_trip(self):
+        cohort = _one_shelf_cohort()
+        rng = np.random.default_rng(1)
+        a = sample_disk_renewals(rng, cohort, 1.0e-5, 1.4, 1.0e6)
+        merged = CandidateSet.concat([a, CandidateSet.empty()])
+        assert len(merged) == len(a)
+        assert np.array_equal(merged.time, a.time)
+
+
+@pytest.fixture(scope="module")
+def injected():
+    """A fleet plus the vector injection that mutated it."""
+    fleet = _fresh_fleet()
+    result = VectorFailureInjector().inject(fleet, RandomSource(11))
+    return fleet, result
+
+
+class TestVectorInjector:
+    def test_table_sorted_and_causal(self, injected):
+        _, result = injected
+        table = result.to_table()
+        assert len(table) == result.n_events() > 0
+        assert np.all(np.diff(table.detect_time) >= 0.0)
+        assert np.all(table.detect_time >= table.occur_time)
+
+    def test_events_materialize_well_formed(self, injected):
+        _, result = injected
+        events = result.events
+        assert len(events) == result.n_events()
+        for event in events[:20]:
+            assert re.match(r".+/\d{2}#\d+$", event.disk_id)
+            assert event.disk_id.startswith(event.shelf_id)
+            assert event.system_id
+
+    def test_recovered_lazy_count_matches(self, injected):
+        _, result = injected
+        errors = result.recovered_errors
+        assert result.n_recovered() == len(errors) > 0
+        times = [error.time for error in errors]
+        assert times == sorted(times)
+
+    def test_mutations_written_back(self, injected):
+        fleet, result = injected
+        table = result.to_table()
+        replaced = int(np.count_nonzero(table.replaced_disk))
+        assert replaced > 0
+        removed = 0
+        second_gen = 0
+        for system in fleet.systems:
+            for shelf in system.shelves:
+                for slot in shelf.slots:
+                    removed += sum(
+                        1 for d in slot.disks if d.remove_time is not None
+                    )
+                    second_gen += sum(
+                        1 for d in slot.disks if d.disk_id.endswith("#1")
+                    )
+        assert removed == replaced
+        assert second_gen > 0
+
+    def test_same_seed_same_table(self):
+        tables = []
+        for _ in range(2):
+            fleet = _fresh_fleet()
+            result = VectorFailureInjector().inject(fleet, RandomSource(11))
+            tables.append(result.to_table())
+        a, b = tables
+        assert np.array_equal(a.detect_time, b.detect_time)
+        assert np.array_equal(a.type_codes, b.type_codes)
+        assert [e.disk_id for e in a.events()] == [
+            e.disk_id for e in b.events()
+        ]
+
+    def test_cohort_replay_reproduces_its_rows(self, injected):
+        # Streams are keyed by cohort content, so one cohort replayed
+        # against a fresh equal-seed source must reproduce exactly the
+        # rows it contributed to the full run — independence of cohorts
+        # and determinism of the stage order, in one check.
+        fleet, result = injected
+        config = InjectorConfig()
+        frame = build_frame(fleet)
+        table = result.to_table()
+        for cohort in group_cohorts(frame, config):
+            ids = {
+                frame.sys_refs[i].system_id for i in cohort.systems.tolist()
+            }
+            mask = table.system_member_mask(ids)
+            if np.count_nonzero(mask):
+                break
+        block, _ = _inject_cohort(
+            cohort,
+            config,
+            RandomSource(11),
+            fleet.duration_seconds,
+            RecoveredBatch(frame),
+        )
+        assert np.array_equal(
+            np.sort(table.detect_time[mask]), np.sort(block.detect)
+        )
+        assert np.array_equal(
+            np.sort(table.type_codes[mask]), np.sort(block.type_code)
+        )
+
+
+class TestEngineFacade:
+    def test_registered_flag_defaults_off(self):
+        var = envvars.REGISTRY[VECTOR_ENGINE_ENV]
+        assert var.default == "0"
+        assert not envvars.get_flag(VECTOR_ENGINE_ENV)
+
+    def test_make_engine_defaults_to_legacy(self, monkeypatch):
+        monkeypatch.delenv(VECTOR_ENGINE_ENV, raising=False)
+        engine = make_engine(FleetSpec.paper_default(scale=0.001))
+        assert type(engine) is SimulationEngine
+
+    def test_make_engine_flag_routes_to_vector(self, monkeypatch):
+        monkeypatch.setenv(VECTOR_ENGINE_ENV, "1")
+        engine = make_engine(FleetSpec.paper_default(scale=0.001))
+        assert isinstance(engine, VectorSimulationEngine)
+        monkeypatch.setenv(VECTOR_ENGINE_ENV, "0")
+        engine = make_engine(FleetSpec.paper_default(scale=0.001))
+        assert type(engine) is SimulationEngine
+
+    def test_run_contract_matches_legacy(self):
+        engine = VectorSimulationEngine(FleetSpec.paper_default(scale=0.002))
+        result = engine.run(seed=2)
+        assert result.seed == 2
+        assert result.dataset.fleet is result.fleet
+        assert result.archive is None
+        assert len(result.dataset.events) == result.injection.n_events() > 0
+
+    def test_via_logs_round_trip(self):
+        engine = VectorSimulationEngine(FleetSpec.paper_default(scale=0.002))
+        result = engine.run(seed=9, via_logs=True)
+        assert result.archive is not None and result.archive.logs
+        assert (
+            result.dataset.counts_by_type()
+            == result.injection.counts_by_type()
+        )
+
+    def test_cache_key_embeds_engine_selection(self, monkeypatch):
+        # The engines are statistically, not byte, equivalent — a
+        # vector-flag run must never be served a legacy cached result.
+        from repro.runtime import Job
+
+        monkeypatch.delenv(VECTOR_ENGINE_ENV, raising=False)
+        legacy_key = Job.scenario("paper-default", 0.01, 1).key()
+        monkeypatch.setenv(VECTOR_ENGINE_ENV, "1")
+        assert Job.scenario("paper-default", 0.01, 1).key() != legacy_key
+
+    def test_run_scenario_honors_flag(self, monkeypatch):
+        monkeypatch.setenv(VECTOR_ENGINE_ENV, "1")
+        result = run_scenario("paper-default", scale=0.002, seed=4)
+        assert len(result.dataset.events) > 0
+
+
+DIFF_SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def differential_runs():
+    """Per-seed (legacy, vector) dataset pairs at a modest scale."""
+    spec = FleetSpec.paper_default(scale=0.02)
+    pairs = []
+    for seed in DIFF_SEEDS:
+        legacy = SimulationEngine(spec).run(seed=seed).dataset
+        vector = VectorSimulationEngine(spec).run(seed=seed).dataset
+        pairs.append((legacy, vector))
+    return pairs
+
+
+class TestDifferential:
+    """Vector vs legacy: statistical agreement, legacy as oracle."""
+
+    def test_per_type_counts_agree(self, differential_runs):
+        legacy_pool = np.zeros(len(FAILURE_TYPE_ORDER))
+        vector_pool = np.zeros(len(FAILURE_TYPE_ORDER))
+        for legacy, vector in differential_runs:
+            legacy_pool += legacy.table.counts_by_type()
+            vector_pool += vector.table.counts_by_type()
+        assert legacy_pool.min() > 0 and vector_pool.min() > 0
+        ratios = vector_pool / legacy_pool
+        assert np.all((ratios > 0.8) & (ratios < 1.25)), ratios
+
+    def test_total_counts_agree_per_seed(self, differential_runs):
+        for legacy, vector in differential_runs:
+            ratio = len(vector.table) / len(legacy.table)
+            assert 0.85 < ratio < 1.18, ratio
+
+    def test_subsystem_afr_agrees(self, differential_runs):
+        for legacy, vector in differential_runs:
+            ratio = dataset_afr(vector).percent / dataset_afr(legacy).percent
+            assert 0.85 < ratio < 1.18, ratio
+
+    def test_disk_share_stays_minority(self, differential_runs):
+        # The paper's headline: disks are not the dominant contributor.
+        # Both engines must land on the same side of 50%.
+        for _, vector in differential_runs:
+            counts = vector.table.counts_by_type()
+            disk = counts[FAILURE_TYPE_ORDER.index(FailureType.DISK)]
+            assert 0.1 < disk / counts.sum() < 0.5
+
+    def test_replaced_share_agrees(self, differential_runs):
+        for legacy, vector in differential_runs:
+            legacy_share = np.mean(legacy.table.replaced_disk)
+            vector_share = np.mean(vector.table.replaced_disk)
+            assert abs(legacy_share - vector_share) < 0.06
