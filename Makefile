@@ -1,7 +1,7 @@
 # Developer entry points.
 
-.PHONY: install test check lint lint-baseline bench bench-seed experiments \
-	figures docs clean
+.PHONY: install test check lint lint-baseline bench bench-seed bench-shard \
+	shard-smoke experiments figures docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,18 @@ bench-seed:
 	PYTHONPATH=src python -m pytest benchmarks/test_bench_simulate.py \
 		--benchmark-only --benchmark-json=.bench_simulate_raw.json
 	python tools/bench_report.py .bench_simulate_raw.json --out BENCH_SIMULATE.json
+
+# Full-scale sharded-vs-unsharded RSS + wall-time comparison; appends
+# to the committed BENCH_SHARD.json trajectory (nightly CI runs this
+# at scale 1.0 — see tools/bench_shard.py).
+bench-shard:
+	python tools/bench_shard.py --shards 4 --out BENCH_SHARD.json
+
+# CI shard gate: 4-shard spill/merge run must be byte-identical to the
+# unsharded table; writes shard-merge-report.json.
+shard-smoke:
+	REPRO_VECTOR_ENGINE=1 PYTHONPATH=src python tools/shard_smoke.py \
+		--scale 0.05 --shards 4
 
 # Run every registered experiment (tables, figures, ablations) with checks.
 experiments:

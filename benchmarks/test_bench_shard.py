@@ -1,0 +1,61 @@
+"""Bench: sharded spill-merge runs vs the monolithic scenario path.
+
+The sharded runtime (``repro.runtime.shard``) trades a little merge
+work for a fleet that is never resident all at once: each shard builds
+and simulates only its cell slice, spills its ``EventTable`` to an npz
+colstore, and the merge streams over memory-mapped columns.  This file
+pins the wall-time cost of that trade at the bench scale so the spill
+path cannot quietly become slower than the run it is meant to relieve.
+Peak-RSS accounting needs process isolation and lives in
+``tools/bench_shard.py`` (the ``BENCH_SHARD.json`` trajectory); the
+nightly CI job runs both at ``REPRO_BENCH_SIMULATE_SCALE=1.0``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro import envvars
+from repro.runtime import RuntimeConfig, RuntimeContext, run_sharded_scenario
+from repro.simulate.scenario import run_scenario
+
+SCALE = envvars.get_float("REPRO_BENCH_SIMULATE_SCALE", 0.4)
+SEED = 1
+SHARDS = 4
+
+
+@pytest.fixture()
+def scratch(monkeypatch):
+    """Fresh cache + spill dirs per round: no warm-cache shortcuts."""
+    workdir = tempfile.mkdtemp(prefix="repro-bench-shard-")
+    monkeypatch.setenv("REPRO_SHARD_SPILL_DIR", workdir + "/spills")
+    yield workdir
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+@pytest.mark.benchmark(group="shard-run")
+def test_bench_run_unsharded(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_scenario("paper-default", scale=SCALE, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.dataset.table) > 0
+
+
+@pytest.mark.benchmark(group="shard-run")
+def test_bench_run_sharded(benchmark, scratch):
+    def round():
+        runtime = RuntimeContext(
+            RuntimeConfig(cache_dir=scratch + "/cache")
+        )
+        return run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=SEED,
+            runtime=runtime, n_shards=SHARDS,
+        )
+
+    result = benchmark.pedantic(round, rounds=1, iterations=1)
+    assert len(result.dataset.table) > 0

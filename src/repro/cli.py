@@ -5,6 +5,7 @@ Usage::
     repro list                          # experiments and scenarios
     repro run fig4b [--scale --seed]    # one experiment (or "all")
     repro run all --jobs 4              # fan out over worker processes
+    repro run fig4a --shards 4          # sharded spill/merge simulation
     repro findings [--scale --seed]     # the Findings 1-11 scoreboard
     repro report [--scale --seed]       # overview + headline figures
     repro cache stats                   # result cache contents
@@ -24,7 +25,11 @@ it memory-only, ``--cache-dir`` relocates it) and ``--jobs N`` executes
 independent experiments on a process pool — with byte-identical output
 to serial.  A runtime-metrics footer (job counts, cache hits,
 simulations performed, latencies) is printed to stderr so stdout stays
-stable across cache states and ``--jobs`` values.
+stable across cache states and ``--jobs`` values.  ``--shards N`` (or
+``$REPRO_SHARDS``) partitions the fleet so no process holds more than
+one slice: each shard simulates its cell subset, spills its event
+table to disk, and the merged result is byte-identical to the
+unsharded run (see docs/RUNTIME.md, "Sharded runs").
 
 Observability (see docs/OBSERVABILITY.md): ``--trace FILE`` records a
 JSONL span trace of the whole command, ``--metrics FILE`` writes a
@@ -202,6 +207,12 @@ def _common(cmd: argparse.ArgumentParser) -> None:
         help="worker processes (1 = serial; results are identical)",
     )
     cmd.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition each simulation into N spill-to-disk shards "
+        "merged byte-identically (default: $REPRO_SHARDS or 1; pair "
+        "with --jobs to run shards in parallel)",
+    )
+    cmd.add_argument(
         "--no-cache",
         action="store_true",
         help="skip the on-disk result cache (results are still shared "
@@ -248,6 +259,15 @@ def _runtime(args: argparse.Namespace):
             cache_persist=not args.no_cache,
         )
     )
+
+
+def _shards(args: argparse.Namespace) -> int:
+    """The effective shard count: ``--shards``, else ``$REPRO_SHARDS``."""
+    from repro import envvars
+
+    if getattr(args, "shards", None) is not None:
+        return int(args.shards)
+    return envvars.get_int("REPRO_SHARDS", 1)
 
 
 def _print_metrics(runtime) -> None:
@@ -307,6 +327,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     scale=args.scale,
                     seed=args.seed,
                     via_logs=args.via_logs,
+                    shards=_shards(args),
                 )
                 for experiment_id in ids
             ]
@@ -594,7 +615,11 @@ def _dataset(args: argparse.Namespace, runtime=None):
     if runtime is None:
         runtime = _runtime(args)
     return runtime.run_scenario(
-        "paper-default", scale=args.scale, seed=args.seed, via_logs=args.via_logs
+        "paper-default",
+        scale=args.scale,
+        seed=args.seed,
+        via_logs=args.via_logs,
+        shards=_shards(args),
     ).dataset
 
 

@@ -1,0 +1,260 @@
+"""Columnar spill store: EventTables on disk, memory-mapped back.
+
+Sharded runs spill each shard's :class:`~repro.core.columns.EventTable`
+to an ``.npz`` and merge the shards back without ever materializing a
+:class:`~repro.failures.events.FailureEvent`.  Three pieces:
+
+* :func:`save_table` — write a table as an *uncompressed* ``.npz``
+  (``np.savez`` stores members ``ZIP_STORED``): one ``.npy`` member per
+  numeric/code column plus a JSON metadata member carrying the string
+  tables and schema version.  No pickle anywhere in the format.
+* :func:`load_table` — read a spill back.  With ``mmap=True`` (the
+  default) each column comes back as a read-only :class:`numpy.memmap`
+  aimed at the member's data bytes inside the zip — possible precisely
+  because the members are stored, not deflated — so loading a shard
+  costs page-table setup, not I/O; pages fault in as analyses touch
+  them.  Falls back to a plain read when the layout is not mappable.
+* :func:`merge_tables` — k-way merge: per shard, remap string codes
+  into the merged tables, concatenate columns, one stable argsort on
+  detection time, then re-canonicalize every string column to
+  first-occurrence code order.  The result is byte-identical to the
+  table an unsharded run builds over the same events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zipfile
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.columns import EventTable
+
+#: Bumped when the member layout changes; readers reject newer spills.
+SPILL_SCHEMA_VERSION = 1
+
+#: Numeric table attributes, stored verbatim as ``.npy`` members.
+_NUMERIC = (
+    "occur_time",
+    "detect_time",
+    "type_codes",
+    "cause_codes",
+    "dual_path",
+    "replaced_disk",
+)
+
+#: String columns: (codes attribute, StringTable attribute,
+#: ``EventTable.from_columns`` keyword).
+_STRINGS = (
+    ("disk_codes", "disk_ids", "disk_id"),
+    ("shelf_codes", "shelf_ids", "shelf_id"),
+    ("raid_group_codes", "raid_group_ids", "raid_group_id"),
+    ("system_codes", "system_ids", "system_id"),
+    ("class_codes", "system_classes", "system_class"),
+    ("disk_model_codes", "disk_models", "disk_model"),
+    ("shelf_model_codes", "shelf_models", "shelf_model"),
+)
+
+_META_MEMBER = "colstore_meta"
+
+
+def save_table(path: str, table: EventTable) -> None:
+    """Spill ``table`` to ``path`` as an uncompressed ``.npz``.
+
+    The write is atomic (temp file + ``os.replace``) so a concurrent
+    reader — or a crashed run — never sees a torn spill.
+    """
+    meta = {
+        "schema": SPILL_SCHEMA_VERSION,
+        "rows": len(table),
+        "sorted": bool(table.is_sorted_by_detect),
+        "strings": {
+            codes_attr: list(getattr(table, table_attr).values)
+            for codes_attr, table_attr, _ in _STRINGS
+        },
+    }
+    members: Dict[str, np.ndarray] = {
+        name: np.ascontiguousarray(getattr(table, name)) for name in _NUMERIC
+    }
+    for codes_attr, _, _ in _STRINGS:
+        members[codes_attr] = np.ascontiguousarray(getattr(table, codes_attr))
+    members[_META_MEMBER] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **members)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.remove(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _member_data_offsets(path: str) -> Optional[Dict[str, int]]:
+    """Byte offset of each stored member's data inside the zip.
+
+    Returns ``None`` when any member is compressed (not mappable).  The
+    local file header must be read per member: its name/extra lengths
+    can differ from the central directory's.
+    """
+    offsets: Dict[str, int] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                return None
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            offsets[info.filename] = (
+                info.header_offset + 30 + name_len + extra_len
+            )
+    return offsets
+
+
+def _mmap_member(path: str, offset: int) -> np.ndarray:
+    """Memory-map one stored ``.npy`` member at its data offset."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError("unsupported npy version %r" % (version,))
+        data_offset = handle.tell()
+    if fortran or dtype.hasobject:
+        raise ValueError("member layout is not mappable")
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", offset=data_offset, shape=shape)
+
+
+def _read_members(path: str, mmap: bool) -> Dict[str, np.ndarray]:
+    if mmap:
+        offsets = _member_data_offsets(path)
+        if offsets is not None:
+            try:
+                return {
+                    name.rsplit(".npy", 1)[0]: _mmap_member(path, offset)
+                    for name, offset in offsets.items()
+                }
+            except ValueError:
+                pass  # odd layout: fall through to a plain load
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def load_table(path: str, mmap: bool = True) -> EventTable:
+    """Load a spilled table; columns are memory-mapped when possible.
+
+    Raises:
+        OSError: missing/unreadable spill file.
+        ValueError: not a colstore spill, or a newer schema.
+    """
+    members = _read_members(path, mmap)
+    if _META_MEMBER not in members:
+        raise ValueError("%s: not a colstore spill (no metadata member)" % path)
+    meta = json.loads(bytes(np.asarray(members[_META_MEMBER])).decode("utf-8"))
+    schema = int(meta.get("schema", 0))
+    if schema > SPILL_SCHEMA_VERSION:
+        raise ValueError(
+            "%s: spill schema %d is newer than supported %d"
+            % (path, schema, SPILL_SCHEMA_VERSION)
+        )
+    columns = {name: members[name] for name in _NUMERIC}
+    for codes_attr, _, keyword in _STRINGS:
+        columns[keyword] = (
+            members[codes_attr],
+            [str(value) for value in meta["strings"][codes_attr]],
+        )
+    return EventTable.from_columns(
+        sorted_by_detect=True if meta.get("sorted") else None, **columns
+    )
+
+
+# -- merging -----------------------------------------------------------------
+
+
+def _merge_string_column(
+    tables: List[EventTable], codes_attr: str, table_attr: str
+) -> Tuple[np.ndarray, List[str]]:
+    """Concatenate one string column across tables, remapping codes."""
+    index: Dict[str, int] = {}
+    values: List[str] = []
+    parts: List[np.ndarray] = []
+    for table in tables:
+        remap = np.empty(len(getattr(table, table_attr)), dtype=np.int64)
+        for provisional, value in enumerate(getattr(table, table_attr).values):
+            code = index.get(value)
+            if code is None:
+                code = len(values)
+                index[value] = code
+                values.append(value)
+            remap[provisional] = code
+        parts.append(remap[np.asarray(getattr(table, codes_attr), np.int64)])
+    return np.concatenate(parts), values
+
+
+def _canonicalize(
+    codes: np.ndarray, values: List[str]
+) -> Tuple[np.ndarray, List[str]]:
+    """Renumber codes to first-occurrence order (and drop unused values).
+
+    This is the convention every in-memory construction path follows
+    (``from_events`` interns in row order; the vector engine's emit pass
+    keys by first appearance), so a merged table becomes byte-identical
+    to its unsharded counterpart.
+    """
+    if codes.size == 0:
+        return codes, []
+    unique, first = np.unique(codes, return_index=True)
+    by_first = unique[np.argsort(first, kind="stable")]
+    new_of_old = np.empty(int(unique.max()) + 1, dtype=np.int64)
+    new_of_old[by_first] = np.arange(by_first.size)
+    return new_of_old[codes], [values[code] for code in by_first.tolist()]
+
+
+def merge_tables(tables: Iterable[EventTable]) -> EventTable:
+    """Merge shard tables into one detection-sorted table (module docstring).
+
+    Shards are processed one at a time (code remap + concatenate); no
+    event objects are ever materialized.
+    """
+    tables = [table for table in tables if len(table)]
+    if not tables:
+        return EventTable.empty()
+    numeric = {
+        name: np.concatenate([np.asarray(getattr(t, name)) for t in tables])
+        for name in _NUMERIC
+    }
+    merged: Dict[str, Tuple[np.ndarray, List[str]]] = {}
+    for codes_attr, table_attr, keyword in _STRINGS:
+        merged[keyword] = _merge_string_column(tables, codes_attr, table_attr)
+    order = np.argsort(numeric["detect_time"], kind="stable")
+    columns: Dict[str, object] = {
+        name: column[order] for name, column in numeric.items()
+    }
+    for keyword, (codes, values) in merged.items():
+        columns[keyword] = _canonicalize(codes[order], values)
+    return EventTable.from_columns(sorted_by_detect=True, **columns)
+
+
+__all__ = [
+    "SPILL_SCHEMA_VERSION",
+    "load_table",
+    "merge_tables",
+    "save_table",
+]

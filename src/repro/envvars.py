@@ -37,8 +37,8 @@ class EnvVar:
 
     Attributes:
         name: the ``REPRO_*`` variable name.
-        kind: ``path`` | ``flag`` | ``float`` | ``string`` — how
-            consumers parse the raw value.
+        kind: ``path`` | ``flag`` | ``float`` | ``int`` | ``string`` —
+            how consumers parse the raw value.
         default: human-readable default shown in docs (``None`` when
             the variable is simply unset by default).
         consumer: the module that acts on the value.
@@ -137,6 +137,24 @@ REGISTRY: Dict[str, EnvVar] = {
             description="Fleet scale for the simulation benchmark suite "
             "(CI shrinks it to fit the job budget).",
         ),
+        EnvVar(
+            name="REPRO_SHARDS",
+            kind="int",
+            default="1",
+            consumer="repro.cli",
+            description="Default shard count for simulations (same as "
+            "--shards); 1 runs unsharded, N>1 partitions the fleet into "
+            "N spill-to-disk shards merged byte-identically.",
+        ),
+        EnvVar(
+            name="REPRO_SHARD_SPILL_DIR",
+            kind="path",
+            default=None,
+            consumer="repro.runtime.shard",
+            description="Where sharded runs spill per-shard EventTable "
+            ".npz files (default: a shards/ directory under the result "
+            "cache).",
+        ),
     )
 }
 
@@ -179,6 +197,14 @@ def get_float(name: str, default: float) -> float:
     if value is None:
         return default
     return float(value)
+
+
+def get_int(name: str, default: int) -> int:
+    """Parse a registered variable as an int, falling back on absence."""
+    value = get(name)
+    if value is None:
+        return default
+    return int(value)
 
 
 def markdown_table() -> str:
@@ -228,6 +254,7 @@ __all__ = [
     "get",
     "get_flag",
     "get_float",
+    "get_int",
     "markdown_table",
     "render_docs",
     "undocumented",

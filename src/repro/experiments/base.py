@@ -37,12 +37,17 @@ class ExperimentContext:
             set, scenario lookups route through its content-addressed
             result cache (and count in its metrics) instead of
             simulating directly.
+        shards: split every scenario simulation into this many
+            spill-to-disk shards (see :mod:`repro.runtime.shard`);
+            sharding always routes through a runtime context (a default
+            one is built lazily when none was provided).
     """
 
     scale: float = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
     via_logs: bool = False
     runtime: Optional["RuntimeContext"] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         self._results: Dict[str, object] = {}
@@ -50,12 +55,19 @@ class ExperimentContext:
     def result(self, scenario: str = "paper-default"):
         """The (cached) full simulation result of a named scenario."""
         if scenario not in self._results:
+            if self.runtime is None and self.shards != 1:
+                # Sharded execution needs a pool + shard cache; build
+                # the default serial context on first use.
+                from repro.runtime.context import RuntimeContext
+
+                self.runtime = RuntimeContext()
             if self.runtime is not None:
                 result = self.runtime.run_scenario(
                     scenario,
                     scale=self.scale,
                     seed=self.seed,
                     via_logs=self.via_logs,
+                    shards=self.shards,
                 )
             else:
                 result = run_scenario(

@@ -151,9 +151,11 @@ def run_stability(context: ExperimentContext) -> ExperimentResult:
     checks = {
         "models_shared_across_environments": len(disk_cvs) >= 2,
         # Finding 4: disk AFR varies less across environments than
-        # subsystem AFR does.
-        "disk_afr_more_stable_than_subsystem": statistics.mean(disk_cvs)
-        < statistics.mean(total_cvs),
+        # subsystem AFR does.  At tiny fleet scales no model may clear
+        # the per-environment event floor; an empty comparison is a
+        # failed check, not a crash.
+        "disk_afr_more_stable_than_subsystem": bool(disk_cvs)
+        and statistics.mean(disk_cvs) < statistics.mean(total_cvs),
         # Finding 5: no upward trend of disk AFR with capacity.
         "capacity_no_upward_trend": trend["mean"] <= 0.05,
     }

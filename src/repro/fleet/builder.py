@@ -9,7 +9,7 @@ random streams, then populates bays with the initial disk complement
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -25,12 +25,32 @@ from repro.topology.raidgroup import RaidType
 from repro.topology.system import StorageSystem
 
 
-def build_fleet(spec: FleetSpec, random_source: RandomSource) -> Fleet:
+def system_id_for(system_class: SystemClass, index: int) -> str:
+    """The deterministic id of the ``index``-th system of a class.
+
+    Ids are a pure function of (class, global index), which is what lets
+    a sharded run name — and therefore partition — the systems of a
+    fleet spec without building them.
+    """
+    return "%s-%05d" % (_CLASS_TAGS[system_class], index)
+
+
+def build_fleet(
+    spec: FleetSpec,
+    random_source: RandomSource,
+    selection: Optional[Mapping[SystemClass, Sequence[int]]] = None,
+) -> Fleet:
     """Materialize the fleet a spec describes.
 
     Args:
         spec: population shapes per class, scale, and layout policy.
         random_source: root of the deterministic random streams.
+        selection: optional subset to build — per class, the *global*
+            system indices to include (``None`` builds everything).
+            Because each system draws from a stream keyed by its global
+            index, a selected system is byte-identical to the same
+            system in the full build; this is how shards reproduce
+            exactly their slice of the unsharded fleet.
 
     Returns:
         A fleet whose bays hold their initial disks (``install_time`` set
@@ -44,13 +64,24 @@ def build_fleet(spec: FleetSpec, random_source: RandomSource) -> Fleet:
                 continue
             class_spec = spec.class_specs[system_class]
             count = spec.scaled_systems(system_class)
-            for index in range(count):
-                system_id = "%s-%05d" % (_CLASS_TAGS[system_class], index)
+            if selection is None:
+                indices: Sequence[int] = range(count)
+            else:
+                indices = sorted(selection.get(system_class, ()))
+                if indices and not (0 <= indices[0] <= indices[-1] < count):
+                    raise ValueError(
+                        "selection indices for %s out of range [0, %d)"
+                        % (system_class.value, count)
+                    )
+            for index in indices:
+                system_id = system_id_for(system_class, index)
                 rng = random_source.stream("fleet", system_class.value, index)
                 systems.append(
                     _build_system(system_id, system_class, class_spec, spec, rng)
                 )
-            obs.inc("fleet.systems", count, system_class=system_class.value)
+            obs.inc(
+                "fleet.systems", len(indices), system_class=system_class.value
+            )
     fleet = Fleet(systems=systems, duration_seconds=spec.duration_seconds)
     obs.set_gauge("fleet.disks", sum(s.slot_count for s in systems))
     return fleet

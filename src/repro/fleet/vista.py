@@ -1,0 +1,138 @@
+"""System vistas: compact per-system records for merged sharded runs.
+
+A sharded run simulates each sub-fleet in a worker and must hand the
+parent everything the analyses need *without* shipping (or keeping) the
+object graph — at paper scale the fleet holds over a million ``Disk``
+objects, and not materializing all of them at once in one process is
+the whole point of sharding.
+
+A :class:`SystemVista` is the duck-typed stand-in: it carries the
+configuration attributes the grouping analyses read (class, models,
+path flag, deploy time), the shelf / RAID-group id lists that
+``scope_population`` walks, the Table 1 counts, and the system's disk
+exposure **precomputed on the live sub-fleet** (so replacement disk
+lifetimes are already accounted, byte-identically to the unsharded
+sum).  An ordinary :class:`~repro.fleet.fleet.Fleet` can hold vistas
+because it only requires ``.system_id`` plus the attributes it sums.
+
+What vistas deliberately do *not* support: per-disk walks
+(``iter_disks`` / ``iter_slots``) and exposure at arbitrary window
+ends.  Analyses that need the full object graph (disk ages, rebuild
+windows, per-slot prediction) raise :class:`~repro.errors.AnalysisError`
+with a pointer at unsharded runs instead of silently degrading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.errors import AnalysisError
+from repro.topology.classes import SYSTEM_CLASS_ORDER, SystemClass
+
+_UNSUPPORTED = (
+    "%s is not available on a sharded (vista) fleet: shards keep only "
+    "per-system summaries, not the disk object graph; re-run without "
+    "--shards for analyses that walk individual disks"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShelfVista:
+    """One shelf enclosure, reduced to its identity."""
+
+    shelf_id: str
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupVista:
+    """One RAID group, reduced to its identity."""
+
+    raid_group_id: str
+
+
+@dataclasses.dataclass
+class SystemVista:
+    """Compact per-system record (see module docstring).
+
+    Attributes mirror :class:`~repro.topology.system.StorageSystem`
+    where analyses read them; ``exposure_seconds`` is the system's
+    disk-seconds of exposure evaluated at ``window_end`` on the live
+    sub-fleet, replacement lifetimes included.
+    """
+
+    system_id: str
+    system_class: SystemClass
+    shelf_model: str
+    primary_disk_model: str
+    dual_path: bool
+    deploy_time: float
+    shelves: List[ShelfVista]
+    raid_groups: List[GroupVista]
+    disk_count_ever: int
+    slot_count: int
+    exposure_seconds: float
+    window_end: float
+
+    @classmethod
+    def from_system(cls, system, window_end: float) -> "SystemVista":
+        """Distill a live (failure-mutated) system into a vista."""
+        return cls(
+            system_id=system.system_id,
+            system_class=system.system_class,
+            shelf_model=system.shelf_model,
+            primary_disk_model=system.primary_disk_model,
+            dual_path=system.dual_path,
+            deploy_time=system.deploy_time,
+            shelves=[ShelfVista(shelf.shelf_id) for shelf in system.shelves],
+            raid_groups=[
+                GroupVista(group.raid_group_id) for group in system.raid_groups
+            ],
+            disk_count_ever=system.disk_count_ever,
+            slot_count=system.slot_count,
+            exposure_seconds=system.disk_exposure_seconds(window_end),
+            window_end=float(window_end),
+        )
+
+    # -- StorageSystem-compatible surface ---------------------------------
+
+    def disk_exposure_seconds(self, window_end: float) -> float:
+        """The precomputed exposure (only valid at the recorded end)."""
+        if window_end != self.window_end:
+            raise AnalysisError(
+                "vista exposure for %s was precomputed at window end %r, "
+                "not %r; %s"
+                % (
+                    self.system_id,
+                    self.window_end,
+                    window_end,
+                    _UNSUPPORTED % "arbitrary-window exposure",
+                )
+            )
+        return self.exposure_seconds
+
+    def age_at(self, time: float) -> float:
+        """Seconds in the field at ``time`` (0 if not yet deployed)."""
+        return max(0.0, time - self.deploy_time)
+
+    def iter_disks(self):
+        raise AnalysisError(_UNSUPPORTED % "iter_disks")
+
+    def iter_slots(self):
+        raise AnalysisError(_UNSUPPORTED % "iter_slots")
+
+
+def fleet_order_key(vista: SystemVista) -> Tuple[int, int]:
+    """Sort key restoring builder order: (class order, global index).
+
+    Merged vistas must be summed in the exact order the unsharded fleet
+    enumerates systems, or float exposure totals drift by rounding.
+    System ids encode that order (``<tag>-<index>``).
+    """
+    return (
+        SYSTEM_CLASS_ORDER.index(vista.system_class),
+        int(vista.system_id.rsplit("-", 1)[1]),
+    )
+
+
+__all__ = ["GroupVista", "ShelfVista", "SystemVista", "fleet_order_key"]

@@ -118,6 +118,34 @@ def write_snapshot(path: str, snapshot: Mapping[str, object]) -> None:
         raise
 
 
+def _validate_snapshot(path: str, document: Dict[str, object]) -> None:
+    """Shape-check a snapshot document before diffing touches it.
+
+    A snapshot missing its ``spans``/``counters``/``gauges`` maps used
+    to diff silently as empty (exit 0 — a vacuous pass for the CI
+    gate), and non-mapping span statistics surfaced later as raw
+    ``AttributeError`` tracebacks inside the fail-on loop; both are now
+    load-time errors naming the file.
+    """
+    for section in ("spans", "counters", "gauges"):
+        if section not in document:
+            raise ValueError(
+                "%s: snapshot is missing its %r section (regenerate it "
+                "with `repro obs snapshot`)" % (path, section)
+            )
+        if not isinstance(document[section], dict):
+            raise ValueError(
+                "%s: snapshot section %r must be an object, got %s"
+                % (path, section, type(document[section]).__name__)
+            )
+    for name, stats in document["spans"].items():  # type: ignore[union-attr]
+        if not isinstance(stats, dict):
+            raise ValueError(
+                "%s: span %r statistics must be an object, got %s"
+                % (path, name, type(stats).__name__)
+            )
+
+
 def load_snapshot(path: str) -> Dict[str, object]:
     """Load a run snapshot for diffing.
 
@@ -125,11 +153,21 @@ def load_snapshot(path: str) -> Dict[str, object]:
     as a JSONL trace and summarized on the fly.
 
     Raises:
-        ValueError: non-snapshot JSON or unsupported schema version.
+        OSError: missing or unreadable file (with the path named).
+        ValueError: non-snapshot JSON, malformed sections, or an
+            unsupported schema version.
     """
+    if not os.path.exists(path):
+        raise OSError(
+            "snapshot file %r does not exist (write one with "
+            "`repro obs snapshot --out %s`)" % (path, path)
+        )
     if path.endswith(".json"):
         with open(path) as handle:
-            document = json.load(handle)
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError("%s: not valid JSON: %s" % (path, exc)) from exc
         if not isinstance(document, dict) or document.get("kind") != "run-snapshot":
             raise ValueError("%s: not a run snapshot document" % path)
         schema = int(document.get("schema", 0))
@@ -138,6 +176,7 @@ def load_snapshot(path: str) -> Dict[str, object]:
                 "%s: snapshot schema %d is newer than supported %d"
                 % (path, schema, SNAPSHOT_SCHEMA_VERSION)
             )
+        _validate_snapshot(path, document)
         return document
     snapshot = build_snapshot(trace_path=path)
     snapshot["label"] = os.path.basename(path)

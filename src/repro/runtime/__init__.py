@@ -20,8 +20,11 @@ Typical use::
 Guarantees: pooled results are bit-identical to serial execution for
 any ``jobs`` value, result order always matches submission order, and
 with a warm cache no new simulations are performed (``sim.runs`` stays
-0).  See ``docs/RUNTIME.md`` for the architecture and cache
-invalidation rules.
+0).  Sharded runs (``Job(..., shards=N)``, ``repro run --shards N``)
+partition the fleet into spill-to-disk shards whose merged event table
+is byte-identical to the unsharded run — see :mod:`repro.runtime.shard`
+and ``docs/RUNTIME.md`` for the architecture and cache invalidation
+rules.
 """
 
 from repro.runtime.cache import (
@@ -42,6 +45,12 @@ from repro.runtime.jobs import (
 from repro.runtime.metrics import LatencyHistogram, RuntimeMetrics
 from repro.runtime.pool import WorkerPool
 from repro.runtime.scheduler import Scheduler
+from repro.runtime.shard import (
+    ShardMeta,
+    ShardPlan,
+    ShardSpec,
+    run_sharded_scenario,
+)
 
 __all__ = [
     "CacheStats",
@@ -56,8 +65,12 @@ __all__ = [
     "RuntimeContext",
     "RuntimeMetrics",
     "Scheduler",
+    "ShardMeta",
+    "ShardPlan",
+    "ShardSpec",
     "WorkerPool",
     "default_cache_dir",
     "execute_job",
     "execute_payload",
+    "run_sharded_scenario",
 ]

@@ -96,16 +96,23 @@ class RuntimeContext:
         with obs.span("runtime.job", kind=job.kind, name=job.name):
             result = execute_job(job, self)
         self.metrics.observe("job.latency", time.perf_counter() - start)
-        if job.kind == KIND_SCENARIO:
+        if job.kind == KIND_SCENARIO and job.shards == 1:
+            # Sharded scenarios count sim.runs per shard actually
+            # executed (inside run_sharded_scenario), not once per job.
             self.metrics.increment("sim.runs")
         self.cache.put(key, result)
         return result
 
     def run_scenario(
-        self, name: str, scale: float, seed: int, via_logs: bool = False
+        self,
+        name: str,
+        scale: float,
+        seed: int,
+        via_logs: bool = False,
+        shards: int = 1,
     ):
         """Cached scenario simulation (the experiment-context hook)."""
-        return self.run_job(Job.scenario(name, scale, seed, via_logs))
+        return self.run_job(Job.scenario(name, scale, seed, via_logs, shards))
 
     # -- pool wiring -----------------------------------------------------------
 

@@ -44,6 +44,9 @@ class Job:
         scale: fleet scale relative to the paper's 39,000 systems.
         seed: root random seed.
         via_logs: route datasets through the AutoSupport log pipeline.
+        shards: split simulations into this many spill-to-disk shards
+            (1 = classic unsharded execution; see
+            :mod:`repro.runtime.shard`).
     """
 
     kind: str
@@ -51,24 +54,45 @@ class Job:
     scale: float
     seed: int
     via_logs: bool = False
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_SCENARIO, KIND_EXPERIMENT):
             raise SpecificationError("unknown job kind %r" % self.kind)
+        if self.shards < 1:
+            raise SpecificationError(
+                "shard count must be >= 1, got %d" % self.shards
+            )
 
     @classmethod
     def scenario(
-        cls, name: str, scale: float, seed: int, via_logs: bool = False
+        cls,
+        name: str,
+        scale: float,
+        seed: int,
+        via_logs: bool = False,
+        shards: int = 1,
     ) -> "Job":
         """A job that simulates the named scenario."""
-        return cls(KIND_SCENARIO, name, float(scale), int(seed), bool(via_logs))
+        return cls(
+            KIND_SCENARIO, name, float(scale), int(seed), bool(via_logs),
+            int(shards),
+        )
 
     @classmethod
     def experiment(
-        cls, name: str, scale: float, seed: int, via_logs: bool = False
+        cls,
+        name: str,
+        scale: float,
+        seed: int,
+        via_logs: bool = False,
+        shards: int = 1,
     ) -> "Job":
         """A job that runs the registered experiment ``name``."""
-        return cls(KIND_EXPERIMENT, name, float(scale), int(seed), bool(via_logs))
+        return cls(
+            KIND_EXPERIMENT, name, float(scale), int(seed), bool(via_logs),
+            int(shards),
+        )
 
     def canonical(self) -> str:
         """The canonical string the content-address is derived from.
@@ -79,16 +103,29 @@ class Job:
         statistically — not byte — equivalent results, so one flag's
         cached simulations must never be served to the other; floats
         use ``repr`` so the string is exact.
+
+        Sharded jobs (``shards != 1``) append a ``shards=`` term —
+        unsharded canonicals are unchanged, so existing cache entries
+        stay addressable — because a sharded result carries a vista
+        fleet (no disk object graph) and must never be served to a
+        consumer that asked for the full unsharded result, even though
+        its event table is byte-identical.
         """
-        return "repro/%s kind=%s name=%s scale=%r seed=%d via_logs=%d engine=%s" % (
-            __version__,
-            self.kind,
-            self.name,
-            float(self.scale),
-            self.seed,
-            1 if self.via_logs else 0,
-            "vector" if envvars.get_flag("REPRO_VECTOR_ENGINE") else "legacy",
+        canonical = (
+            "repro/%s kind=%s name=%s scale=%r seed=%d via_logs=%d engine=%s"
+            % (
+                __version__,
+                self.kind,
+                self.name,
+                float(self.scale),
+                self.seed,
+                1 if self.via_logs else 0,
+                "vector" if envvars.get_flag("REPRO_VECTOR_ENGINE") else "legacy",
+            )
         )
+        if self.shards != 1:
+            canonical += " shards=%d" % self.shards
+        return canonical
 
     def key(self) -> str:
         """SHA-256 hex digest of :meth:`canonical` — the cache address."""
@@ -102,7 +139,9 @@ class Job:
         """
         if self.kind == KIND_SCENARIO:
             return self
-        return Job.scenario(DEFAULT_SCENARIO, self.scale, self.seed, self.via_logs)
+        return Job.scenario(
+            DEFAULT_SCENARIO, self.scale, self.seed, self.via_logs, self.shards
+        )
 
     def payload(self) -> Dict[str, object]:
         """Picklable field dict (inverse of ``Job(**payload)``)."""
@@ -110,12 +149,13 @@ class Job:
 
     def describe(self) -> str:
         """Short human label, e.g. ``experiment:fig4b@0.05/s1``."""
-        return "%s:%s@%g/s%d%s" % (
+        return "%s:%s@%g/s%d%s%s" % (
             self.kind,
             self.name,
             self.scale,
             self.seed,
             "/logs" if self.via_logs else "",
+            "/x%d" % self.shards if self.shards != 1 else "",
         )
 
 
@@ -129,6 +169,17 @@ def execute_job(job: Job, runtime) -> object:
     lookups (e.g. ablation experiments) go through the cache too.
     """
     if job.kind == KIND_SCENARIO:
+        if job.shards != 1:
+            from repro.runtime.shard import run_sharded_scenario
+
+            return run_sharded_scenario(
+                job.name,
+                scale=job.scale,
+                seed=job.seed,
+                runtime=runtime,
+                n_shards=job.shards,
+                via_logs=job.via_logs,
+            )
         from repro.simulate.scenario import run_scenario
 
         return run_scenario(
@@ -137,7 +188,11 @@ def execute_job(job: Job, runtime) -> object:
     from repro.experiments import ExperimentContext, run_experiment
 
     context = ExperimentContext(
-        scale=job.scale, seed=job.seed, via_logs=job.via_logs, runtime=runtime
+        scale=job.scale,
+        seed=job.seed,
+        via_logs=job.via_logs,
+        runtime=runtime,
+        shards=job.shards,
     )
     return run_experiment(job.name, context)
 

@@ -11,7 +11,7 @@ to the analyses.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Mapping, Optional, Sequence
 
 from repro import obs
 from repro.autosupport.parser import parse_archive
@@ -23,6 +23,7 @@ from repro.fleet.fleet import Fleet
 from repro.fleet.spec import FleetSpec
 from repro.rng import RandomSource
 from repro.simulate.clock import SimulationClock
+from repro.topology.classes import SystemClass
 
 
 @dataclasses.dataclass
@@ -32,8 +33,12 @@ class SimulationResult:
     Attributes:
         spec: the fleet specification used.
         seed: the root random seed.
-        fleet: the materialized (and failure-mutated) fleet.
-        injection: raw injector output.
+        fleet: the materialized (and failure-mutated) fleet — a fleet of
+            :class:`~repro.fleet.vista.SystemVista` records for sharded
+            runs.
+        injection: raw injector output (a clear-error placeholder for
+            sharded runs, whose injections live and die in the shard
+            workers).
         dataset: the analysis-ready dataset (parsed from logs when the
             run used ``via_logs``).
         archive: the rendered log archive (None unless requested).
@@ -42,7 +47,7 @@ class SimulationResult:
     spec: FleetSpec
     seed: int
     fleet: Fleet
-    injection: InjectionResult
+    injection: Optional[InjectionResult]
     dataset: FailureDataset
     archive: Optional[LogArchive] = None
 
@@ -55,10 +60,15 @@ class SimulationEngine:
         spec: FleetSpec,
         injector_config: Optional[InjectorConfig] = None,
         clock: SimulationClock = SimulationClock(),
+        selection: Optional[Mapping[SystemClass, Sequence[int]]] = None,
     ) -> None:
         self.spec = spec
         self.injector = FailureInjector(injector_config)
         self.clock = clock
+        #: Optional sub-fleet to build (per class, global system indices);
+        #: see :func:`repro.fleet.builder.build_fleet`.  Shard workers
+        #: set this to simulate only their cells.
+        self.selection = selection
 
     def run(self, seed: int = 0, via_logs: bool = False) -> SimulationResult:
         """Simulate once.
@@ -70,7 +80,7 @@ class SimulationEngine:
         """
         source = RandomSource(seed)
         with obs.span("simulate.run", seed=seed, via_logs=via_logs):
-            fleet = build_fleet(self.spec, source)
+            fleet = build_fleet(self.spec, source, selection=self.selection)
             injection = self.injector.inject(fleet, source)
             if obs.OBSERVER.fleet_events.enabled:
                 # The topology record the health aggregator needs as an

@@ -91,6 +91,7 @@ def run_scenario(
     scale: float = 0.01,
     seed: int = 0,
     via_logs: bool = False,
+    selection=None,
 ) -> SimulationResult:
     """Run a named scenario.
 
@@ -99,6 +100,9 @@ def run_scenario(
         scale: fleet scale relative to the paper's 39,000 systems.
         seed: root random seed.
         via_logs: route the dataset through the log pipeline.
+        selection: optional sub-fleet to build (per class, global system
+            indices) — what shard workers pass; see
+            :func:`repro.fleet.builder.build_fleet`.
 
     Raises:
         SpecificationError: for unknown scenario names.
@@ -112,5 +116,6 @@ def run_scenario(
     engine = make_engine(
         spec=scenario.make_spec(scale),
         injector_config=scenario.make_config(),
+        selection=selection,
     )
     return engine.run(seed=seed, via_logs=via_logs)

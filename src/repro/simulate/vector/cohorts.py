@@ -8,9 +8,16 @@ hazard draw that the legacy injector makes per shelf or per slot
 becomes one NumPy vector over the cohort.
 
 Each cohort owns one deterministic random stream keyed by its *content*
-(class value, model names, path flag), not by enumeration order — so
-adding a system class or reordering the builder cannot silently shift
-another cohort's randomness.
+(class value, model names, path flag, hash cell), not by enumeration
+order — so adding a system class or reordering the builder cannot
+silently shift another cohort's randomness.
+
+Cohorts are additionally split by the system's partition **cell**
+(:func:`repro.fleet.partition.cell_of` — a stable hash of the system
+id).  Shards are unions of whole cells, so every (configuration, cell)
+cohort lives entirely inside one shard and draws exactly the arrays the
+unsharded run draws: the union of an N-shard run's event tables is
+byte-identical to the 1-shard table, for any N.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import numpy as np
 from repro.failures.injector import InjectorConfig
 from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
 from repro.fleet import calibration
+from repro.fleet.partition import cell_of
 from repro.rng import RandomSource
 from repro.simulate.vector.frame import FleetFrame
 from repro.topology.classes import SystemClass
@@ -46,6 +54,8 @@ class Cohort:
         slot_deploy: per-cohort-slot deployment time.
         rates: per-type delivered failure rate (events per second per
             disk), multipliers applied.
+        cell: partition cell of every member system (part of the
+            grouping key; whole cells map to shards).
     """
 
     system_class: SystemClass
@@ -60,6 +70,7 @@ class Cohort:
     slots: np.ndarray
     slot_deploy: np.ndarray
     rates: Dict[FailureType, float]
+    cell: int = 0
     _rng: object = None  # cached (source, generator) pair
 
     @property
@@ -74,11 +85,13 @@ class Cohort:
         """The cohort's deterministic random stream.
 
         Content-addressed: keyed by the grouping tuple (class value,
-        model names, path flag), never by cohort enumeration order — so
-        adding a system class or reordering the builder cannot silently
-        shift another cohort's randomness.  One generator serves the
-        whole cohort, consumed in the engine's fixed stage order, just
-        as the legacy injector consumes one stream per system.
+        model names, path flag, partition cell), never by cohort
+        enumeration order — so adding a system class or reordering the
+        builder cannot silently shift another cohort's randomness, and
+        a shard replays exactly the streams its cells own.  One
+        generator serves the whole cohort, consumed in the engine's
+        fixed stage order, just as the legacy injector consumes one
+        stream per system.
         """
         cached = self._rng
         if cached is None or cached[0] is not source:
@@ -90,6 +103,7 @@ class Cohort:
                     self.shelf_model,
                     self.disk_model,
                     int(self.dual_path),
+                    self.cell,
                 ),
             )
             self._rng = cached
@@ -104,6 +118,7 @@ def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
             system.shelf_model,
             system.primary_disk_model,
             system.dual_path,
+            cell_of(system.system_id),
         )
         for system in frame.sys_refs
     ]
@@ -119,8 +134,9 @@ def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
         if frame.n_shelves
         else np.zeros(0, dtype=np.int64)
     )
+    rates_of: Dict[tuple, Dict[FailureType, float]] = {}
     for key, index in order.items():
-        system_class, shelf_model, disk_model, dual_path = key
+        system_class, shelf_model, disk_model, dual_path, cell = key
         systems = np.flatnonzero(cohort_of_sys == index)
         shelves = np.flatnonzero(shelf_cohort == index)
         n_slots = frame.shelf_n_slots[shelves]
@@ -133,15 +149,20 @@ def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
         )
         slots = np.repeat(starts, n_slots) + local
         shelf_deploy = frame.sys_deploy[frame.shelf_sys[shelves]]
-        rates = {
-            failure_type: config.rate_multiplier(failure_type)
-            * afr_percent_to_rate_per_second(
-                calibration.delivered_afr_percent(
-                    system_class, failure_type, disk_model, shelf_model
+        # Rates depend on the configuration only, not the cell; compute
+        # once per configuration, shared across its cell cohorts.
+        rates = rates_of.get(key[:4])
+        if rates is None:
+            rates = {
+                failure_type: config.rate_multiplier(failure_type)
+                * afr_percent_to_rate_per_second(
+                    calibration.delivered_afr_percent(
+                        system_class, failure_type, disk_model, shelf_model
+                    )
                 )
-            )
-            for failure_type in FAILURE_TYPE_ORDER
-        }
+                for failure_type in FAILURE_TYPE_ORDER
+            }
+            rates_of[key[:4]] = rates
         cohorts.append(
             Cohort(
                 system_class=system_class,
@@ -156,6 +177,7 @@ def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
                 slots=slots,
                 slot_deploy=np.repeat(shelf_deploy, n_slots),
                 rates=rates,
+                cell=cell,
             )
         )
     return cohorts

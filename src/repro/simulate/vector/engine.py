@@ -398,8 +398,9 @@ class VectorSimulationEngine(SimulationEngine):
         spec: FleetSpec,
         injector_config: Optional[InjectorConfig] = None,
         clock: SimulationClock = SimulationClock(),
+        selection=None,
     ) -> None:
-        super().__init__(spec, injector_config, clock)
+        super().__init__(spec, injector_config, clock, selection=selection)
         self.injector = VectorFailureInjector(injector_config)
 
 
@@ -407,6 +408,7 @@ def make_engine(
     spec: FleetSpec,
     injector_config: Optional[InjectorConfig] = None,
     clock: Optional[SimulationClock] = None,
+    selection=None,
 ) -> SimulationEngine:
     """The engine the environment selects: vector when
     ``REPRO_VECTOR_ENGINE`` is set, legacy otherwise."""
@@ -417,4 +419,5 @@ def make_engine(
         spec,
         injector_config=injector_config,
         clock=clock if clock is not None else SimulationClock(),
+        selection=selection,
     )

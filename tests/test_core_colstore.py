@@ -1,0 +1,164 @@
+"""Columnar spill store: npz round-trips, mmap loading, k-way merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.colstore import (
+    SPILL_SCHEMA_VERSION,
+    load_table,
+    merge_tables,
+    save_table,
+)
+from repro.core.columns import EventTable
+from repro.simulate.scenario import run_scenario
+
+_NUMERIC = (
+    "occur_time",
+    "detect_time",
+    "type_codes",
+    "cause_codes",
+    "dual_path",
+    "replaced_disk",
+)
+_CODES = (
+    "disk_codes",
+    "shelf_codes",
+    "raid_group_codes",
+    "system_codes",
+    "class_codes",
+    "disk_model_codes",
+    "shelf_model_codes",
+)
+_STRING_TABLES = (
+    "disk_ids",
+    "shelf_ids",
+    "raid_group_ids",
+    "system_ids",
+    "system_classes",
+    "disk_models",
+    "shelf_models",
+)
+
+
+def assert_tables_identical(left: EventTable, right: EventTable) -> None:
+    """Byte-for-byte equality: every column, dtype, and string table."""
+    assert len(left) == len(right)
+    for name in _NUMERIC + _CODES:
+        a = np.asarray(getattr(left, name))
+        b = np.asarray(getattr(right, name))
+        assert a.dtype == b.dtype, name
+        assert np.array_equal(a, b), name
+    for name in _STRING_TABLES:
+        assert list(getattr(left, name).values) == list(
+            getattr(right, name).values
+        ), name
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_scenario("quick", scale=0.002, seed=21).dataset.table
+
+
+class TestRoundTrip:
+    def test_save_load_is_identical(self, tmp_path, table):
+        path = str(tmp_path / "shard.npz")
+        save_table(path, table)
+        assert_tables_identical(table, load_table(path))
+
+    def test_mmap_columns_are_memory_mapped(self, tmp_path, table):
+        path = str(tmp_path / "shard.npz")
+        save_table(path, table)
+        loaded = load_table(path, mmap=True)
+        assert isinstance(np.asarray(loaded.occur_time).base, np.memmap) or (
+            isinstance(loaded.occur_time, np.memmap)
+        )
+        assert_tables_identical(table, loaded)
+
+    def test_plain_load_matches_mmap_load(self, tmp_path, table):
+        path = str(tmp_path / "shard.npz")
+        save_table(path, table)
+        assert_tables_identical(load_table(path, mmap=True),
+                                load_table(path, mmap=False))
+
+    def test_empty_table_round_trips(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        save_table(path, EventTable.empty())
+        loaded = load_table(path)
+        assert len(loaded) == 0
+
+    def test_missing_file_is_a_clear_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_table(str(tmp_path / "never_written.npz"))
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, other=np.arange(3))
+        with pytest.raises(ValueError, match="not a colstore spill"):
+            load_table(path)
+
+    def test_newer_schema_rejected(self, tmp_path, table):
+        import json
+        import zipfile
+
+        path = str(tmp_path / "future.npz")
+        save_table(path, table)
+        # Rewrite the metadata member claiming a future schema.
+        with zipfile.ZipFile(path) as archive:
+            members = {
+                name: archive.read(name) for name in archive.namelist()
+            }
+        meta = json.loads(members["colstore_meta.npy"][128:].decode("utf-8"))
+        meta["schema"] = SPILL_SCHEMA_VERSION + 1
+        blob = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        arrays = {}
+        with np.load(path) as archive:
+            for name in archive.files:
+                arrays[name] = archive[name]
+        arrays["colstore_meta"] = blob
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_table(path)
+
+
+class TestMerge:
+    def test_merge_of_split_equals_original(self, table):
+        # Split by detect-sorted row ranges, then merge back.
+        n = len(table)
+        parts = [
+            table.select(np.arange(0, n // 3)),
+            table.select(np.arange(n // 3, 2 * n // 3)),
+            table.select(np.arange(2 * n // 3, n)),
+        ]
+        assert_tables_identical(table, merge_tables(parts))
+
+    def test_merge_interleaves_by_detect_time(self, table):
+        # Round-robin split: rows of one part are not contiguous in the
+        # original, so the merge has to actually re-sort.
+        n = len(table)
+        parts = [table.select(np.arange(k, n, 4)) for k in range(4)]
+        assert_tables_identical(table, merge_tables(parts))
+
+    def test_merge_skips_empty_tables(self, table):
+        merged = merge_tables([EventTable.empty(), table, EventTable.empty()])
+        assert_tables_identical(table, merged)
+
+    def test_merge_of_nothing_is_empty(self):
+        assert len(merge_tables([])) == 0
+        assert len(merge_tables([EventTable.empty()])) == 0
+
+    def test_merge_from_spills(self, tmp_path, table):
+        # End-to-end: spill parts to disk, merge the mmap-loaded views.
+        n = len(table)
+        paths = []
+        for k in range(3):
+            part = table.select(np.arange(k, n, 3))
+            path = str(tmp_path / ("part%d.npz" % k))
+            save_table(path, part)
+            paths.append(path)
+        merged = merge_tables(load_table(path) for path in paths)
+        assert_tables_identical(table, merged)

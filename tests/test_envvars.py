@@ -26,7 +26,7 @@ def test_registry_names_are_repro_prefixed_and_typed():
     for name, var in envvars.REGISTRY.items():
         assert name == var.name
         assert name.startswith("REPRO_")
-        assert var.kind in ("path", "flag", "float", "string")
+        assert var.kind in ("path", "flag", "float", "int", "string")
         assert var.description and var.consumer
 
 
@@ -88,6 +88,16 @@ def test_get_float(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_ANALYSIS_SCALE", "not-a-number")
     with pytest.raises(ValueError):
         envvars.get_float("REPRO_BENCH_ANALYSIS_SCALE", 0.5)
+
+
+def test_get_int(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert envvars.get_int("REPRO_SHARDS", 1) == 1
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    assert envvars.get_int("REPRO_SHARDS", 1) == 4
+    monkeypatch.setenv("REPRO_SHARDS", "not-a-number")
+    with pytest.raises(ValueError):
+        envvars.get_int("REPRO_SHARDS", 1)
 
 
 def test_markdown_table_lists_every_variable():

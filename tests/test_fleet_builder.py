@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.fleet import catalog
-from repro.fleet.builder import build_fleet
+from repro.fleet.builder import build_fleet, system_id_for
 from repro.fleet.fleet import Fleet
 from repro.fleet.spec import FleetSpec
 from repro.rng import RandomSource
@@ -29,6 +29,45 @@ class TestBuildFleet:
         assert [s.deploy_time for s in a.systems] == [
             s.deploy_time for s in b.systems
         ]
+
+    def test_selection_subset_is_byte_identical(self):
+        # A selected system must come out exactly as in the full build:
+        # this is what lets a shard reproduce its slice of the fleet.
+        spec = FleetSpec.paper_default(scale=0.002)
+        full = build_fleet(spec, RandomSource(5))
+        selection = {
+            system_class: tuple(
+                index
+                for index in range(spec.scaled_systems(system_class))
+                if index % 3 == 1
+            )
+            for system_class in SystemClass
+        }
+        subset = build_fleet(spec, RandomSource(5), selection=selection)
+        expected_ids = {
+            system_id_for(system_class, index)
+            for system_class, indices in selection.items()
+            for index in indices
+        }
+        assert {s.system_id for s in subset.systems} == expected_ids
+        for system in subset.systems:
+            twin = full.system(system.system_id)
+            assert system.primary_disk_model == twin.primary_disk_model
+            assert system.shelf_model == twin.shelf_model
+            assert system.dual_path == twin.dual_path
+            assert system.deploy_time == twin.deploy_time
+            assert len(system.shelves) == len(twin.shelves)
+            assert [d.serial for d in system.iter_disks()] == [
+                d.serial for d in twin.iter_disks()
+            ]
+
+    def test_selection_out_of_range_rejected(self):
+        spec = FleetSpec.paper_default(scale=0.002)
+        count = spec.scaled_systems(SystemClass.NEARLINE)
+        with pytest.raises(ValueError, match="out of range"):
+            build_fleet(
+                spec, RandomSource(5), selection={SystemClass.NEARLINE: [count]}
+            )
 
     def test_seed_changes_fleet(self):
         spec = FleetSpec.paper_default(scale=0.001)

@@ -63,8 +63,9 @@ class TestTracedRun:
             "experiment.table1",
             "simulate.run",
             "fleet.build",
-            "inject.fleet",
         } <= names
+        # The injection span name depends on the active engine.
+        assert "inject.fleet" in names or "inject.vector" in names
 
     def test_span_tree_roots_at_cli(self, traced_run):
         trace, _ = traced_run

@@ -121,6 +121,38 @@ class TestSnapshots:
         with pytest.raises(ValueError, match="newer than supported"):
             load_snapshot(str(path))
 
+    def test_load_missing_file_names_the_path(self, tmp_path):
+        path = str(tmp_path / "never_written.json")
+        with pytest.raises(OSError, match="does not exist"):
+            load_snapshot(path)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"kind": "run-snapshot", truncated')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_snapshot(str(path))
+
+    @pytest.mark.parametrize("section", ["spans", "counters", "gauges"])
+    def test_load_rejects_missing_sections(self, tmp_path, section):
+        # A snapshot without its maps used to diff silently as empty —
+        # a vacuous exit-0 pass for the CI gate.
+        doc = snapshot_of({"a": stats(0.1)})
+        del doc[section]
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="missing its %r section" % section):
+            load_snapshot(str(path))
+
+    def test_load_rejects_non_mapping_span_stats(self, tmp_path):
+        # Used to surface later as a raw AttributeError in the
+        # fail-on loop; must be a load-time error naming the file.
+        doc = snapshot_of({})
+        doc["spans"] = {"simulate.run": [0.1, 0.2]}
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="must be an object"):
+            load_snapshot(str(path))
+
 
 class TestDiff:
     def test_identical_snapshots_have_no_regressions(self):
@@ -221,7 +253,20 @@ class TestCliGate:
 
     def test_missing_snapshot_is_a_clean_error(self, capsys):
         assert main(["obs", "diff", "/no/such.json", "/no/such.json"]) == 2
-        assert "cannot load snapshot" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "cannot load snapshot" in err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_malformed_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        good = write_trace(tmp_path / "t.jsonl", [("a", 0.1)])
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "run-snapshot", "schema": 1}))
+        assert main(["obs", "diff", str(bad), good, "--fail-on", "p95:50%"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load snapshot" in err
+        assert "missing" in err
+        assert "Traceback" not in err
 
     def test_min_seconds_flag_reaches_the_gate(self, tmp_path, capsys):
         base = write_trace(tmp_path / "base.jsonl", [("tiny", 0.0001)])

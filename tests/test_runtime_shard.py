@@ -1,0 +1,390 @@
+"""Sharded runs: plan edges, byte-identity goldens, incremental caching.
+
+The differential goldens here are the PR's acceptance gate: a sharded
+run's merged event table — and every analysis computed from it — must
+be *byte-identical* to the unsharded run, on both engines, at multiple
+seeds and shard counts.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, SpecificationError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.fleet.partition import NUM_CELLS, cell_of, cells_of_shard, shard_of_cell
+from repro.fleet.spec import FleetSpec
+from repro.runtime import (
+    Job,
+    RuntimeConfig,
+    RuntimeContext,
+    ShardPlan,
+    run_sharded_scenario,
+)
+from repro.runtime.shard import ShardedInjection, shard_key
+from repro.simulate.scenario import run_scenario
+from tests.test_core_colstore import assert_tables_identical
+
+SCALE = 0.01
+SEEDS = (101, 202, 303)
+
+
+def make_runtime(tmp_path, jobs: int = 1) -> RuntimeContext:
+    return RuntimeContext(
+        RuntimeConfig(jobs=jobs, cache_dir=str(tmp_path / "cache"))
+    )
+
+
+@pytest.fixture(autouse=True)
+def isolated_spill_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_SPILL_DIR", str(tmp_path / "spills"))
+
+
+class TestPartition:
+    def test_cells_are_stable_hashes(self):
+        assert cell_of("nl-00000") == cell_of("nl-00000")
+        assert 0 <= cell_of("nl-00000") < NUM_CELLS
+
+    def test_every_cell_lands_in_exactly_one_shard(self):
+        for n_shards in (1, 2, 3, 7, NUM_CELLS, NUM_CELLS + 5):
+            owners = [shard_of_cell(cell, n_shards) for cell in range(NUM_CELLS)]
+            assert all(0 <= owner < n_shards for owner in owners)
+            gathered = sorted(
+                cell
+                for shard in range(n_shards)
+                for cell in cells_of_shard(shard, n_shards)
+            )
+            assert gathered == list(range(NUM_CELLS))
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_of_cell(0, 0)
+
+
+class TestShardPlan:
+    def test_single_shard_holds_everything(self):
+        spec = FleetSpec.paper_default(scale=SCALE)
+        plan = ShardPlan.build(spec, 1)
+        assert plan.n_shards == 1
+        assert plan.shards[0].cells == tuple(range(NUM_CELLS))
+        total = sum(
+            spec.scaled_systems(system_class)
+            for system_class in spec.class_specs
+        )
+        assert plan.n_systems == total == plan.shards[0].n_systems
+
+    def test_shards_partition_the_fleet(self):
+        spec = FleetSpec.paper_default(scale=SCALE)
+        full = ShardPlan.build(spec, 1).shards[0].selection_mapping()
+        plan = ShardPlan.build(spec, 4)
+        seen: dict = {}
+        for shard in plan.shards:
+            for system_class, indices in shard.selection_mapping().items():
+                assert not set(indices) & set(seen.get(system_class, ()))
+                seen.setdefault(system_class, set()).update(indices)
+        assert {
+            system_class: set(indices) for system_class, indices in full.items()
+        } == seen
+
+    def test_more_shards_than_cells_leaves_surplus_empty(self):
+        spec = FleetSpec.paper_default(scale=0.002)
+        plan = ShardPlan.build(spec, NUM_CELLS + 8)
+        assert len(plan.shards) == NUM_CELLS + 8
+        empty = [shard for shard in plan.shards if shard.n_systems == 0]
+        assert empty  # surplus shards exist and are empty
+        assert plan.n_systems == ShardPlan.build(spec, 1).n_systems
+
+    def test_more_shards_than_systems(self):
+        # A tiny fleet: some shards own cells but no systems.
+        spec = FleetSpec.paper_default(scale=0.0003)
+        n_shards = 16
+        plan = ShardPlan.build(spec, n_shards)
+        assert plan.n_systems >= 1
+        assert any(shard.n_systems == 0 for shard in plan.shards)
+        assert sum(shard.n_systems for shard in plan.non_empty()) == plan.n_systems
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(SpecificationError):
+            ShardPlan.build(FleetSpec.paper_default(scale=0.002), 0)
+
+    def test_shard_keys_stable_across_shard_counts(self):
+        # Keys are content-addressed by cells: a shard owning the same
+        # cells under different plan fan-outs shares its cache entry.
+        spec = FleetSpec.paper_default(scale=SCALE)
+        by_cells = {}
+        for n_shards in (NUM_CELLS, NUM_CELLS * 2):
+            for shard in ShardPlan.build(spec, n_shards).non_empty():
+                key = shard_key("paper-default", SCALE, 101, shard)
+                if shard.cells in by_cells:
+                    assert by_cells[shard.cells] == key
+                by_cells[shard.cells] = key
+        # And distinct cell sets never collide.
+        assert len(set(by_cells.values())) == len(by_cells)
+
+    def test_shard_keys_depend_on_seed_and_scale(self):
+        spec = FleetSpec.paper_default(scale=SCALE)
+        shard = ShardPlan.build(spec, 4).shards[0]
+        baseline = shard_key("paper-default", SCALE, 101, shard)
+        assert shard_key("paper-default", SCALE, 102, shard) != baseline
+        assert shard_key("paper-default", SCALE * 2, 101, shard) != baseline
+        assert shard_key("no-shocks", SCALE, 101, shard) != baseline
+
+    def test_shard_keys_depend_on_engine(self, monkeypatch):
+        spec = FleetSpec.paper_default(scale=SCALE)
+        shard = ShardPlan.build(spec, 4).shards[0]
+        monkeypatch.delenv("REPRO_VECTOR_ENGINE", raising=False)
+        legacy = shard_key("paper-default", SCALE, 101, shard)
+        monkeypatch.setenv("REPRO_VECTOR_ENGINE", "1")
+        assert shard_key("paper-default", SCALE, 101, shard) != legacy
+
+
+class TestJobSharding:
+    def test_unsharded_canonical_unchanged(self):
+        # Existing cache entries stay addressable: shards=1 adds no term.
+        job = Job.scenario("paper-default", 0.01, 1)
+        assert "shards" not in job.canonical()
+        assert job.shards == 1
+
+    def test_sharded_canonical_differs(self):
+        base = Job.scenario("paper-default", 0.01, 1)
+        sharded = Job.scenario("paper-default", 0.01, 1, shards=4)
+        assert base.key() != sharded.key()
+        assert "shards=4" in sharded.canonical()
+        assert "/x4" in sharded.describe()
+
+    def test_simulation_job_propagates_shards(self):
+        job = Job.experiment("fig4a", 0.01, 1, shards=4)
+        assert job.simulation_job().shards == 4
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(SpecificationError):
+            Job.scenario("paper-default", 0.01, 1, shards=0)
+
+
+@pytest.mark.parametrize("engine", ["legacy", "vector"])
+class TestByteIdentity:
+    @pytest.fixture(autouse=True)
+    def engine_env(self, engine, monkeypatch):
+        if engine == "vector":
+            monkeypatch.setenv("REPRO_VECTOR_ENGINE", "1")
+        else:
+            monkeypatch.delenv("REPRO_VECTOR_ENGINE", raising=False)
+
+    def test_sharded_table_matches_unsharded(self, tmp_path):
+        for seed in SEEDS:
+            base = run_scenario("paper-default", scale=SCALE, seed=seed)
+            sharded = run_sharded_scenario(
+                "paper-default",
+                scale=SCALE,
+                seed=seed,
+                runtime=make_runtime(tmp_path),
+                n_shards=4,
+            )
+            assert_tables_identical(base.dataset.table, sharded.dataset.table)
+
+    def test_fleet_aggregates_match(self, tmp_path):
+        seed = SEEDS[0]
+        base = run_scenario("paper-default", scale=SCALE, seed=seed)
+        sharded = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=seed,
+            runtime=make_runtime(tmp_path),
+            n_shards=4,
+        )
+        assert base.fleet.system_count == sharded.fleet.system_count
+        assert base.fleet.shelf_count == sharded.fleet.shelf_count
+        assert base.fleet.raid_group_count == sharded.fleet.raid_group_count
+        assert base.fleet.disk_count_ever == sharded.fleet.disk_count_ever
+        # Bit-equal float: vistas sum in the unsharded enumeration order.
+        assert (
+            base.fleet.disk_exposure_seconds()
+            == sharded.fleet.disk_exposure_seconds()
+        )
+
+    def test_shard_count_does_not_matter(self, tmp_path):
+        seed = SEEDS[1]
+        reference = None
+        for n_shards in (1, 2, 8):
+            sharded = run_sharded_scenario(
+                "paper-default",
+                scale=SCALE,
+                seed=seed,
+                runtime=make_runtime(tmp_path / str(n_shards)),
+                n_shards=n_shards,
+            )
+            if reference is None:
+                reference = sharded.dataset.table
+            else:
+                assert_tables_identical(reference, sharded.dataset.table)
+
+
+class TestAnalysesGoldens:
+    """Sharded == unsharded for the headline analyses, 3 seeds each."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("experiment_id", ["fig4a", "fig9a", "fig10a"])
+    def test_experiment_outputs_identical(
+        self, tmp_path, monkeypatch, experiment_id, seed
+    ):
+        monkeypatch.setenv("REPRO_VECTOR_ENGINE", "1")
+        base_ctx = ExperimentContext(scale=SCALE, seed=seed)
+        shard_ctx = ExperimentContext(
+            scale=SCALE,
+            seed=seed,
+            shards=4,
+            runtime=make_runtime(tmp_path),
+        )
+        base = run_experiment(experiment_id, base_ctx)
+        sharded = run_experiment(experiment_id, shard_ctx)
+        assert base.text == sharded.text
+        assert base.data == sharded.data
+        assert base.checks == sharded.checks
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_findings_identical(self, tmp_path, monkeypatch, seed):
+        from repro.core.findings import evaluate_findings
+        from repro.core.report import format_findings
+
+        monkeypatch.setenv("REPRO_VECTOR_ENGINE", "1")
+        base = run_scenario("paper-default", scale=SCALE, seed=seed)
+        sharded = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=seed,
+            runtime=make_runtime(tmp_path),
+            n_shards=4,
+        )
+        assert format_findings(evaluate_findings(base.dataset)) == (
+            format_findings(evaluate_findings(sharded.dataset))
+        )
+
+
+class TestIncrementalCache:
+    def test_warm_cache_runs_no_simulations(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=7, runtime=runtime, n_shards=3
+        )
+        cold = runtime.metrics.snapshot()["counters"]
+        assert cold.get("sim.runs") == 3
+        warm_runtime = make_runtime(tmp_path)
+        run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=7, runtime=warm_runtime, n_shards=3
+        )
+        warm = warm_runtime.metrics.snapshot()["counters"]
+        assert warm.get("sim.runs") is None
+        assert warm.get("cache.hit") == 3
+
+    def test_deleted_spill_resimulates_exactly_that_shard(
+        self, tmp_path, monkeypatch
+    ):
+        spill_dir = str(tmp_path / "spills")
+        runtime = make_runtime(tmp_path)
+        first = run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=7, runtime=runtime, n_shards=3
+        )
+        spills = sorted(glob.glob(os.path.join(spill_dir, "*.npz")))
+        assert len(spills) == 3
+        os.remove(spills[0])
+        rerun_runtime = make_runtime(tmp_path)
+        second = run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=7, runtime=rerun_runtime, n_shards=3
+        )
+        counters = rerun_runtime.metrics.snapshot()["counters"]
+        # The ShardMeta entries all hit, but the shard whose spill file
+        # vanished is treated as a miss and re-simulated — exactly once.
+        assert counters.get("sim.runs") == 1
+        assert counters.get("cache.store") == 1
+        assert_tables_identical(first.dataset.table, second.dataset.table)
+
+    def test_seed_change_invalidates_every_shard(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=7, runtime=runtime, n_shards=3
+        )
+        other = make_runtime(tmp_path)
+        run_sharded_scenario(
+            "paper-default", scale=SCALE, seed=8, runtime=other, n_shards=3
+        )
+        assert other.metrics.snapshot()["counters"].get("sim.runs") == 3
+
+
+class TestRuntimeIntegration:
+    def test_run_scenario_through_context(self, tmp_path):
+        runtime = make_runtime(tmp_path)
+        result = runtime.run_scenario(
+            "paper-default", scale=SCALE, seed=7, shards=3
+        )
+        base = run_scenario("paper-default", scale=SCALE, seed=7)
+        assert_tables_identical(base.dataset.table, result.dataset.table)
+        # The whole merged result is itself cached under the sharded key.
+        again = make_runtime(tmp_path).run_scenario(
+            "paper-default", scale=SCALE, seed=7, shards=3
+        )
+        assert_tables_identical(result.dataset.table, again.dataset.table)
+
+    def test_via_logs_rejected(self, tmp_path):
+        with pytest.raises(SpecificationError, match="log pipeline"):
+            run_sharded_scenario(
+                "paper-default",
+                scale=SCALE,
+                seed=7,
+                runtime=make_runtime(tmp_path),
+                n_shards=2,
+                via_logs=True,
+            )
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(SpecificationError, match="unknown scenario"):
+            run_sharded_scenario(
+                "nope", scale=SCALE, seed=7,
+                runtime=make_runtime(tmp_path), n_shards=2,
+            )
+
+    def test_vista_fleet_guards_object_graph_walks(self, tmp_path):
+        sharded = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=7,
+            runtime=make_runtime(tmp_path),
+            n_shards=2,
+        )
+        vista = sharded.fleet.systems[0]
+        with pytest.raises(AnalysisError, match="re-run without --shards"):
+            vista.iter_disks()
+        with pytest.raises(AnalysisError, match="re-run without --shards"):
+            list(sharded.fleet.iter_disks())
+
+    def test_injection_placeholder_raises_clearly(self, tmp_path):
+        sharded = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=7,
+            runtime=make_runtime(tmp_path),
+            n_shards=2,
+        )
+        assert isinstance(sharded.injection, ShardedInjection)
+        with pytest.raises(AnalysisError, match="sharded run"):
+            sharded.injection.fleet
+
+    def test_parallel_shard_execution_matches_serial(self, tmp_path):
+        serial = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=9,
+            runtime=make_runtime(tmp_path / "serial"),
+            n_shards=4,
+        )
+        pooled = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=9,
+            runtime=make_runtime(tmp_path / "pooled", jobs=4),
+            n_shards=4,
+        )
+        assert_tables_identical(serial.dataset.table, pooled.dataset.table)

@@ -299,7 +299,10 @@ class TestVectorInjector:
 
 
 class TestEngineFacade:
-    def test_registered_flag_defaults_off(self):
+    def test_registered_flag_defaults_off(self, monkeypatch):
+        # The CI matrix exports the flag; test the registry default,
+        # not the ambient environment.
+        monkeypatch.delenv(VECTOR_ENGINE_ENV, raising=False)
         var = envvars.REGISTRY[VECTOR_ENGINE_ENV]
         assert var.default == "0"
         assert not envvars.get_flag(VECTOR_ENGINE_ENV)
