@@ -113,3 +113,37 @@ def test_bench_simulation_traced(benchmark):
     )
     assert result.dataset.events
     assert any(e["name"] == "simulate.run" for e in obs.events())
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_bench_simulation_sampled(benchmark, tmp_path):
+    """Tracing plus the background resource sampler and live progress.
+
+    The full telemetry stack — tracer, progress counters publishing
+    throttled heartbeats, and the /proc sampler thread — must stay
+    inside the same 5% budget as tracing alone.
+    """
+    from repro.obs.sampler import PROGRESS, ResourceSampler
+
+    obs.configure(enable=True)
+    PROGRESS.configure(directory=str(tmp_path), role="bench")
+
+    def sampled_run():
+        sampler = ResourceSampler(
+            registry=obs.OBSERVER.registry,
+            interval=0.1,
+            directory=str(tmp_path),
+            progress=PROGRESS,
+        ).start()
+        try:
+            return run_scenario("paper-default", scale=SCALE, seed=SEED)
+        finally:
+            sampler.stop()
+
+    try:
+        result = benchmark.pedantic(sampled_run, rounds=3, iterations=1)
+    finally:
+        PROGRESS.reset()
+    assert result.dataset.events
+    counts = obs.OBSERVER.registry.snapshot()["gauges"]
+    assert counts.get("progress.disks_advanced", 0) > 0

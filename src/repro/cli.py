@@ -190,6 +190,41 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output snapshot .json path")
     snapshot_cmd.add_argument("--label", default=None,
                               help="label recorded in the snapshot")
+
+    watch_cmd = obs_sub.add_parser(
+        "watch",
+        help="live TTY status of a monitored run (heartbeat directory)",
+    )
+    watch_cmd.add_argument("--dir", dest="status_dir", default=None,
+                           metavar="DIR",
+                           help="heartbeat directory (default: "
+                                "$REPRO_STATUS_DIR)")
+    watch_cmd.add_argument("--interval", type=float, default=None,
+                           metavar="SECONDS",
+                           help="refresh period (default: the run's "
+                                "$REPRO_SAMPLE_INTERVAL)")
+    watch_cmd.add_argument("--once", action="store_true",
+                           help="print one snapshot and exit")
+    watch_cmd.add_argument("--json", dest="as_json", action="store_true",
+                           help="emit the raw /status JSON payload instead "
+                                "of the table")
+
+    serve_cmd = obs_sub.add_parser(
+        "serve",
+        help="HTTP run monitor: /status JSON + /metrics Prometheus textfile",
+    )
+    serve_cmd.add_argument("--dir", dest="status_dir", default=None,
+                           metavar="DIR",
+                           help="heartbeat directory (default: "
+                                "$REPRO_STATUS_DIR)")
+    serve_cmd.add_argument("--port", type=int, default=None,
+                           help="TCP port (default: $REPRO_MONITOR_PORT "
+                                "or 8765; 0 picks a free port)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--metrics", default=None, metavar="FILE",
+                           help="Prometheus textfile served at /metrics "
+                                "(default: $REPRO_METRICS)")
     return parser
 
 
@@ -278,6 +313,7 @@ def _print_metrics(runtime) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    sampler = None
     if args.command != "obs":
         # ``repro obs`` *reads* trace/metrics/events files its
         # subcommands name with the same flags; configuring the
@@ -287,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics=getattr(args, "metrics", None),
             events=getattr(args, "events", None),
         )
+        sampler = _start_sampler(args.command)
     try:
         with obs.span("cli.%s" % args.command):
             return _dispatch(args)
@@ -294,8 +331,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     finally:
+        if sampler is not None:
+            sampler.stop()
         for kind, path in sorted(obs.export().items()):
             print("obs: wrote %s to %s" % (kind, path), file=sys.stderr)
+
+
+def _start_sampler(command: str):
+    """Start the resource sampler for a data command, when warranted.
+
+    Runs whenever the observer is enabled (the timeline folds into the
+    metrics export) or ``$REPRO_STATUS_DIR`` asks for live heartbeats;
+    stays completely off — no thread, no counters — otherwise.
+    """
+    from repro.obs.sampler import PROGRESS, ResourceSampler, status_directory
+
+    status_dir = status_directory()
+    if not (obs.OBSERVER.enabled or status_dir):
+        return None
+    PROGRESS.configure(directory=status_dir, role="driver", command=command)
+    return ResourceSampler(
+        registry=obs.OBSERVER.registry, directory=status_dir
+    ).start()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -594,6 +651,53 @@ def _dispatch_obs(args: argparse.Namespace) -> int:
             )
         )
         return 1 if result.failed else 0
+
+    if args.obs_action in ("watch", "serve"):
+        from repro import envvars
+        from repro.obs.sampler import sample_interval, status_directory
+
+        status_dir = args.status_dir or status_directory()
+        if not status_dir:
+            raise SpecificationError(
+                "obs %s needs --dir or $REPRO_STATUS_DIR (point it at the "
+                "run's heartbeat directory)" % args.obs_action
+            )
+        if args.obs_action == "watch":
+            from repro.obs.monitor import watch
+
+            interval = (
+                args.interval if args.interval is not None
+                else max(0.2, sample_interval())
+            )
+            return watch(
+                status_dir,
+                interval=interval,
+                once=args.once,
+                as_json=args.as_json,
+            )
+        from repro.obs.monitor import DEFAULT_PORT, ENV_MONITOR_PORT, make_server
+
+        port = (
+            args.port if args.port is not None
+            else envvars.get_int(ENV_MONITOR_PORT, DEFAULT_PORT)
+        )
+        metrics_path = args.metrics or envvars.get(obs.ENV_METRICS)
+        server = make_server(
+            status_dir, port=port, metrics_path=metrics_path, host=args.host
+        )
+        host, bound_port = server.server_address[:2]
+        print(
+            "serving run monitor on http://%s:%d (endpoints: /status, "
+            "/metrics; Ctrl-C to stop)" % (host, bound_port),
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
 
     raise AssertionError("unreachable obs action %r" % args.obs_action)
 

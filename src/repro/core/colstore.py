@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.columns import EventTable
 
 #: Bumped when the member layout changes; readers reject newer spills.
@@ -68,6 +69,11 @@ def save_table(path: str, table: EventTable) -> None:
     The write is atomic (temp file + ``os.replace``) so a concurrent
     reader — or a crashed run — never sees a torn spill.
     """
+    with obs.span("colstore.save", rows=len(table)):
+        _save_table(path, table)
+
+
+def _save_table(path: str, table: EventTable) -> None:
     meta = {
         "schema": SPILL_SCHEMA_VERSION,
         "rows": len(table),
@@ -164,6 +170,11 @@ def load_table(path: str, mmap: bool = True) -> EventTable:
         OSError: missing/unreadable spill file.
         ValueError: not a colstore spill, or a newer schema.
     """
+    with obs.span("colstore.load", mmap=bool(mmap)):
+        return _load_table(path, mmap)
+
+
+def _load_table(path: str, mmap: bool) -> EventTable:
     members = _read_members(path, mmap)
     if _META_MEMBER not in members:
         raise ValueError("%s: not a colstore spill (no metadata member)" % path)
@@ -231,8 +242,15 @@ def merge_tables(tables: Iterable[EventTable]) -> EventTable:
     """Merge shard tables into one detection-sorted table (module docstring).
 
     Shards are processed one at a time (code remap + concatenate); no
-    event objects are ever materialized.
+    event objects are ever materialized.  Spans: the generator the
+    caller passes usually loads spills lazily, so per-shard
+    ``colstore.load`` spans nest inside this ``colstore.merge`` span.
     """
+    with obs.span("colstore.merge"):
+        return _merge_tables(tables)
+
+
+def _merge_tables(tables: Iterable[EventTable]) -> EventTable:
     tables = [table for table in tables if len(table)]
     if not tables:
         return EventTable.empty()

@@ -155,6 +155,43 @@ REGISTRY: Dict[str, EnvVar] = {
             ".npz files (default: a shards/ directory under the result "
             "cache).",
         ),
+        EnvVar(
+            name="REPRO_TRACE_WORKERS",
+            kind="flag",
+            default="1",
+            consumer="repro.obs",
+            description="When tracing is on, ship a TraceContext into "
+            "pool workers so they flush per-process trace segments the "
+            "parent merges into one clock-aligned trace; set 0 to trace "
+            "only the parent's pool spans.",
+        ),
+        EnvVar(
+            name="REPRO_SAMPLE_INTERVAL",
+            kind="float",
+            default="0.5",
+            consumer="repro.obs.sampler",
+            description="Seconds between resource-sampler ticks (RSS/CPU "
+            "timeline) and the minimum spacing of throttled progress "
+            "heartbeats.",
+        ),
+        EnvVar(
+            name="REPRO_MONITOR_PORT",
+            kind="int",
+            default="8765",
+            consumer="repro.cli",
+            description="Default TCP port for `repro obs serve`, the live "
+            "run monitor (/status JSON + /metrics Prometheus textfile).",
+        ),
+        EnvVar(
+            name="REPRO_STATUS_DIR",
+            kind="path",
+            default=None,
+            consumer="repro.obs.sampler",
+            description="Directory for live heartbeat-<pid>.json status "
+            "records; setting it enables progress heartbeats from the "
+            "driver and every worker, which `repro obs watch`/`serve` "
+            "read while the run is in flight.",
+        ),
     )
 }
 
@@ -181,13 +218,16 @@ def get(name: str, default: Optional[str] = None) -> Optional[str]:
     return value
 
 
-def get_flag(name: str) -> bool:
+def get_flag(name: str, default: bool = False) -> bool:
     """Parse a registered variable as an on/off flag.
 
-    Unset, empty, ``0``, ``false``, and ``no`` (any case) are off;
-    anything else is on.
+    ``0``, ``false``, and ``no`` (any case) are off; anything else is
+    on; unset or empty falls back to ``default`` (off unless the
+    variable is registered default-on, like ``REPRO_TRACE_WORKERS``).
     """
-    value = get(name) or ""
+    value = get(name)
+    if value is None:
+        return default
     return value.strip().lower() not in _FALSY
 
 

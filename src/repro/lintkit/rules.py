@@ -127,7 +127,12 @@ class WallClockRead(Rule):
         "repro.runtime) and explicitly suppressed timing blocks."
     )
 
-    #: Modules allowed to read the wall clock.
+    #: Modules allowed to read the wall clock.  Prefix-matched: the
+    #: ``repro.obs`` entry deliberately covers the whole observability
+    #: package — including ``repro.obs.sampler`` (resource timelines,
+    #: heartbeats) and ``repro.obs.monitor`` (the live run monitor),
+    #: whose clock reads are instrumentation, never simulation input —
+    #: so new obs modules need no inline suppressions.
     ALLOWED_PREFIXES = ("repro.obs", "repro.runtime", "repro.lintkit")
 
     WALL_CLOCK = (

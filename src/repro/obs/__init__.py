@@ -29,6 +29,8 @@ span timings alike.  Profiling: set ``REPRO_PROFILE=<span prefix>``
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Dict, List, Optional
 
 from repro import envvars
@@ -61,13 +63,16 @@ from repro.obs.registry import (
     parse_series_key,
     series_key,
 )
-from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, TraceContext, Tracer
 
 #: Environment variables the CLI and :func:`configure` honor.
 ENV_TRACE = "REPRO_TRACE"
 ENV_METRICS = "REPRO_METRICS"
 ENV_PROFILE = "REPRO_PROFILE"
 ENV_EVENTS = "REPRO_EVENTS"
+#: Ship a TraceContext into pool workers (default on; set 0 to keep
+#: worker processes dark and trace only the parent's pool spans).
+ENV_TRACE_WORKERS = "REPRO_TRACE_WORKERS"
 
 
 class Observer:
@@ -90,6 +95,7 @@ class Observer:
         self.trace_path: Optional[str] = None
         self.metrics_path: Optional[str] = None
         self.events_path: Optional[str] = None
+        self._segment_dir: Optional[str] = None
         # Strong references on purpose: the CLI exports in a ``finally``
         # after the owning RuntimeContext has gone out of scope, so a
         # weak set would drop its metrics right before the write.
@@ -150,6 +156,21 @@ class Observer:
             self.fleet_events.enabled = enable
         return self
 
+    def segment_dir(self) -> str:
+        """The directory worker trace segments land in (created lazily).
+
+        Lives next to the configured trace file (``<trace>.segs``) so
+        segments survive a crashed parent for post-mortems; falls back
+        to a fresh temp directory when no trace path is set.
+        """
+        if self._segment_dir is None:
+            if self.trace_path:
+                self._segment_dir = os.path.abspath(self.trace_path) + ".segs"
+            else:
+                self._segment_dir = tempfile.mkdtemp(prefix="repro-trace-segs-")
+        os.makedirs(self._segment_dir, exist_ok=True)
+        return self._segment_dir
+
     def register_metrics(self, registry: MetricsRegistry) -> None:
         """Fold ``registry`` into future :meth:`export` calls."""
         if not any(existing is registry for existing in self._extra):
@@ -171,6 +192,12 @@ class Observer:
         metrics_path = metrics_path or self.metrics_path
         events_path = events_path or self.events_path
         if trace_path and self.tracer.enabled:
+            if self._segment_dir is not None:
+                self.tracer.absorb_segments(self._segment_dir)
+                try:
+                    os.rmdir(self._segment_dir)
+                except OSError:
+                    pass  # foreign leftovers keep the dir alive; harmless
             self.tracer.flush(trace_path)
             written["trace"] = trace_path
         if events_path and self.fleet_events.enabled:
@@ -197,6 +224,7 @@ class Observer:
         self.trace_path = None
         self.metrics_path = None
         self.events_path = None
+        self._segment_dir = None
         self._extra = []
 
 
@@ -286,6 +314,43 @@ def events() -> List[Dict[str, object]]:
     return OBSERVER.tracer.events()
 
 
+def worker_trace_context() -> Optional[TraceContext]:
+    """The :class:`TraceContext` to ship into pool workers.
+
+    ``None`` — meaning workers stay untraced — when tracing is off or
+    ``$REPRO_TRACE_WORKERS`` is explicitly disabled.
+    """
+    tracer = OBSERVER.tracer
+    if not tracer.enabled:
+        return None
+    if not envvars.get_flag(ENV_TRACE_WORKERS, default=True):
+        return None
+    return tracer.context(OBSERVER.segment_dir())
+
+
+def enter_worker_trace(context: TraceContext) -> None:
+    """Adopt ``context`` on this process's tracer (worker side).
+
+    Idempotent per (process, trace): a worker that already adopted this
+    trace keeps accumulating spans across tasks instead of wiping its
+    buffer on every payload.
+    """
+    tracer = OBSERVER.tracer
+    adopted = tracer.adopted
+    if (
+        adopted is not None
+        and adopted.trace_id == context.trace_id
+        and tracer.pid == os.getpid()
+    ):
+        return
+    tracer.adopt(context)
+
+
+def flush_worker_segment() -> int:
+    """Write this worker's segment file; returns spans written."""
+    return OBSERVER.tracer.flush_segment()
+
+
 def emit(kind: str, t: float, /, **fields: object) -> None:
     """Emit one fleet event on the process log (no-op when disabled)."""
     OBSERVER.fleet_events.emit(kind, t, **fields)
@@ -308,6 +373,7 @@ __all__ = [
     "ENV_METRICS",
     "ENV_PROFILE",
     "ENV_TRACE",
+    "ENV_TRACE_WORKERS",
     "EVENTS_SCHEMA_VERSION",
     "FleetEventLog",
     "Histogram",
@@ -319,12 +385,15 @@ __all__ = [
     "OVERFLOW_LABEL",
     "Observer",
     "Span",
+    "TraceContext",
     "Tracer",
     "configure",
     "emit",
     "enabled",
+    "enter_worker_trace",
     "events",
     "export",
+    "flush_worker_segment",
     "fleet_events",
     "inc",
     "load_metrics",
@@ -347,5 +416,6 @@ __all__ = [
     "span",
     "summarize_trace",
     "traced",
+    "worker_trace_context",
     "write_metrics",
 ]

@@ -1,0 +1,208 @@
+"""Live run monitor: ``repro obs watch`` (TTY) and ``obs serve`` (HTTP).
+
+Both read the same substrate — the ``heartbeat-<pid>.json`` records a
+monitored run publishes into ``$REPRO_STATUS_DIR`` (see
+:mod:`repro.obs.sampler`) — so they work *during* a sharded run, from
+a different process than the one doing the work:
+
+* :func:`watch` re-renders an aligned per-worker status table every
+  interval (or emits the raw ``/status`` JSON with ``--json``) and
+  exits on its own once every heartbeat reports ``done``.
+* :func:`make_server` builds a stdlib :class:`ThreadingHTTPServer`
+  answering ``/status`` (the :func:`read_status` payload as JSON) and
+  ``/metrics`` (the run's exported Prometheus textfile) — the first
+  brick of the ROADMAP "live fleet service" health API.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, TextIO
+
+from repro.obs.sampler import read_status
+
+#: Default port for ``repro obs serve`` (overridden by $REPRO_MONITOR_PORT).
+DEFAULT_PORT = 8765
+
+ENV_MONITOR_PORT = "REPRO_MONITOR_PORT"
+
+
+def _fmt_bytes(value: object) -> str:
+    try:
+        n = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024.0 or unit == "GiB":
+            return "%.0f%s" % (n, unit) if unit == "B" else "%.1f%s" % (n, unit)
+        n /= 1024.0
+    return "-"
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 100:
+        return "%.1fs" % seconds
+    return "%dm%02ds" % (int(seconds) // 60, int(seconds) % 60)
+
+
+def render_status(status: Dict[str, object], now: Optional[float] = None) -> str:
+    """The ``obs watch`` text block: one aligned row per process."""
+    now = time.time() if now is None else now
+    workers = status.get("workers")
+    workers = workers if isinstance(workers, list) else []
+    lines = ["run status: %s" % status.get("directory", "?")]
+    if not workers:
+        lines.append("  (no heartbeats yet)")
+        return "\n".join(lines)
+    counter_names = sorted(
+        {
+            key
+            for record in workers
+            if isinstance(record.get("progress"), dict)
+            for key in record["progress"]
+        }
+    )
+    header = ["pid", "shard", "state", "age", "rss"] + counter_names
+    rows: List[List[str]] = [header]
+    for record in workers:
+        shard = record.get("shard")
+        if not isinstance(shard, int):
+            shard = record.get("role", "-")
+        progress = record.get("progress")
+        progress = progress if isinstance(progress, dict) else {}
+        rows.append(
+            [
+                str(record.get("pid", "?")),
+                str(shard),
+                str(record.get("state", "?")),
+                _fmt_age(now - float(record.get("t", now))),
+                _fmt_bytes(record.get("rss_bytes")),
+            ]
+            + [str(progress.get(name, 0)) for name in counter_names]
+        )
+    totals = status.get("progress")
+    totals = totals if isinstance(totals, dict) else {}
+    rows.append(
+        ["total", "", "%d running" % status.get("running", 0), "", ""]
+        + [str(totals.get(name, 0)) for name in counter_names]
+    )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    for row in rows:
+        lines.append(
+            "  " + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    directory: str,
+    interval: float = 1.0,
+    once: bool = False,
+    as_json: bool = False,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Poll ``directory`` and print status until the run finishes.
+
+    With ``once`` prints a single snapshot (the CI artifact path);
+    otherwise loops until every heartbeat reports ``done`` or the user
+    interrupts.  Returns a process exit code.
+    """
+    stream = sys.stdout if stream is None else stream
+    try:
+        while True:
+            status = read_status(directory)
+            if as_json:
+                print(json.dumps(status, sort_keys=True), file=stream)
+            else:
+                print(render_status(status), file=stream)
+            stream.flush()
+            if once:
+                return 0
+            workers = status.get("workers") or []
+            if workers and not status.get("running"):
+                return 0
+            time.sleep(max(0.05, interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+class MonitorHandler(BaseHTTPRequestHandler):
+    """``/status`` + ``/metrics`` over the run's heartbeat directory."""
+
+    server_version = "repro-obs"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/status":
+            payload = json.dumps(
+                read_status(self.server.status_dir), sort_keys=True
+            ).encode("utf-8")
+            self._reply(200, "application/json", payload)
+        elif path == "/metrics":
+            metrics_path = getattr(self.server, "metrics_path", None)
+            try:
+                with open(metrics_path, "rb") as handle:  # type: ignore[arg-type]
+                    payload = handle.read()
+            except (OSError, TypeError):
+                self._reply(404, "text/plain", b"no metrics textfile yet\n")
+                return
+            self._reply(200, "text/plain; version=0.0.4", payload)
+        elif path == "/":
+            payload = json.dumps(
+                {"ok": True, "endpoints": ["/status", "/metrics"]}
+            ).encode("utf-8")
+            self._reply(200, "application/json", payload)
+        else:
+            self._reply(404, "text/plain", b"unknown path\n")
+
+    def _reply(self, code: int, content_type: str, payload: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        return  # keep the CLI's stdout/stderr clean
+
+
+class MonitorServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the monitor's two data sources."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple,
+        status_dir: str,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        super().__init__(address, MonitorHandler)
+        self.status_dir = status_dir
+        self.metrics_path = metrics_path
+
+
+def make_server(
+    status_dir: str,
+    port: int = DEFAULT_PORT,
+    metrics_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+) -> MonitorServer:
+    """Bind the monitor server (``port=0`` picks a free port)."""
+    return MonitorServer((host, port), status_dir, metrics_path=metrics_path)
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ENV_MONITOR_PORT",
+    "MonitorHandler",
+    "MonitorServer",
+    "make_server",
+    "render_status",
+    "watch",
+]

@@ -47,6 +47,7 @@ td.name, th.name { text-align: left; font-family: ui-monospace, monospace; }
 .meta { color: #667; }
 svg { background: #fafbfc; border: 1px solid #e2e5ea; border-radius: 4px; }
 svg text { font: 10px ui-monospace, monospace; fill: #333; }
+svg text.lane { font-weight: 600; fill: #27636e; }
 """
 
 #: Bar palette, keyed by a stable hash of the span's root name.
@@ -103,8 +104,25 @@ def _span_depths(events: Sequence[Mapping[str, object]]) -> Dict[object, int]:
     return depths
 
 
+def _lane_order(spans: Sequence[Mapping[str, object]]) -> List[object]:
+    """Pids in lane order: first span start wins, so the driver leads."""
+    seen: List[object] = []
+    for event in spans:
+        pid = event.get("pid")
+        if pid not in seen:
+            seen.append(pid)
+    return seen
+
+
 def render_waterfall(events: Sequence[Mapping[str, object]]) -> str:
-    """The trace's spans as an inline-SVG timeline."""
+    """The trace's spans as an inline-SVG timeline.
+
+    A merged distributed trace renders as one **lane per process**:
+    the driver's lane first, then each worker pid (ordered by first
+    span start), with a lane-header row separating them — the
+    per-process / per-shard view of a sharded run.  Single-process
+    traces draw exactly as before, with no lane headers.
+    """
     spans = [e for e in events if "start" in e and "duration" in e]
     if not spans:
         return "<p class='meta'>(no spans recorded)</p>"
@@ -115,11 +133,25 @@ def render_waterfall(events: Sequence[Mapping[str, object]]) -> str:
         spans = keep
     spans.sort(key=lambda e: (float(e["start"]), -float(e["duration"])))
     depths = _span_depths(spans)
+    lanes = _lane_order(spans)
+    multi = len(lanes) > 1
+    rows: List[Tuple[str, object]] = []
+    for pid in lanes:
+        lane_spans = [e for e in spans if e.get("pid") == pid]
+        if multi:
+            label = "process %s%s — %d span%s" % (
+                pid,
+                " (driver)" if pid == lanes[0] else "",
+                len(lane_spans),
+                "" if len(lane_spans) == 1 else "s",
+            )
+            rows.append(("lane", label))
+        rows.extend(("span", event) for event in lane_spans)
     t0 = min(float(e["start"]) for e in spans)
     t1 = max(float(e["start"]) + float(e["duration"]) for e in spans)
     total = max(t1 - t0, 1e-9)
     width, row_height, label_width = 760, 16, 230
-    height = row_height * len(spans) + 24
+    height = row_height * len(rows) + 24
     parts = [
         '<svg width="%d" height="%d" role="img" aria-label="span waterfall">'
         % (width + label_width, height)
@@ -131,12 +163,23 @@ def render_waterfall(events: Sequence[Mapping[str, object]]) -> str:
         parts.append(
             '<text x="%.1f" y="12">%s</text>' % (x, _esc(_fmt_seconds(t - t0)))
         )
-    for row, event in enumerate(spans):
+    for row, (kind, payload) in enumerate(rows):
+        y = 20 + row * row_height
+        if kind == "lane":
+            parts.append(
+                '<rect x="0" y="%.1f" width="%d" height="%d" fill="#eef1f5"/>'
+                % (y + 1, width + label_width, row_height - 2)
+            )
+            parts.append(
+                '<text x="4" y="%.1f" class="lane">%s</text>'
+                % (y + 11, _esc(payload))
+            )
+            continue
+        event = payload
         name = str(event.get("name", "?"))
         start = float(event["start"]) - t0
         duration = float(event["duration"])
         depth = depths.get(event.get("span_id"), 0)
-        y = 20 + row * row_height
         x = label_width + (width - 60) * (start / total)
         bar = max(1.0, (width - 60) * (duration / total))
         color = _PALETTE[hash(name.split(".", 1)[0]) % len(_PALETTE)]

@@ -1,0 +1,480 @@
+"""Resource + progress timelines and the live-run heartbeat stream.
+
+Three cooperating pieces, all off by default:
+
+* :data:`PROGRESS` — a process-wide :class:`RunProgress` the engines
+  publish counters into (``disks_advanced``, ``events_emitted``,
+  ``shards_completed``, …).  Disabled, :meth:`RunProgress.advance` is a
+  single attribute check, same contract as the rest of ``repro.obs``.
+* :class:`ResourceSampler` — a daemon thread in the driver process
+  that records an RSS/CPU/progress timeline (``/proc/self/statm``,
+  ``os.times``) every ``$REPRO_SAMPLE_INTERVAL`` seconds and folds the
+  result into :class:`~repro.obs.registry.MetricsRegistry` gauges
+  (``sampler.rss_peak_bytes``, ``sampler.cpu_pct_mean``,
+  ``progress.<counter>``) when stopped.
+* Heartbeats — when ``$REPRO_STATUS_DIR`` names a directory, the
+  driver (each sampler tick) and every pool worker (throttled from
+  :meth:`RunProgress.advance`) atomically publish
+  ``heartbeat-<pid>.json`` records there; :func:`read_status`
+  aggregates them into the ``/status`` payload that ``repro obs
+  watch`` and ``repro obs serve`` expose while a run is in flight.
+
+Wall-clock and monotonic reads here are instrumentation, never
+simulation input — this module sits inside the ``repro.obs`` prefix
+that reprolint rule RPL002 allowlists (see docs/LINTING.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import envvars
+
+#: Default seconds between resource samples / throttled heartbeats.
+DEFAULT_SAMPLE_INTERVAL = 0.5
+
+#: Floor on the sampling interval — below this the sampler itself
+#: becomes the workload.
+MIN_SAMPLE_INTERVAL = 0.05
+
+ENV_SAMPLE_INTERVAL = "REPRO_SAMPLE_INTERVAL"
+ENV_STATUS_DIR = "REPRO_STATUS_DIR"
+
+#: Heartbeat files match ``HEARTBEAT_PREFIX + <pid> + HEARTBEAT_SUFFIX``.
+HEARTBEAT_PREFIX = "heartbeat-"
+HEARTBEAT_SUFFIX = ".json"
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, OSError, ValueError):  # pragma: no cover - non-POSIX
+    _PAGE_SIZE = 4096
+
+
+def sample_interval() -> float:
+    """The configured sampling interval, floored at 50 ms."""
+    return max(
+        MIN_SAMPLE_INTERVAL,
+        envvars.get_float(ENV_SAMPLE_INTERVAL, DEFAULT_SAMPLE_INTERVAL),
+    )
+
+
+def status_directory() -> Optional[str]:
+    """``$REPRO_STATUS_DIR`` as an absolute path (None = heartbeats off)."""
+    value = envvars.get(ENV_STATUS_DIR)
+    if not value:
+        return None
+    return os.path.abspath(os.path.expanduser(value))
+
+
+# -- resource probes ---------------------------------------------------------
+
+
+def read_rss_bytes() -> int:
+    """This process's current resident set size (0 when unknowable).
+
+    Reads ``/proc/self/statm`` (field 2 is resident pages); falls back
+    to ``resource.getrusage`` — which reports *peak*, not current, RSS
+    — on systems without procfs.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # pragma: no cover - /proc exists on every CI platform
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except (ImportError, OSError, ValueError):  # pragma: no cover
+        return 0
+
+
+def read_cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds of this process."""
+    usage = os.times()
+    return float(usage.user + usage.system)
+
+
+# -- heartbeat records -------------------------------------------------------
+
+
+def heartbeat_path(directory: str, pid: Optional[int] = None) -> str:
+    """The heartbeat file for ``pid`` (this process by default)."""
+    pid = os.getpid() if pid is None else pid
+    return os.path.join(directory, "%s%d%s" % (HEARTBEAT_PREFIX, pid, HEARTBEAT_SUFFIX))
+
+
+def write_heartbeat(directory: str, record: Dict[str, object]) -> str:
+    """Atomically publish one process's heartbeat; returns the path.
+
+    The temp name is derived from the pid (each process only ever
+    writes its own heartbeat), deliberately avoiding :mod:`tempfile`
+    so a fork can never catch this path holding a module lock.
+    """
+    os.makedirs(directory, exist_ok=True)
+    record = dict(record)
+    record.setdefault("type", "heartbeat")
+    record.setdefault("pid", os.getpid())
+    record.setdefault("t", time.time())
+    record.setdefault("rss_bytes", read_rss_bytes())
+    path = heartbeat_path(directory, int(record["pid"]))
+    temp = path + ".tmp"
+    try:
+        with open(temp, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.remove(temp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_status(directory: str) -> Dict[str, object]:
+    """Aggregate every heartbeat under ``directory`` into one status dict.
+
+    Lenient by design: torn, foreign, or malformed files are skipped —
+    the monitor reads while writers are live.  Workers are ordered by
+    shard index then pid; per-worker ``progress`` counters are summed
+    into a fleet-wide ``progress`` total.
+    """
+    workers: List[Dict[str, object]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.startswith(HEARTBEAT_PREFIX) and name.endswith(HEARTBEAT_SUFFIX)):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(record, dict) and record.get("type") == "heartbeat":
+            workers.append(record)
+    workers.sort(
+        key=lambda r: (
+            not isinstance(r.get("shard"), int),
+            r.get("shard") if isinstance(r.get("shard"), int) else 0,
+            r.get("pid") or 0,
+        )
+    )
+    totals: Dict[str, int] = {}
+    for record in workers:
+        progress = record.get("progress")
+        if not isinstance(progress, dict):
+            continue
+        for key, value in progress.items():
+            try:
+                totals[key] = totals.get(key, 0) + int(value)
+            except (TypeError, ValueError):
+                continue
+    return {
+        "type": "status",
+        "generated": time.time(),
+        "directory": directory,
+        "workers": workers,
+        "running": sum(1 for r in workers if r.get("state") == "running"),
+        "done": sum(1 for r in workers if r.get("state") == "done"),
+        "progress": totals,
+    }
+
+
+# -- progress counters -------------------------------------------------------
+
+
+class RunProgress:
+    """Cheap, thread-safe progress counters engines publish into.
+
+    Disabled (the default), :meth:`advance` costs one attribute check.
+    Enabled, counts accumulate under a lock, and — when a status
+    directory is configured — a heartbeat record is published at most
+    once per interval, which is what the live monitor reads mid-run.
+    Fork-started workers inherit the parent's instance; per-pid state
+    (counts, static fields, the lock) is re-initialized in the child so
+    each process heartbeats only its own work.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._counts: Dict[str, int] = {}
+        self._static: Dict[str, object] = {}
+        self._directory: Optional[str] = None
+        self._interval = DEFAULT_SAMPLE_INTERVAL
+        self._last_beat = 0.0
+
+    def _fork_reset(self) -> None:
+        """Drop per-process state after a fork (keeps directory/interval)."""
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._counts = {}
+        self._static = {}
+        self._last_beat = 0.0
+
+    def _ensure_process(self) -> None:
+        if self._pid != os.getpid():  # inherited across a fork
+            self._fork_reset()
+
+    def configure(
+        self,
+        directory: Optional[str] = None,
+        interval: Optional[float] = None,
+        **static: object,
+    ) -> "RunProgress":
+        """Enable counting; ``directory=None`` keeps counters in-memory."""
+        self._ensure_process()
+        with self._lock:
+            self.enabled = True
+            if directory is not None:
+                self._directory = directory
+            if interval is not None:
+                self._interval = max(MIN_SAMPLE_INTERVAL, float(interval))
+            self._static.update(static)
+        return self
+
+    def activate_from_env(self) -> bool:
+        """Enable publication when ``$REPRO_STATUS_DIR`` is set."""
+        directory = status_directory()
+        if directory is None:
+            return False
+        self.configure(directory=directory, interval=sample_interval())
+        return True
+
+    def set_context(self, **static: object) -> None:
+        """Attach static fields (shard index, role, …) to heartbeats."""
+        self._ensure_process()
+        with self._lock:
+            self._static.update(static)
+
+    def advance(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (one attribute check when off)."""
+        if not self.enabled:
+            return
+        self._ensure_process()
+        beat = False
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + int(n)
+            if self._directory is not None:
+                now = time.monotonic()
+                if now - self._last_beat >= self._interval:
+                    self._last_beat = now
+                    beat = True
+        if beat:
+            self.heartbeat(state="running")
+
+    def counts(self) -> Dict[str, int]:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    def heartbeat(self, state: str = "running", **fields: object) -> Optional[str]:
+        """Publish an immediate heartbeat (None without a directory).
+
+        Never raises on I/O failure — monitoring must not take down
+        the run it is watching.
+        """
+        self._ensure_process()
+        with self._lock:
+            directory = self._directory
+            record: Dict[str, object] = dict(self._static)
+            record["progress"] = dict(self._counts)
+        if directory is None:
+            return None
+        record["state"] = state
+        record.update(fields)
+        try:
+            return write_heartbeat(directory, record)
+        except OSError:
+            return None
+
+    def reset(self) -> None:
+        """Back to the disabled, empty boot state (tests)."""
+        with self._lock:
+            self.enabled = False
+            self._counts = {}
+            self._static = {}
+            self._directory = None
+            self._interval = DEFAULT_SAMPLE_INTERVAL
+            self._last_beat = 0.0
+
+
+#: The process-wide progress instance engines publish into.
+PROGRESS = RunProgress()
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX everywhere here
+    # A fork can catch PROGRESS._lock held by the sampler thread; give
+    # the child a fresh lock (and fresh per-pid state) unconditionally.
+    os.register_at_fork(after_in_child=PROGRESS._fork_reset)
+
+
+# -- worker-task lifecycle (called from runtime.shard) -----------------------
+
+
+def begin_worker_task(**static: object) -> None:
+    """Mark this worker's current task in the live status stream.
+
+    No-op unless ``$REPRO_STATUS_DIR`` is set (or the parent already
+    configured :data:`PROGRESS` with a directory before forking).
+    """
+    if not PROGRESS.enabled and not PROGRESS.activate_from_env():
+        return
+    PROGRESS.set_context(**static)
+    PROGRESS.heartbeat(state="running")
+
+
+def end_worker_task(**fields: object) -> None:
+    """Publish the task-done heartbeat for this worker."""
+    if not PROGRESS.enabled:
+        return
+    PROGRESS.heartbeat(state="done", **fields)
+
+
+# -- the background sampler --------------------------------------------------
+
+
+class ResourceSampler:
+    """Daemon thread recording an RSS/CPU/progress timeline.
+
+    Each tick appends one record to :attr:`timeline` and — when a
+    status directory is configured — publishes this process's
+    heartbeat.  The shared metrics registry is only touched from
+    :meth:`stop` (summary gauges), never from the sampler thread, so a
+    pool fork can never catch the registry lock mid-sample.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[object] = None,
+        interval: Optional[float] = None,
+        directory: Optional[str] = None,
+        progress: Optional[RunProgress] = None,
+    ) -> None:
+        self.registry = registry
+        self.interval = sample_interval() if interval is None else max(
+            MIN_SAMPLE_INTERVAL, float(interval)
+        )
+        self.directory = directory
+        self.progress = PROGRESS if progress is None else progress
+        self.timeline: List[Dict[str, object]] = []
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._cpu0 = 0.0
+        self._wall0 = 0.0
+        self._peak_rss = 0
+
+    def start(self) -> "ResourceSampler":
+        """Begin sampling (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._cpu0 = read_cpu_seconds()
+        self._wall0 = time.monotonic()
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        last = (self._cpu0, self._wall0)
+        while not self._stop_event.wait(self.interval):
+            last = self._sample(*last)
+
+    def _sample(self, last_cpu: float, last_wall: float) -> Tuple[float, float]:
+        now = time.monotonic()
+        cpu = read_cpu_seconds()
+        rss = read_rss_bytes()
+        cpu_pct = 100.0 * (cpu - last_cpu) / max(now - last_wall, 1e-9)
+        progress = self.progress.counts()
+        self._peak_rss = max(self._peak_rss, rss)
+        self.timeline.append(
+            {
+                "t": time.time(),
+                "elapsed": now - self._wall0,
+                "rss_bytes": rss,
+                "cpu_pct": cpu_pct,
+                "progress": progress,
+            }
+        )
+        if self.directory is not None:
+            try:
+                write_heartbeat(
+                    self.directory,
+                    {
+                        "role": "driver",
+                        "state": "running",
+                        "progress": progress,
+                        "rss_bytes": rss,
+                        "cpu_pct": round(cpu_pct, 2),
+                    },
+                )
+            except OSError:
+                pass
+        return cpu, now
+
+    def stop(self) -> List[Dict[str, object]]:
+        """Stop sampling, fold summary gauges, return the timeline.
+
+        Always takes one final sample (its ``cpu_pct`` spans the whole
+        run), so even sub-interval runs record a point.
+        """
+        if self._thread is not None:
+            self._stop_event.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._sample(self._cpu0, self._wall0)
+        registry = self.registry
+        if registry is not None:
+            final = self.timeline[-1]
+            registry.set_gauge("sampler.rss_peak_bytes", float(self._peak_rss))
+            registry.set_gauge("sampler.rss_last_bytes", float(final["rss_bytes"]))
+            registry.set_gauge("sampler.cpu_pct_mean", float(final["cpu_pct"]))
+            registry.set_gauge("sampler.samples", float(len(self.timeline)))
+            for name, value in self.progress.counts().items():
+                registry.set_gauge("progress.%s" % name, float(value))
+        if self.directory is not None:
+            try:
+                write_heartbeat(
+                    self.directory,
+                    {
+                        "role": "driver",
+                        "state": "done",
+                        "progress": self.progress.counts(),
+                        "rss_bytes": self._peak_rss,
+                    },
+                )
+            except OSError:
+                pass
+        return self.timeline
+
+
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL",
+    "ENV_SAMPLE_INTERVAL",
+    "ENV_STATUS_DIR",
+    "HEARTBEAT_PREFIX",
+    "HEARTBEAT_SUFFIX",
+    "MIN_SAMPLE_INTERVAL",
+    "PROGRESS",
+    "ResourceSampler",
+    "RunProgress",
+    "begin_worker_task",
+    "end_worker_task",
+    "heartbeat_path",
+    "read_cpu_seconds",
+    "read_rss_bytes",
+    "read_status",
+    "sample_interval",
+    "status_directory",
+    "write_heartbeat",
+]

@@ -14,9 +14,15 @@ attributes.  Events are buffered in memory and written by
 ``os.replace``), whose first line is a ``meta`` record mapping the
 monotonic epoch back to wall-clock time.
 
-Nesting is tracked per thread with :class:`threading.local`; worker
-*processes* have their own (normally disabled) tracer — the parent's
-pool spans cover pooled execution instead (see docs/OBSERVABILITY.md).
+Nesting is tracked per thread with :class:`threading.local`.  Worker
+*processes* have their own tracer: the parent serializes a
+:class:`TraceContext` into the pool payload, the worker adopts it
+(:meth:`Tracer.adopt`) and flushes a per-process segment file
+(``trace-seg-<pid>.jsonl``, :meth:`Tracer.flush_segment`), and the
+parent folds every segment back into its own buffer with fresh span
+ids, correct parent links, and wall-clock-aligned starts
+(:meth:`Tracer.absorb_segments`) — so a sharded run exports one merged
+trace (see docs/OBSERVABILITY.md, "The distributed trace model").
 
 Profiling rides on spans: with ``REPRO_PROFILE=<prefix>`` every span
 whose name starts with the prefix runs under :mod:`cProfile` and dumps
@@ -27,14 +33,39 @@ whose name starts with the prefix runs under :mod:`cProfile` and dumps
 from __future__ import annotations
 
 import cProfile
+import dataclasses
+import hashlib
 import json
 import os
 import tempfile
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import envvars
+
+#: Worker segment files match ``SEGMENT_PREFIX + <pid> + SEGMENT_SUFFIX``.
+SEGMENT_PREFIX = "trace-seg-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The picklable capsule that carries a trace across processes.
+
+    Built by :meth:`Tracer.context` in the parent, shipped inside the
+    :class:`~repro.runtime.pool.WorkerPool` payload, and adopted by the
+    worker's own tracer.  ``parent_span_id`` is the parent-process span
+    open when the payload was submitted — worker root spans are
+    re-parented onto it at merge time; ``epoch_wall`` lets the merge
+    translate the worker's monotonic offsets onto the parent's clock.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int]
+    epoch_wall: float
+    segment_dir: str
+    profile_prefix: Optional[str] = None
 
 
 class NullSpan:
@@ -141,6 +172,9 @@ class Tracer:
         self.profile_dir = profile_dir
         self.epoch_perf = time.perf_counter()
         self.epoch_wall = time.time()
+        self.adopted: Optional[TraceContext] = None
+        self.pid = os.getpid()
+        self._trace_id: Optional[str] = None
         self._lock = threading.Lock()
         self._events: List[Dict[str, object]] = []
         self._next_id = 0
@@ -188,12 +222,16 @@ class Tracer:
 
     def meta(self) -> Dict[str, object]:
         """The header record written as the first JSONL line."""
-        return {
+        meta: Dict[str, object] = {
             "type": "meta",
             "epoch_wall": self.epoch_wall,
             "pid": os.getpid(),
             "events": len(self._events),
+            "trace_id": self.trace_id(),
         }
+        if self.adopted is not None:
+            meta["parent_span_id"] = self.adopted.parent_span_id
+        return meta
 
     def flush(self, path: str) -> int:
         """Write the full buffer to ``path`` as JSONL, atomically.
@@ -220,6 +258,116 @@ class Tracer:
             raise
         return len(events)
 
+    # -- cross-process propagation -------------------------------------------
+
+    def trace_id(self) -> str:
+        """A stable id for this trace, shared by every segment of a run.
+
+        Derived from the originating pid and wall-clock epoch (not from
+        an RNG — tracing must never perturb seeded streams); adopted
+        tracers inherit the parent's id instead of minting one.
+        """
+        if self._trace_id is None:
+            seed = "%d:%.9f" % (os.getpid(), self.epoch_wall)
+            self._trace_id = hashlib.sha256(seed.encode("ascii")).hexdigest()[:16]
+        return self._trace_id
+
+    def context(self, segment_dir: str) -> TraceContext:
+        """The capsule a worker needs to continue this trace."""
+        return TraceContext(
+            trace_id=self.trace_id(),
+            parent_span_id=self.current_span_id(),
+            epoch_wall=self.epoch_wall,
+            segment_dir=segment_dir,
+            profile_prefix=self.profile_prefix,
+        )
+
+    def adopt(self, context: TraceContext) -> None:
+        """Become a worker-side tracer for ``context``'s trace.
+
+        Fork-started workers inherit the parent's enabled tracer *with
+        the parent's buffered spans*; adopting drops that inherited
+        state (fresh buffer, ids, epochs, per-thread stacks) so the
+        segment this process flushes contains only its own spans.
+        """
+        with self._lock:
+            self._events = []
+            self._next_id = 0
+        self._local = threading.local()
+        self.epoch_perf = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.enabled = True
+        self.profile_prefix = context.profile_prefix
+        self.adopted = context
+        self.pid = os.getpid()
+        self._trace_id = context.trace_id
+
+    def segment_path(self) -> Optional[str]:
+        """Where this process's segment file lands (None unless adopted)."""
+        if self.adopted is None:
+            return None
+        return os.path.join(
+            self.adopted.segment_dir,
+            "%s%d%s" % (SEGMENT_PREFIX, os.getpid(), SEGMENT_SUFFIX),
+        )
+
+    def flush_segment(self) -> int:
+        """Flush an adopted tracer's buffer to its per-pid segment file.
+
+        Rewrites the whole buffer each call (the pool calls this after
+        every task), so the final file always holds the process's
+        complete span set.  Returns the events written (0 when this
+        tracer never adopted a context).
+        """
+        path = self.segment_path()
+        if path is None:
+            return 0
+        return self.flush(path)
+
+    def absorb_segments(self, directory: Optional[str], remove: bool = True) -> int:
+        """Fold worker segment files under ``directory`` into this buffer.
+
+        For each segment whose meta ``trace_id`` matches this trace
+        (foreign leftovers are skipped and left in place): worker span
+        ids are remapped to fresh parent-side ids, worker *root* spans
+        (``parent_id is None``) are linked to the segment's recorded
+        ``parent_span_id``, and ``start`` offsets are shifted by the
+        wall-clock delta between the two epochs so the merged waterfall
+        is clock-aligned.  Absorbed files are deleted (unless
+        ``remove=False``) so a second export cannot double-count.
+        Returns the number of spans absorbed.
+        """
+        if not directory or not os.path.isdir(directory):
+            return 0
+        absorbed = 0
+        for name in sorted(os.listdir(directory)):
+            if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+                continue
+            path = os.path.join(directory, name)
+            meta, events = _read_segment(path)
+            if meta is None or meta.get("trace_id") != self.trace_id():
+                continue
+            offset = float(meta.get("epoch_wall", self.epoch_wall)) - self.epoch_wall
+            parent_link = meta.get("parent_span_id")
+            remap: Dict[object, int] = {}
+            with self._lock:
+                for event in events:
+                    self._next_id += 1
+                    remap[event.get("span_id")] = self._next_id
+                for event in events:
+                    event["span_id"] = remap[event.get("span_id")]
+                    parent = event.get("parent_id")
+                    event["parent_id"] = remap[parent] if parent in remap else parent_link
+                    event["start"] = float(event.get("start", 0.0)) + offset
+                    self._events.append(event)
+                absorbed += len(events)
+            if remove:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        return absorbed
+
     # -- profiling -----------------------------------------------------------
 
     def dump_profile(
@@ -241,4 +389,40 @@ def _jsonable(value: object) -> object:
     return str(value)
 
 
-__all__ = ["NULL_SPAN", "NullSpan", "Span", "Tracer"]
+def _read_segment(
+    path: str,
+) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+    """One segment file → (meta record, span events); lenient on damage."""
+    meta: Optional[Dict[str, object]] = None
+    events: List[Dict[str, object]] = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                kind = record.get("type", "span")
+                if kind == "meta" and meta is None:
+                    meta = record
+                elif kind == "span":
+                    events.append(record)
+    except OSError:
+        return None, []
+    return meta, events
+
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "SEGMENT_PREFIX",
+    "SEGMENT_SUFFIX",
+    "Span",
+    "TraceContext",
+    "Tracer",
+]

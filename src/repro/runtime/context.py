@@ -13,6 +13,7 @@ import time
 from typing import Dict, Optional
 
 from repro import obs
+from repro.obs.sampler import PROGRESS
 from repro.runtime.cache import MISSING, ResultCache
 from repro.runtime.jobs import KIND_SCENARIO, Job, execute_job
 from repro.runtime.metrics import RuntimeMetrics
@@ -91,11 +92,13 @@ class RuntimeContext:
         key = job.key()
         cached = self.cache.get(key)
         if cached is not MISSING:
+            PROGRESS.advance("jobs_cached")
             return cached
         start = time.perf_counter()
         with obs.span("runtime.job", kind=job.kind, name=job.name):
             result = execute_job(job, self)
         self.metrics.observe("job.latency", time.perf_counter() - start)
+        PROGRESS.advance("jobs_completed")
         if job.kind == KIND_SCENARIO and job.shards == 1:
             # Sharded scenarios count sim.runs per shard actually
             # executed (inside run_sharded_scenario), not once per job.

@@ -24,7 +24,15 @@ can split **queue wait** from **execute time**: the worker reports how
 long the callable itself ran, and the difference to the parent-side
 turnaround is time spent waiting for a worker slot.  Both land in the
 metrics registry as the ``pool.execute`` and ``pool.queue_wait``
-histograms.
+histograms (serial mode observes a zero queue wait so serial and
+pooled snapshots stay directly diffable with ``repro obs diff``).
+
+When the parent is tracing (and ``$REPRO_TRACE_WORKERS`` is not
+disabled), the shim also carries a
+:class:`~repro.obs.trace.TraceContext`: the worker adopts it, wraps
+the callable in a ``pool.task`` span, and flushes its per-process
+trace segment after every task; the parent's export merges every
+segment into one clock-aligned trace (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -39,14 +47,28 @@ from repro import obs
 from repro.errors import JobExecutionError
 
 
-def _timed_call(fn: Callable, item: object):
+def _timed_call(fn: Callable, item: object, trace_ctx=None):
     """Run ``fn(item)`` and return ``(result, execute_seconds)``.
 
     Module-level so it pickles into worker processes alongside ``fn``.
+    With a :class:`~repro.obs.trace.TraceContext` the call runs under
+    this process's (adopted) tracer and the segment file is flushed
+    even when ``fn`` raises — a failed task still shows up in the
+    merged waterfall, carrying its ``error`` attribute.
     """
+    if trace_ctx is None:
+        start = time.perf_counter()
+        result = fn(item)
+        return result, time.perf_counter() - start
+    obs.enter_worker_trace(trace_ctx)
     start = time.perf_counter()
-    result = fn(item)
-    return result, time.perf_counter() - start
+    try:
+        with obs.span("pool.task"):
+            result = fn(item)
+        elapsed = time.perf_counter() - start
+    finally:
+        obs.flush_worker_segment()
+    return result, elapsed
 
 
 class WorkerPool:
@@ -90,12 +112,16 @@ class WorkerPool:
             with obs.span(
                 "runtime.pool.map", jobs=self.jobs, items=len(items)
             ):
+                trace_ctx = obs.worker_trace_context()
                 submitted = time.perf_counter()
                 futures = [
-                    executor.submit(_timed_call, fn, item) for item in items
+                    executor.submit(_timed_call, fn, item, trace_ctx)
+                    for item in items
                 ]
                 return [
-                    self._await(executor, fn, index, item, future, submitted)
+                    self._await(
+                        executor, fn, index, item, future, submitted, trace_ctx
+                    )
                     for index, (item, future) in enumerate(zip(items, futures))
                 ]
         finally:
@@ -103,7 +129,7 @@ class WorkerPool:
 
     # -- internals -------------------------------------------------------------
 
-    def _await(self, executor, fn, index, item, future, submitted):
+    def _await(self, executor, fn, index, item, future, submitted, trace_ctx=None):
         attempt = 0
         while True:
             try:
@@ -135,7 +161,7 @@ class WorkerPool:
                     ) from exc
                 self._emit("jobs.retried")
                 submitted = time.perf_counter()
-                future = executor.submit(_timed_call, fn, item)
+                future = executor.submit(_timed_call, fn, item, trace_ctx)
 
     def _run_serial(self, fn, index, item):
         attempt = 0
@@ -143,6 +169,9 @@ class WorkerPool:
             try:
                 result, execute_seconds = _timed_call(fn, item)
                 self._observe("pool.execute", execute_seconds)
+                # No pool, no queue: record an explicit zero so serial
+                # and pooled metric snapshots stay diffable.
+                self._observe("pool.queue_wait", 0.0)
                 return result
             except Exception as exc:
                 attempt += 1

@@ -223,24 +223,36 @@ def execute_shard_payload(payload: Dict[str, object]) -> ShardMeta:
 
     Module-level (picklable) for :class:`~repro.runtime.pool.WorkerPool`.
     The payload is the picklable dict :func:`run_sharded_scenario`
-    builds: scenario name, scale, seed, the shard's selection, and where
-    to spill.
+    builds: scenario name, scale, seed, the shard's index and selection,
+    and where to spill.  Wrapped in a ``runtime.shard.execute`` span
+    (merged into the parent trace as this worker's lane) and bracketed
+    by live-monitor heartbeats when ``$REPRO_STATUS_DIR`` is set.
     """
+    from repro.obs.sampler import PROGRESS, begin_worker_task, end_worker_task
     from repro.simulate.scenario import run_scenario
 
     selection = {
         SystemClass(value): indices
         for value, indices in payload["selection"]  # type: ignore[union-attr]
     }
-    result = run_scenario(
-        str(payload["scenario"]),
-        scale=float(payload["scale"]),  # type: ignore[arg-type]
-        seed=int(payload["seed"]),  # type: ignore[arg-type]
-        selection=selection,
-    )
-    table = result.dataset.table
-    spill_path = str(payload["spill_path"])
-    save_table(spill_path, table)
+    index = payload.get("index")
+    shard_index = int(index) if index is not None else -1
+    n_systems = sum(len(indices) for indices in selection.values())
+    begin_worker_task(shard=shard_index, role="shard", systems=n_systems)
+    with obs.span(
+        "runtime.shard.execute", shard=shard_index, systems=n_systems
+    ):
+        result = run_scenario(
+            str(payload["scenario"]),
+            scale=float(payload["scale"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            selection=selection,
+        )
+        table = result.dataset.table
+        spill_path = str(payload["spill_path"])
+        save_table(spill_path, table)
+    PROGRESS.advance("shards_completed")
+    end_worker_task(events=len(table))
     window_end = result.fleet.duration_seconds
     return ShardMeta(
         key=str(payload["key"]),
@@ -304,6 +316,8 @@ def run_sharded_scenario(
     plan = ShardPlan.build(spec, n_shards)
     spill_dir = spill_directory(runtime)
 
+    from repro.obs.sampler import PROGRESS
+
     metas: Dict[int, ShardMeta] = {}
     pending: List[Dict[str, object]] = []
     for shard in plan.non_empty():
@@ -312,6 +326,7 @@ def run_sharded_scenario(
         cached = runtime.cache.get(key)
         if isinstance(cached, ShardMeta) and os.path.exists(cached.spill_path):
             metas[shard.index] = cached
+            PROGRESS.advance("shards_cached")
             continue
         # Cached meta without its spill (cleaned temp dir, pruned
         # cache): treat as a miss and re-simulate just this shard.
@@ -333,13 +348,7 @@ def run_sharded_scenario(
         executed=len(pending),
     ):
         if pending:
-            results = runtime.pool().map(
-                execute_shard_payload,
-                [
-                    {k: v for k, v in payload.items() if k != "index"}
-                    for payload in pending
-                ],
-            )
+            results = runtime.pool().map(execute_shard_payload, pending)
             for payload, meta in zip(pending, results):
                 metas[int(payload["index"])] = meta  # type: ignore[arg-type]
                 runtime.cache.put(meta.key, meta)

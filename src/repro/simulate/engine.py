@@ -14,6 +14,7 @@ import dataclasses
 from typing import Mapping, Optional, Sequence
 
 from repro import obs
+from repro.obs.sampler import PROGRESS
 from repro.autosupport.parser import parse_archive
 from repro.autosupport.writer import LogArchive, write_logs
 from repro.core.dataset import FailureDataset
@@ -82,6 +83,13 @@ class SimulationEngine:
         with obs.span("simulate.run", seed=seed, via_logs=via_logs):
             fleet = build_fleet(self.spec, source, selection=self.selection)
             injection = self.injector.inject(fleet, source)
+            # Live-monitor progress, coarse-grained: the legacy injector
+            # runs in one pass, so publish once per simulation.  The
+            # vector injector reports per cohort itself (finer-grained
+            # for the live monitor) and opts out via this attribute.
+            if not getattr(self.injector, "reports_progress", False):
+                PROGRESS.advance("disks_advanced", fleet.disk_count_ever)
+                PROGRESS.advance("events_emitted", injection.n_events())
             if obs.OBSERVER.fleet_events.enabled:
                 # The topology record the health aggregator needs as an
                 # AFR denominator; emitted after injection so the disk

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import envvars, obs
+from repro.obs.sampler import PROGRESS
 from repro.failures.injector import (
     InjectionResult,
     InjectorConfig,
@@ -101,6 +102,10 @@ class VectorFailureInjector:
     same observability counters and fleet-event emission.
     """
 
+    #: Publishes per-cohort live-monitor progress itself, so the engine
+    #: must not add its own coarse per-run counts on top.
+    reports_progress = True
+
     def __init__(self, config: Optional[InjectorConfig] = None) -> None:
         self.config = config or InjectorConfig()
 
@@ -126,6 +131,11 @@ class VectorFailureInjector:
                     )
                     blocks.append(block)
                     chains.append((cohort, chain))
+                    # Live-monitor progress; one attribute check when no
+                    # status directory is configured.
+                    PROGRESS.advance("cohorts")
+                    PROGRESS.advance("disks_advanced", cohort.n_slots)
+                    PROGRESS.advance("events_emitted", len(block))
                 with obs.span("inject.vector.emit"):
                     table = build_event_table(frame, blocks)
                     apply_mutations(frame, chains)

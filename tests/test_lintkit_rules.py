@@ -148,6 +148,24 @@ def test_rpl002_allows_instrumentation_layers():
     assert codes(source, relpath=SIM) == ["RPL002"]
 
 
+def test_rpl002_allows_obs_submodules():
+    # The sampler and monitor live under repro.obs and legitimately read
+    # wall clocks (heartbeats, resource timelines); the prefix allowance
+    # must cover them without inline suppressions.
+    source = """\
+    import time
+    now = time.time()
+    tick = time.monotonic()
+    """
+    assert codes(source, relpath="src/repro/obs/sampler.py") == []
+    assert codes(source, relpath="src/repro/obs/monitor.py") == []
+    # ...but the allowance does not leak past the prefix boundary.
+    assert codes(source, relpath="src/repro/core/obs_like.py") == [
+        "RPL002",
+        "RPL002",
+    ]
+
+
 def test_rpl002_allows_sim_clock_arithmetic():
     assert (
         codes(

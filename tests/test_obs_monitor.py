@@ -1,0 +1,131 @@
+"""repro.obs.monitor: status rendering, watch loop, HTTP endpoints."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.obs.monitor import make_server, render_status, watch
+from repro.obs.sampler import read_status, write_heartbeat
+
+
+@pytest.fixture
+def status_dir(tmp_path):
+    directory = str(tmp_path / "status")
+    write_heartbeat(
+        directory,
+        {"pid": 11, "shard": 0, "state": "done",
+         "progress": {"disks_advanced": 500, "shards_completed": 1}},
+    )
+    write_heartbeat(
+        directory,
+        {"pid": 22, "role": "driver", "state": "done",
+         "progress": {"jobs_completed": 2}},
+    )
+    return directory
+
+
+class TestRenderStatus:
+    def test_empty_directory(self, tmp_path):
+        text = render_status(read_status(str(tmp_path)))
+        assert "(no heartbeats yet)" in text
+
+    def test_table_has_workers_and_totals(self, status_dir):
+        text = render_status(read_status(status_dir))
+        lines = text.splitlines()
+        assert "run status:" in lines[0]
+        header = lines[1].split()
+        assert header[:5] == ["pid", "shard", "state", "age", "rss"]
+        assert "disks_advanced" in header and "jobs_completed" in header
+        assert any(row.split()[:2] == ["11", "0"] for row in lines[2:])
+        assert any(row.split()[:2] == ["22", "driver"] for row in lines[2:])
+        total = lines[-1].split()
+        assert total[0] == "total"
+        assert "500" in total and "2" in total
+
+
+class TestWatch:
+    def test_once_json_emits_status_payload(self, status_dir):
+        buffer = io.StringIO()
+        assert watch(status_dir, once=True, as_json=True, stream=buffer) == 0
+        payload = json.loads(buffer.getvalue())
+        assert payload["type"] == "status"
+        assert [w["pid"] for w in payload["workers"]] == [11, 22]
+
+    def test_loop_exits_when_nothing_is_running(self, status_dir):
+        # Both heartbeats report done, so the first poll terminates.
+        buffer = io.StringIO()
+        assert watch(status_dir, interval=0.05, stream=buffer) == 0
+        assert "run status" in buffer.getvalue()
+
+
+class TestServe:
+    @pytest.fixture
+    def server(self, status_dir, tmp_path):
+        metrics = tmp_path / "m.prom"
+        metrics.write_text("# TYPE repro_sim_runs counter\nrepro_sim_runs 4\n")
+        server = make_server(status_dir, port=0, metrics_path=str(metrics))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield "http://127.0.0.1:%d" % server.server_address[1]
+        server.shutdown()
+        server.server_close()
+
+    def test_status_endpoint(self, server):
+        with urllib.request.urlopen(server + "/status") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            payload = json.loads(response.read())
+        assert payload["done"] == 2
+        assert payload["progress"]["disks_advanced"] == 500
+
+    def test_metrics_endpoint(self, server):
+        with urllib.request.urlopen(server + "/metrics") as response:
+            body = response.read().decode()
+        assert "repro_sim_runs 4" in body
+
+    def test_root_lists_endpoints(self, server):
+        with urllib.request.urlopen(server) as response:
+            payload = json.loads(response.read())
+        assert payload["endpoints"] == ["/status", "/metrics"]
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_missing_metrics_file_is_404(self, status_dir):
+        server = make_server(status_dir, port=0, metrics_path=None)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = "http://127.0.0.1:%d/metrics" % server.server_address[1]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestCli:
+    def test_watch_once_json(self, status_dir, capsys):
+        assert main(["obs", "watch", "--dir", status_dir, "--once", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["type"] == "status"
+        assert payload["done"] == 2
+
+    def test_watch_requires_a_directory(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STATUS_DIR", raising=False)
+        assert main(["obs", "watch", "--once"]) == 2
+        assert "REPRO_STATUS_DIR" in capsys.readouterr().err
+
+    def test_watch_honors_env_status_dir(self, monkeypatch, status_dir, capsys):
+        monkeypatch.setenv("REPRO_STATUS_DIR", status_dir)
+        assert main(["obs", "watch", "--once"]) == 0
+        assert "run status" in capsys.readouterr().out

@@ -1,0 +1,217 @@
+"""repro.obs.sampler: progress counters, heartbeats, resource timeline."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import (
+    PROGRESS,
+    ResourceSampler,
+    RunProgress,
+    begin_worker_task,
+    end_worker_task,
+    heartbeat_path,
+    read_cpu_seconds,
+    read_rss_bytes,
+    read_status,
+    sample_interval,
+    status_directory,
+    write_heartbeat,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_progress():
+    PROGRESS.reset()
+    yield
+    PROGRESS.reset()
+
+
+class TestResourceProbes:
+    def test_rss_is_positive(self):
+        assert read_rss_bytes() > 0
+
+    def test_cpu_seconds_monotonic(self):
+        first = read_cpu_seconds()
+        sum(range(200_000))
+        assert read_cpu_seconds() >= first >= 0.0
+
+
+class TestEnvKnobs:
+    def test_sample_interval_default_and_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLE_INTERVAL", raising=False)
+        assert sample_interval() == 0.5
+        monkeypatch.setenv("REPRO_SAMPLE_INTERVAL", "2.5")
+        assert sample_interval() == 2.5
+        monkeypatch.setenv("REPRO_SAMPLE_INTERVAL", "0.0001")
+        assert sample_interval() == 0.05
+
+    def test_status_directory(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STATUS_DIR", raising=False)
+        assert status_directory() is None
+        monkeypatch.setenv("REPRO_STATUS_DIR", str(tmp_path))
+        assert status_directory() == str(tmp_path)
+
+
+class TestRunProgress:
+    def test_disabled_advance_is_a_noop(self):
+        progress = RunProgress()
+        progress.advance("disks_advanced", 10)
+        assert progress.counts() == {}
+
+    def test_enabled_counts_accumulate(self):
+        progress = RunProgress().configure()
+        progress.advance("events_emitted", 3)
+        progress.advance("events_emitted", 4)
+        progress.advance("shards_completed")
+        assert progress.counts() == {"events_emitted": 7, "shards_completed": 1}
+
+    def test_counts_returns_a_snapshot(self):
+        progress = RunProgress().configure()
+        progress.advance("x")
+        snapshot = progress.counts()
+        progress.advance("x")
+        assert snapshot == {"x": 1}
+
+    def test_heartbeat_without_directory_is_none(self):
+        progress = RunProgress().configure()
+        progress.advance("x")
+        assert progress.heartbeat() is None
+
+    def test_advance_publishes_throttled_heartbeats(self, tmp_path):
+        progress = RunProgress().configure(
+            directory=str(tmp_path), interval=0.05, shard=2
+        )
+        progress.advance("disks_advanced", 100)
+        path = heartbeat_path(str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["shard"] == 2
+        assert record["state"] == "running"
+        assert record["progress"]["disks_advanced"] == 100
+        # Inside the throttle window nothing is rewritten...
+        before = os.stat(path).st_mtime_ns
+        progress.advance("disks_advanced", 1)
+        assert os.stat(path).st_mtime_ns == before
+        # ...and past it the heartbeat refreshes.
+        time.sleep(0.06)
+        progress.advance("disks_advanced", 1)
+        with open(path) as handle:
+            assert json.load(handle)["progress"]["disks_advanced"] == 102
+
+    def test_reset_disables_and_clears(self, tmp_path):
+        progress = RunProgress().configure(directory=str(tmp_path))
+        progress.advance("x")
+        progress.reset()
+        assert not progress.enabled
+        assert progress.counts() == {}
+        progress.advance("x")
+        assert progress.counts() == {}
+
+
+class TestWorkerTaskLifecycle:
+    def test_noop_without_status_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STATUS_DIR", raising=False)
+        begin_worker_task(shard=0)
+        end_worker_task()
+        assert not PROGRESS.enabled
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_begin_end_bracket_heartbeats(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STATUS_DIR", str(tmp_path))
+        begin_worker_task(shard=3, role="shard")
+        PROGRESS.advance("shards_completed")
+        end_worker_task(events=42)
+        with open(heartbeat_path(str(tmp_path))) as handle:
+            record = json.load(handle)
+        assert record["state"] == "done"
+        assert record["shard"] == 3
+        assert record["events"] == 42
+        assert record["progress"] == {"shards_completed": 1}
+
+
+class TestHeartbeatFiles:
+    def test_write_is_keyed_by_pid(self, tmp_path):
+        path = write_heartbeat(str(tmp_path), {"state": "running"})
+        assert path.endswith("heartbeat-%d.json" % os.getpid())
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["pid"] == os.getpid()
+        assert record["rss_bytes"] > 0
+        assert record["type"] == "heartbeat"
+
+    def test_read_status_aggregates_and_orders(self, tmp_path):
+        write_heartbeat(
+            str(tmp_path),
+            {"pid": 30, "role": "driver", "state": "running",
+             "progress": {"jobs_completed": 1}},
+        )
+        write_heartbeat(
+            str(tmp_path),
+            {"pid": 20, "shard": 1, "state": "done",
+             "progress": {"disks_advanced": 5}},
+        )
+        write_heartbeat(
+            str(tmp_path),
+            {"pid": 10, "shard": 0, "state": "running",
+             "progress": {"disks_advanced": 7}},
+        )
+        status = read_status(str(tmp_path))
+        assert [r["pid"] for r in status["workers"]] == [10, 20, 30]
+        assert status["running"] == 2
+        assert status["done"] == 1
+        assert status["progress"] == {"disks_advanced": 12, "jobs_completed": 1}
+
+    def test_read_status_skips_torn_and_foreign_files(self, tmp_path):
+        (tmp_path / "heartbeat-99.json").write_text("{not json")
+        (tmp_path / "other.txt").write_text("hello")
+        write_heartbeat(str(tmp_path), {"pid": 1, "state": "running"})
+        status = read_status(str(tmp_path))
+        assert [r["pid"] for r in status["workers"]] == [1]
+
+    def test_read_status_on_missing_directory(self, tmp_path):
+        status = read_status(str(tmp_path / "nope"))
+        assert status["workers"] == []
+        assert status["running"] == 0
+
+
+class TestResourceSampler:
+    def test_timeline_and_gauges(self, tmp_path):
+        registry = MetricsRegistry(enabled=True)
+        progress = RunProgress().configure()
+        progress.advance("disks_advanced", 1000)
+        sampler = ResourceSampler(
+            registry=registry,
+            interval=0.05,
+            directory=str(tmp_path),
+            progress=progress,
+        ).start()
+        deadline = time.monotonic() + 2.0
+        while not sampler.timeline and time.monotonic() < deadline:
+            time.sleep(0.02)
+        timeline = sampler.stop()
+        assert timeline  # at least the stop-time sample
+        final = timeline[-1]
+        assert final["rss_bytes"] > 0
+        assert final["progress"] == {"disks_advanced": 1000}
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["sampler.rss_peak_bytes"] > 0
+        assert gauges["sampler.samples"] == float(len(timeline))
+        assert gauges["progress.disks_advanced"] == 1000.0
+        with open(heartbeat_path(str(tmp_path))) as handle:
+            assert json.load(handle)["state"] == "done"
+
+    def test_short_run_still_records_a_sample(self):
+        sampler = ResourceSampler(interval=30.0).start()
+        timeline = sampler.stop()
+        assert len(timeline) == 1
+        assert timeline[0]["rss_bytes"] > 0
+
+    def test_stop_without_start(self):
+        assert ResourceSampler(interval=1.0).stop()  # the final sample

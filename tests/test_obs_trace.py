@@ -235,3 +235,201 @@ class TestProfileOptIn:
         assert "profile" in hot.get("attrs", {})
         assert os.path.exists(hot["attrs"]["profile"])
         assert "attrs" not in cold or "profile" not in cold["attrs"]
+
+
+class TestTraceContext:
+    def test_context_carries_trace_id_and_open_span(self, tracer, tmp_path):
+        with tracer.span("outer"):
+            ctx = tracer.context(str(tmp_path))
+            open_id = tracer.current_span_id()
+        assert ctx.trace_id == tracer.trace_id()
+        assert ctx.parent_span_id == open_id
+        assert ctx.epoch_wall == tracer.epoch_wall
+        assert ctx.segment_dir == str(tmp_path)
+
+    def test_trace_id_is_stable_per_tracer(self, tracer):
+        assert tracer.trace_id() == tracer.trace_id()
+        assert tracer.trace_id() != Tracer(enabled=True).trace_id()
+
+    def test_adopt_resets_inherited_state(self, tracer, tmp_path):
+        parent = Tracer(enabled=True)
+        with parent.span("parent.work"):
+            ctx = parent.context(str(tmp_path))
+        # A fork-started worker inherits the parent's buffer; adopting
+        # must drop it so the segment holds only this process's spans.
+        tracer.record({"type": "span", "name": "inherited", "span_id": 99})
+        tracer.adopt(ctx)
+        assert tracer.events() == []
+        assert tracer.enabled
+        assert tracer.trace_id() == ctx.trace_id
+        assert tracer.adopted is ctx
+
+    def test_flush_segment_writes_meta_with_parent_link(self, tmp_path):
+        parent = Tracer(enabled=True)
+        with parent.span("submit"):
+            ctx = parent.context(str(tmp_path))
+        worker = Tracer()
+        worker.adopt(ctx)
+        with worker.span("task"):
+            pass
+        assert worker.flush_segment() == 1
+        path = worker.segment_path()
+        assert os.path.basename(path) == "trace-seg-%d.jsonl" % os.getpid()
+        with open(path) as handle:
+            meta = json.loads(handle.readline())
+        assert meta["trace_id"] == ctx.trace_id
+        assert meta["parent_span_id"] == ctx.parent_span_id
+
+    def test_unadopted_tracer_has_no_segment(self, tracer):
+        assert tracer.segment_path() is None
+        assert tracer.flush_segment() == 0
+
+
+def _write_segment(directory, pid, trace_id, parent_span_id, epoch_wall, spans):
+    """Hand-craft one worker segment file (as another process would)."""
+    lines = [
+        {
+            "type": "meta",
+            "epoch_wall": epoch_wall,
+            "pid": pid,
+            "events": len(spans),
+            "trace_id": trace_id,
+            "parent_span_id": parent_span_id,
+        }
+    ]
+    lines.extend(spans)
+    path = os.path.join(directory, "trace-seg-%d.jsonl" % pid)
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(json.dumps(line) + "\n")
+    return path
+
+
+class TestAbsorbSegments:
+    def _span(self, pid, span_id, parent_id, name, start, duration=0.5):
+        return {
+            "type": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start": start,
+            "duration": duration,
+            "pid": pid,
+        }
+
+    def test_parent_links_resolve_across_pids(self, tmp_path):
+        parent = Tracer(enabled=True)
+        with parent.span("runtime.pool.map"):
+            ctx = parent.context(str(tmp_path))
+            submit_id = parent.current_span_id()
+        for pid in (1111, 2222):
+            _write_segment(
+                str(tmp_path), pid, ctx.trace_id, submit_id,
+                parent.epoch_wall + 0.25,
+                [
+                    self._span(pid, 1, None, "pool.task", 0.0, 1.0),
+                    self._span(pid, 2, 1, "simulate.run", 0.1, 0.8),
+                ],
+            )
+        absorbed = parent.absorb_segments(str(tmp_path))
+        assert absorbed == 4
+        events = parent.events()
+        ids = {e["span_id"] for e in events}
+        assert len(ids) == len(events)  # remapped ids never collide
+        by_pid = {}
+        for event in events:
+            by_pid.setdefault(event["pid"], {})[event["name"]] = event
+        for pid in (1111, 2222):
+            lane = by_pid[pid]
+            # Worker roots re-parent onto the submitting pool span...
+            assert lane["pool.task"]["parent_id"] == submit_id
+            # ...and intra-worker nesting survives the id remap.
+            assert lane["simulate.run"]["parent_id"] == lane["pool.task"]["span_id"]
+            # Clock alignment: the worker epoch was 0.25s after the
+            # parent's, so its offsets shift forward by 0.25s.
+            assert lane["pool.task"]["start"] == pytest.approx(0.25)
+        # Segment files are consumed so a second export cannot
+        # double-count.
+        assert parent.absorb_segments(str(tmp_path)) == 0
+
+    def test_foreign_trace_segments_are_left_alone(self, tmp_path):
+        parent = Tracer(enabled=True)
+        path = _write_segment(
+            str(tmp_path), 3333, "not-this-trace", None, parent.epoch_wall,
+            [self._span(3333, 1, None, "stale", 0.0)],
+        )
+        assert parent.absorb_segments(str(tmp_path)) == 0
+        assert parent.events() == []
+        assert os.path.exists(path)
+
+    def test_merged_summary_is_deterministic(self, tmp_path):
+        def build():
+            parent = Tracer(enabled=True)
+            parent._trace_id = "fixed-trace-id"
+            with parent.span("runtime.pool.map"):
+                submit = parent.current_span_id()
+            for pid in (1111, 2222, 3333):
+                _write_segment(
+                    str(tmp_path), pid, "fixed-trace-id", submit,
+                    parent.epoch_wall,
+                    [
+                        self._span(pid, 1, None, "pool.task", 0.0, 1.0 + pid / 1e4),
+                        self._span(pid, 2, 1, "colstore.save", 0.5, 0.25),
+                    ],
+                )
+            parent.absorb_segments(str(tmp_path), remove=False)
+            return summarize_trace(parent.events())
+        first, second = build(), build()
+        for name in ("pool.task", "colstore.save"):
+            for stat in ("count", "p50", "p95", "max", "total"):
+                assert first[name][stat] == second[name][stat]
+        assert first["pool.task"]["count"] == 3
+
+
+class TestWorkerTraceHelpers:
+    @pytest.fixture(autouse=True)
+    def clean_observer(self):
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_disabled_tracer_ships_no_context(self):
+        assert obs.worker_trace_context() is None
+
+    def test_env_flag_disables_worker_tracing(self, monkeypatch):
+        obs.configure(enable=True)
+        monkeypatch.setenv(obs.ENV_TRACE_WORKERS, "0")
+        assert obs.worker_trace_context() is None
+        monkeypatch.setenv(obs.ENV_TRACE_WORKERS, "1")
+        assert obs.worker_trace_context() is not None
+
+    def test_enter_worker_trace_is_idempotent_per_trace(self, tmp_path):
+        obs.configure(enable=True)
+        parent = Tracer(enabled=True)
+        ctx = parent.context(str(tmp_path))
+        obs.enter_worker_trace(ctx)
+        with obs.span("task.one"):
+            pass
+        # Same trace again (second payload): the buffer survives.
+        obs.enter_worker_trace(ctx)
+        assert [e["name"] for e in obs.events()] == ["task.one"]
+
+    def test_export_absorbs_segments_into_trace(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        obs.configure(trace=trace_path)
+        tracer = obs.OBSERVER.tracer
+        with obs.span("runtime.pool.map"):
+            ctx = obs.worker_trace_context()
+            submit = tracer.current_span_id()
+        assert ctx is not None and os.path.isdir(ctx.segment_dir)
+        worker = Tracer()
+        worker.adopt(ctx)
+        with worker.span("pool.task"):
+            pass
+        worker.flush_segment()
+        obs.export()
+        events = read_trace(trace_path)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["pool.task"]["parent_id"] == submit
+        ids = {e["span_id"] for e in events}
+        assert len(ids) == len(events)

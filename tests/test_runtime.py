@@ -229,6 +229,16 @@ class TestWorkerPool:
         with pytest.raises(JobExecutionError, match="timed out"):
             pool.map(_sleepy, [1, 2])
 
+    def test_serial_observes_zero_queue_wait(self):
+        # Serial runs record pool.queue_wait (as zero) alongside
+        # pool.execute, so serial and pooled snapshots diff cleanly.
+        metrics = RuntimeMetrics()
+        WorkerPool(jobs=1, metrics=metrics).map(_square, [1, 2, 3])
+        queue = metrics.histogram("pool.queue_wait")
+        assert queue.count == 3
+        assert queue.total == 0.0
+        assert metrics.histogram("pool.execute").count == 3
+
 
 class TestRuntimeContext:
     def test_scenario_cached_between_calls(self, tmp_path):

@@ -388,3 +388,114 @@ class TestRuntimeIntegration:
             n_shards=4,
         )
         assert_tables_identical(serial.dataset.table, pooled.dataset.table)
+
+
+class TestDistributedTrace:
+    """A pooled sharded run exports ONE merged, clock-aligned trace."""
+
+    @pytest.fixture(autouse=True)
+    def clean_observer(self):
+        from repro import obs
+
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_pooled_run_merges_worker_segments(self, tmp_path):
+        from repro import obs
+
+        trace_path = str(tmp_path / "trace.jsonl")
+        obs.configure(trace=trace_path)
+        result = run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=11,
+            runtime=make_runtime(tmp_path, jobs=4),
+            n_shards=4,
+        )
+        assert len(result.dataset.table)
+        obs.export()
+        events = obs.read_trace(trace_path)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        # Worker spans made it into the parent's trace...
+        assert "runtime.shard.execute" in by_name
+        assert "pool.task" in by_name
+        assert "colstore.save" in by_name  # the spill, from inside workers
+        assert "colstore.merge" in by_name  # the parent-side merge
+        # ...every span id is unique after the remap...
+        ids = [event["span_id"] for event in events]
+        assert len(set(ids)) == len(ids)
+        # ...every parent link resolves inside the merged trace...
+        id_set = set(ids)
+        assert all(
+            event["parent_id"] in id_set
+            for event in events
+            if event["parent_id"] is not None
+        )
+        # ...and worker roots hang off the parent's pool.map span.
+        (pool_map,) = by_name["runtime.pool.map"]
+        for task in by_name["pool.task"]:
+            assert task["parent_id"] == pool_map["span_id"]
+            # Clock alignment keeps workers inside the parent window
+            # (generous slack: epochs are captured around the fork).
+            assert task["start"] >= pool_map["start"] - 0.25
+        # Each executed shard traced in its own process when the pool
+        # really forked (serial fallback legitimately yields one pid).
+        shard_pids = {e["pid"] for e in by_name["runtime.shard.execute"]}
+        parent_pid = os.getpid()
+        if any(e["pid"] != parent_pid for e in by_name["pool.task"]):
+            assert len(shard_pids) > 1
+            assert parent_pid not in shard_pids
+        # The segment directory was consumed by the export.
+        assert not glob.glob(os.path.join(trace_path + ".segs", "*"))
+
+    def test_worker_tracing_can_be_disabled(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setenv("REPRO_TRACE_WORKERS", "0")
+        trace_path = str(tmp_path / "trace.jsonl")
+        obs.configure(trace=trace_path)
+        run_sharded_scenario(
+            "paper-default",
+            scale=SCALE,
+            seed=11,
+            runtime=make_runtime(tmp_path, jobs=2),
+            n_shards=2,
+        )
+        obs.export()
+        events = obs.read_trace(trace_path)
+        names = {event["name"] for event in events}
+        assert "runtime.pool.map" in names
+        assert "runtime.shard.execute" not in names  # workers stayed dark
+        assert {event["pid"] for event in events} == {os.getpid()}
+
+    def test_sharded_run_publishes_live_status(self, tmp_path, monkeypatch):
+        from repro.obs.sampler import PROGRESS, read_status
+
+        status_dir = str(tmp_path / "status")
+        monkeypatch.setenv("REPRO_STATUS_DIR", status_dir)
+        PROGRESS.reset()
+        try:
+            run_sharded_scenario(
+                "paper-default",
+                scale=SCALE,
+                seed=12,
+                runtime=make_runtime(tmp_path, jobs=2),
+                n_shards=2,
+            )
+            status = read_status(status_dir)
+            assert status["progress"]["shards_completed"] == 2
+            shards = [
+                w["shard"] for w in status["workers"]
+                if isinstance(w.get("shard"), int)
+            ]
+            assert sorted(shards) == [0, 1] or len(set(shards)) >= 1
+            assert all(
+                w["state"] == "done"
+                for w in status["workers"]
+                if isinstance(w.get("shard"), int)
+            )
+        finally:
+            PROGRESS.reset()
