@@ -115,6 +115,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common(doctor_cmd)
 
+    fit_cmd = sub.add_parser(
+        "fit-hazards",
+        help="fit interarrival distributions to a recorded failure trace",
+    )
+    fit_cmd.add_argument(
+        "events",
+        help="failure trace: an --events JSONL stream or an EventTable .npz",
+    )
+    fit_cmd.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="KS-gate significance level for the re-simulated CDF check",
+    )
+    fit_cmd.add_argument(
+        "--seed", type=int, default=0, help="re-simulation seed for the gate"
+    )
+
     batch_cmd = sub.add_parser(
         "batch", help="multi-seed run: headline metrics with seed spread"
     )
@@ -253,6 +269,11 @@ def _common(cmd: argparse.ArgumentParser) -> None:
         help="skip the on-disk result cache (results are still shared "
         "in memory within this run)",
     )
+    cmd.add_argument(
+        "--hazard-backend", default=None, metavar="SPEC",
+        help="hazard backend for both engines: analytic, trace:<events>, "
+        "or fitted:<events> (default: $REPRO_HAZARD_BACKEND or analytic)",
+    )
     _cache_dir_option(cmd)
     _obs_flags(cmd)
 
@@ -313,10 +334,16 @@ def _print_metrics(runtime) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "hazard_backend", None):
+        # Funnel through the registry so the spec reaches pool workers
+        # (they re-resolve from the environment) with the typo check on.
+        from repro import envvars
+
+        envvars.override("REPRO_HAZARD_BACKEND", args.hazard_backend)
     sampler = None
-    if args.command != "obs":
-        # ``repro obs`` *reads* trace/metrics/events files its
-        # subcommands name with the same flags; configuring the
+    if args.command not in ("obs", "fit-hazards"):
+        # ``repro obs`` and ``repro fit-hazards`` *read* trace/metrics/
+        # events files named with the same flags; configuring the
         # observer from them would clobber those inputs on export.
         obs.configure(
             trace=getattr(args, "trace", None),
@@ -512,6 +539,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "fit-hazards":
+        return _dispatch_fit_hazards(args)
+
     if args.command == "obs":
         return _dispatch_obs(args)
 
@@ -533,6 +563,43 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError("unreachable command %r" % args.command)
+
+
+def _dispatch_fit_hazards(args: argparse.Namespace) -> int:
+    from repro.failures.backends.fitted import FittedBackend
+    from repro.failures.types import ALL_FAILURE_TYPES
+
+    backend = FittedBackend(args.events)
+    print("fit-hazards: %s" % args.events)
+    failed = False
+    for failure_type in ALL_FAILURE_TYPES:
+        key = failure_type.value
+        gaps = backend.gaps.get(key)
+        if gaps is None:
+            continue
+        print("%s: %d interarrival gap(s)" % (failure_type.label, gaps.size))
+        fit = backend.fits.get(key)
+        if fit is not None:
+            params = ", ".join(
+                "%s=%.6g" % (name, value)
+                for name, value in sorted(fit.params.items())
+            )
+            print(
+                "  best fit: %s (%s)  loglik=%.2f  aic=%.2f"
+                % (fit.name, params, fit.log_likelihood, fit.aic)
+            )
+            gate = backend.ks_gate(
+                failure_type, alpha=args.alpha, seed=args.seed
+            )
+            verdict = "PASS" if gate.passed else "FAIL"
+            print(
+                "  KS gate: %s  D=%.4f  p=%.4g  (alpha=%g)"
+                % (verdict, gate.statistic, gate.p_value, gate.alpha)
+            )
+            failed = failed or not gate.passed
+        for error in backend.fit_errors.get(key, ()):
+            print("  no %s fit: %s" % (error.name, error.reason))
+    return 1 if failed else 0
 
 
 def _dispatch_obs(args: argparse.Namespace) -> int:

@@ -17,7 +17,12 @@ from repro import obs
 from repro.core.columns import use_columnar
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    EXTENDED_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+    FailureType,
+)
 from repro.stats.intervals import ConfidenceInterval, rate_confidence_interval
 from repro.topology.system import StorageSystem
 
@@ -130,21 +135,38 @@ def afr_stack(
                 member = table.system_member_mask(kept_ids)
                 counts = np.bincount(
                     table.type_codes[member].astype(np.int64),
-                    minlength=len(FAILURE_TYPE_ORDER),
+                    minlength=len(ALL_FAILURE_TYPES),
                 )
-            return {
+            # The paper's four types are always in the stack; extended
+            # types (operator error) appear only when events exist, so
+            # default-backend output keeps the four-bar shape.
+            stack = {
                 failure_type: afr_estimate(
                     int(counts[code]), exposure, confidence
                 )
                 for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
             }
+            for failure_type in EXTENDED_FAILURE_TYPES:
+                count = int(counts[ALL_FAILURE_TYPES.index(failure_type)])
+                if count:
+                    stack[failure_type] = afr_estimate(
+                        count, exposure, confidence
+                    )
+            return stack
     with obs.span("core.afr.stack", path="legacy", events=len(dataset)):
-        return {
+        stack = {
             failure_type: dataset_afr(
                 dataset, failure_type, system_predicate, confidence
             )
             for failure_type in FAILURE_TYPE_ORDER
         }
+        for failure_type in EXTENDED_FAILURE_TYPES:
+            estimate = dataset_afr(
+                dataset, failure_type, system_predicate, confidence
+            )
+            if estimate.count:
+                stack[failure_type] = estimate
+        return stack
 
 
 def stack_total_percent(stack: Dict[FailureType, AFREstimate]) -> float:

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import ALL_FAILURE_TYPES, FailureType
 from repro.topology.classes import SystemClass
 from repro.units import SECONDS_PER_HOUR
 
@@ -36,6 +36,9 @@ DEFAULT_OUTAGE_SECONDS: Mapping[FailureType, float] = {
     FailureType.PHYSICAL_INTERCONNECT: 4.0 * SECONDS_PER_HOUR,
     FailureType.PROTOCOL: 2.0 * SECONDS_PER_HOUR,
     FailureType.PERFORMANCE: 0.5 * SECONDS_PER_HOUR,
+    # Extended type: undoing a mis-pulled drive / wrong-slot insert is a
+    # hands-on fix comparable to an interconnect repair, minus travel.
+    FailureType.OPERATOR_ERROR: 2.0 * SECONDS_PER_HOUR,
 }
 
 
@@ -160,7 +163,7 @@ def _merged_outage_by_system(table, outage_seconds, duration_seconds):
     system, touching-window semantics included.
     """
     durations = np.array(
-        [outage_seconds.get(t, 0.0) for t in FAILURE_TYPE_ORDER],
+        [outage_seconds.get(t, 0.0) for t in ALL_FAILURE_TYPES],
         dtype=np.float64,
     )
     n_systems = len(table.system_ids)

@@ -36,8 +36,10 @@ class BreakdownRow:
         return stack_total_percent(self.stack)
 
     def percent(self, failure_type: FailureType) -> float:
-        """One segment's AFR percent."""
-        return self.stack[failure_type].percent
+        """One segment's AFR percent (0 for types absent from the stack,
+        e.g. extended types in a default-backend run)."""
+        estimate = self.stack.get(failure_type)
+        return 0.0 if estimate is None else estimate.percent
 
     def share(self, failure_type: FailureType) -> float:
         """One segment's share of the bar (0-1); 0 for an empty bar."""

@@ -41,7 +41,11 @@ import numpy as np
 
 from repro import envvars
 from repro.failures.events import FailureEvent
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType, InterconnectCause
+from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    FailureType,
+    InterconnectCause,
+)
 
 #: Environment variable forcing the legacy list-walking analysis path.
 LEGACY_EVENTS_ENV = "REPRO_LEGACY_EVENTS"
@@ -49,8 +53,10 @@ LEGACY_EVENTS_ENV = "REPRO_LEGACY_EVENTS"
 #: Fixed code order for interconnect causes (code -1 = no cause).
 CAUSE_ORDER: Tuple[InterconnectCause, ...] = tuple(InterconnectCause)
 
+# Type codes follow the storage order (paper's four + extended types)
+# so tables can hold operator-error rows; append-only by contract.
 _TYPE_CODE: Dict[FailureType, int] = {
-    failure_type: code for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+    failure_type: code for code, failure_type in enumerate(ALL_FAILURE_TYPES)
 }
 _CAUSE_CODE: Dict[InterconnectCause, int] = {
     cause: code for code, cause in enumerate(CAUSE_ORDER)
@@ -333,7 +339,7 @@ class EventTable:
 
         Args:
             occur_time / detect_time: float seconds since study start.
-            type_codes: codes into ``FAILURE_TYPE_ORDER``.
+            type_codes: codes into ``ALL_FAILURE_TYPES``.
             cause_codes: codes into :data:`CAUSE_ORDER` (-1 = none).
             dual_path / replaced_disk: boolean rows.
             disk_id ... shelf_model: per-row strings to intern, or a
@@ -483,7 +489,7 @@ class EventTable:
         return FailureEvent(
             occur_time=float(self.occur_time[index]),
             detect_time=float(self.detect_time[index]),
-            failure_type=FAILURE_TYPE_ORDER[int(self.type_codes[index])],
+            failure_type=ALL_FAILURE_TYPES[int(self.type_codes[index])],
             disk_id=self.disk_ids.value(int(self.disk_codes[index])),
             shelf_id=self.shelf_ids.value(int(self.shelf_codes[index])),
             raid_group_id=self.raid_group_ids.value(
@@ -515,9 +521,9 @@ class EventTable:
     # -- bulk reductions ---------------------------------------------------
 
     def counts_by_type(self) -> np.ndarray:
-        """Event counts per failure type, in ``FAILURE_TYPE_ORDER``."""
+        """Event counts per failure type, in ``ALL_FAILURE_TYPES`` order."""
         return np.bincount(
-            self.type_codes.astype(np.int64), minlength=len(FAILURE_TYPE_ORDER)
+            self.type_codes.astype(np.int64), minlength=len(ALL_FAILURE_TYPES)
         )
 
     def type_mask(self, failure_type: FailureType) -> np.ndarray:
@@ -552,7 +558,7 @@ class EventTable:
         keep = np.ones(n, dtype=bool)
         if n == 0:
             return keep
-        key = self.disk_codes.astype(np.int64) * len(FAILURE_TYPE_ORDER) + (
+        key = self.disk_codes.astype(np.int64) * len(ALL_FAILURE_TYPES) + (
             self.type_codes.astype(np.int64)
         )
         order = np.argsort(key, kind="stable")  # detect order within key
@@ -573,6 +579,52 @@ class EventTable:
                 else:
                     last_kept = t
         return keep
+
+    def content_digest(self) -> str:
+        """SHA-256 over the table's canonical byte serialization.
+
+        Every numeric column is hashed with a fixed dtype (independent
+        of the width-adaptive code dtypes) and every string table as its
+        NUL-joined value list, so two tables digest equal iff they hold
+        the same events in the same stored order.  This is what the
+        hazard-backend differential goldens pin: a refactor of the
+        sampling layer must leave each engine's digest unchanged.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.occur_time, np.float64).tobytes())
+        digest.update(np.ascontiguousarray(self.detect_time, np.float64).tobytes())
+        for name in (
+            "type_codes",
+            "cause_codes",
+            "class_codes",
+            "disk_codes",
+            "shelf_codes",
+            "raid_group_codes",
+            "system_codes",
+            "disk_model_codes",
+            "shelf_model_codes",
+        ):
+            digest.update(
+                np.ascontiguousarray(getattr(self, name), np.int64).tobytes()
+            )
+        for name in ("dual_path", "replaced_disk"):
+            digest.update(
+                np.ascontiguousarray(getattr(self, name), np.uint8).tobytes()
+            )
+        for name in (
+            "disk_ids",
+            "shelf_ids",
+            "raid_group_ids",
+            "system_ids",
+            "system_classes",
+            "disk_models",
+            "shelf_models",
+        ):
+            digest.update("\x00".join(getattr(self, name).values).encode("utf-8"))
+            digest.update(b"\x01")
+        return digest.hexdigest()
 
     # -- serialization -----------------------------------------------------
 

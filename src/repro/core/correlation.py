@@ -23,7 +23,11 @@ from repro import obs
 from repro.core.columns import use_columnar
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import (
+    EXTENDED_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+    FailureType,
+)
 from repro.stats.intervals import ConfidenceInterval, wilson_interval
 from repro.stats.tests import TestResult, poisson_rate_test
 from repro.units import SECONDS_PER_YEAR
@@ -209,12 +213,22 @@ def correlation_by_type(
     scope: str = "shelf",
     window_years: float = 1.0,
 ) -> List[CorrelationResult]:
-    """One Fig. 10 panel: results for all four failure types."""
+    """One Fig. 10 panel: results for all four failure types.
+
+    Extended types (operator error) get a row only when the dataset
+    actually holds such events, keeping the default panel four-rowed.
+    """
     results: List[CorrelationResult] = []
     for failure_type in FAILURE_TYPE_ORDER:
         results.append(
             correlation_for(dataset, failure_type, scope, window_years)
         )
+    present = dataset.counts_by_type()
+    for failure_type in EXTENDED_FAILURE_TYPES:
+        if present.get(failure_type, 0):
+            results.append(
+                correlation_for(dataset, failure_type, scope, window_years)
+            )
     return results
 
 

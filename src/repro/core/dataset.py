@@ -26,7 +26,12 @@ from repro import obs
 from repro.core.columns import EventTable, use_columnar
 from repro.errors import AnalysisError
 from repro.failures.events import FailureEvent
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    EXTENDED_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+    FailureType,
+)
 from repro.fleet.calibration import PROBLEMATIC_DISK_FAMILY
 from repro.fleet.fleet import Fleet
 from repro.topology.system import StorageSystem
@@ -144,12 +149,21 @@ class FailureDataset:
         """Event counts per type."""
         if use_columnar():
             counts = self.table.counts_by_type()
-            return {
+            by_type = {
                 failure_type: int(counts[code])
                 for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
             }
+            # Extended types (operator error) join the dict only when
+            # present, keeping default-backend output four-keyed.
+            for failure_type in EXTENDED_FAILURE_TYPES:
+                count = int(counts[ALL_FAILURE_TYPES.index(failure_type)])
+                if count:
+                    by_type[failure_type] = count
+            return by_type
         counts = {failure_type: 0 for failure_type in FAILURE_TYPE_ORDER}
         for event in self.events:
+            if event.failure_type not in counts:
+                counts[event.failure_type] = 0
             counts[event.failure_type] += 1
         return counts
 

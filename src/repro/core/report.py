@@ -14,7 +14,10 @@ from repro.core.correlation import CorrelationResult
 from repro.core.dataset import FailureDataset
 from repro.core.findings import Finding
 from repro.core.timebetween import GapAnalysis
-from repro.failures.types import FAILURE_TYPE_ORDER
+from repro.failures.types import (
+    EXTENDED_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+)
 from repro.topology.classes import SYSTEM_CLASS_ORDER
 
 
@@ -34,15 +37,25 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 
 
 def format_breakdown(title: str, rows: List[BreakdownRow]) -> str:
-    """A Figs. 4-7 style stacked-bar table: one row per bar."""
-    headers = ["Group", "Systems"] + [ft.label for ft in FAILURE_TYPE_ORDER] + [
+    """A Figs. 4-7 style stacked-bar table: one row per bar.
+
+    The paper's four types are fixed columns; an extended type (operator
+    error) gets a column only when some row's stack includes it, so
+    default-backend tables keep their committed shape.
+    """
+    types = list(FAILURE_TYPE_ORDER) + [
+        ft
+        for ft in EXTENDED_FAILURE_TYPES
+        if any(ft in row.stack for row in rows)
+    ]
+    headers = ["Group", "Systems"] + [ft.label for ft in types] + [
         "Total AFR",
     ]
     body = []
     for row in rows:
         body.append(
             [row.label, str(row.systems)]
-            + ["%.2f%%" % row.percent(ft) for ft in FAILURE_TYPE_ORDER]
+            + ["%.2f%%" % row.percent(ft) for ft in types]
             + ["%.2f%%" % row.total_percent]
         )
     return "%s\n%s" % (title, format_table(headers, body))
@@ -62,15 +75,17 @@ def format_overview(dataset: FailureDataset) -> str:
         "Performance",
     ]
     body = []
+    per_class_counts = []
     for system_class in SYSTEM_CLASS_ORDER:
         systems = dataset.fleet.systems_of_class(system_class)
         if not systems:
             continue
         ids = {s.system_id for s in systems}
-        counts = {ft: 0 for ft in FAILURE_TYPE_ORDER}
+        counts: Dict = {ft: 0 for ft in FAILURE_TYPE_ORDER}
         for event in dataset.events:
             if event.system_id in ids:
-                counts[event.failure_type] += 1
+                counts[event.failure_type] = counts.get(event.failure_type, 0) + 1
+        per_class_counts.append(counts)
         body.append(
             [
                 system_class.label,
@@ -81,6 +96,12 @@ def format_overview(dataset: FailureDataset) -> str:
             ]
             + [str(counts[ft]) for ft in FAILURE_TYPE_ORDER]
         )
+    # Extended-type columns appear only when their events exist at all.
+    for ft in EXTENDED_FAILURE_TYPES:
+        if any(counts.get(ft, 0) for counts in per_class_counts):
+            headers = headers + [ft.label]
+            for row, counts in zip(body, per_class_counts):
+                row.append(str(counts.get(ft, 0)))
     return "Overview of simulated storage systems (Table 1)\n%s" % format_table(
         headers, body
     )

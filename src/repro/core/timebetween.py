@@ -20,7 +20,7 @@ from repro import obs
 from repro.core.columns import first_occurrence_ranks, use_columnar
 from repro.core.dataset import FailureDataset
 from repro.errors import AnalysisError
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import ALL_FAILURE_TYPES, FailureType
 from repro.stats.ecdf import ECDF
 from repro.stats.ks import ks_test
 from repro.stats.mle import FitResult, fit_all
@@ -171,7 +171,10 @@ def figure9_series(
     not repeat rare types within a shelf).
     """
     series: Dict[str, GapAnalysis] = {}
-    for failure_type in FAILURE_TYPE_ORDER:
+    # Extended types (operator error) ride along here: analyze_gaps
+    # raises AnalysisError for types with no events, so the paper-default
+    # export stays four-series unless an operator hazard is configured.
+    for failure_type in ALL_FAILURE_TYPES:
         try:
             analysis = analyze_gaps(dataset, scope, failure_type)
         except AnalysisError:

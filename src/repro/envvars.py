@@ -183,6 +183,15 @@ REGISTRY: Dict[str, EnvVar] = {
             "run monitor (/status JSON + /metrics Prometheus textfile).",
         ),
         EnvVar(
+            name="REPRO_HAZARD_BACKEND",
+            kind="string",
+            default="analytic",
+            consumer="repro.failures.backends",
+            description="Default hazard backend spec for both engines "
+            "(same as --hazard-backend): `analytic`, `trace:<events>`, "
+            "or `fitted:<events>`.",
+        ),
+        EnvVar(
             name="REPRO_STATUS_DIR",
             kind="path",
             default=None,
@@ -247,6 +256,28 @@ def get_int(name: str, default: int) -> int:
     return int(value)
 
 
+def override(name: str, value: Optional[str]) -> None:
+    """Set (or, with ``None``, clear) a *registered* variable.
+
+    The CLI funnels flag values that must reach pool workers —
+    ``--hazard-backend``, engine selection — through here instead of
+    touching ``os.environ`` directly, keeping every write inside the
+    registry's typo check (and this RPL004-exempt module).
+
+    Raises:
+        KeyError: when ``name`` was never registered.
+    """
+    if name not in REGISTRY:
+        raise KeyError(
+            "unregistered environment variable %r; add it to "
+            "repro.envvars.REGISTRY" % (name,)
+        )
+    if value is None:
+        os.environ.pop(name, None)
+    else:
+        os.environ[name] = value
+
+
 def markdown_table() -> str:
     """The authoritative ``REPRO_*`` table (docs/ENVIRONMENT.md body)."""
     rows: List[str] = [
@@ -296,6 +327,7 @@ __all__ = [
     "get_float",
     "get_int",
     "markdown_table",
+    "override",
     "render_docs",
     "undocumented",
 ]

@@ -10,6 +10,8 @@ This package models the *generation* of storage subsystem failures:
 - :mod:`repro.failures.multipath` — active/passive multipath masking.
 - :mod:`repro.failures.raidlayer` — propagation of raw component errors
   up to the RAID layer, where subsystem failures are counted.
+- :mod:`repro.failures.backends` — pluggable hazard sources (analytic,
+  trace replay, fitted re-simulation) shared by both engines.
 - :mod:`repro.failures.injector` — drives all of the above over a fleet.
 
 Only the dependency-free vocabulary modules are re-exported here; import
@@ -19,6 +21,8 @@ package, which in turn uses this package's vocabulary.
 """
 
 from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    EXTENDED_FAILURE_TYPES,
     FAILURE_TYPE_ORDER,
     FailureType,
     InterconnectCause,
@@ -26,6 +30,8 @@ from repro.failures.types import (
 from repro.failures.events import ComponentError, FailureEvent
 
 __all__ = [
+    "ALL_FAILURE_TYPES",
+    "EXTENDED_FAILURE_TYPES",
     "FAILURE_TYPE_ORDER",
     "FailureType",
     "InterconnectCause",

@@ -1,0 +1,213 @@
+"""Trace-replay hazard backend: empirical inter-arrival resampling.
+
+``trace:<path>`` replays the inter-arrival *shape* of a recorded
+failure history.  Two source formats, auto-detected:
+
+- a fleet-event **JSONL** log (what ``repro run --events`` writes):
+  records with ``kind == "failure"`` contribute their occurrence time,
+  failure type, and system class;
+- a columnar **event table** (``.npz``, written by
+  :func:`repro.core.colstore.save_table`).
+
+For every (system class, failure type) — falling back to the fleet-wide
+per-type pool when a class has too few events — the backend extracts
+the sorted inter-failure gaps, normalizes them to unit mean, and
+resamples them (a nonparametric bootstrap) scaled to each simulated
+process's target mean gap.  Rates therefore stay calibrated; only the
+gap *distribution* — burstiness included — comes from the trace, so
+shocks are disabled (the trace already embeds its source fleet's
+correlations, §5.2.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.failures.backends import Hazard, HazardBackend
+from repro.failures.types import ALL_FAILURE_TYPES, FailureType
+
+#: Gaps below which a pool is unusable and the fallback chain applies.
+MIN_POOL_GAPS = 4
+
+
+class ExponentialHazard(Hazard):
+    """Memoryless fallback for types the trace never recorded."""
+
+    def __init__(self, mean_seconds: float) -> None:
+        self.mean_seconds = mean_seconds
+
+    def sample_interarrivals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_seconds, size=n)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_seconds
+
+
+class EmpiricalHazard(Hazard):
+    """Bootstrap resampling of a unit-mean gap pool, rescaled.
+
+    The pool is shared (one array per trace pool); instances only carry
+    the target mean, so per-shelf construction is allocation-free.
+    """
+
+    def __init__(self, pool: "GapPool", mean_seconds: float) -> None:
+        self.pool = pool
+        self.mean_seconds = mean_seconds
+
+    def sample_interarrivals(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        picks = rng.integers(0, self.pool.gaps.size, size=n)
+        return self.pool.gaps[picks] * self.mean_seconds
+
+    def equilibrium_delay(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Exact stationary start for the empirical distribution: pick a
+        # gap length-biased (probability proportional to its length),
+        # then a uniform position inside it.
+        rolls = rng.random(n) * self.pool.length_cumsum[-1]
+        picks = np.searchsorted(self.pool.length_cumsum, rolls, side="right")
+        picks = np.minimum(picks, self.pool.gaps.size - 1)
+        return rng.random(n) * self.pool.gaps[picks] * self.mean_seconds
+
+    @property
+    def mean(self) -> float:
+        return self.mean_seconds
+
+
+class GapPool:
+    """One trace pool: unit-mean gaps plus the length-biased cumsum."""
+
+    def __init__(self, gaps: np.ndarray) -> None:
+        gaps = np.asarray(gaps, dtype=np.float64)
+        self.gaps = gaps / float(gaps.mean())
+        self.length_cumsum = np.cumsum(self.gaps)
+
+
+def _file_digest(path: str) -> str:
+    if not os.path.exists(path):
+        raise SpecificationError("trace file not found: %s" % path)
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:12]
+
+
+def load_failure_times(
+    path: str,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Failure records of a trace file as parallel arrays.
+
+    Returns:
+        ``(times, type_values, class_values)`` — occurrence time,
+        failure-type value string, and system-class value string (empty
+        when the record carries none) per failure.
+    """
+    if not os.path.exists(path):
+        raise SpecificationError("trace file not found: %s" % path)
+    if path.endswith(".npz"):
+        from repro.core.colstore import load_table
+
+        table = load_table(path, mmap=False)
+        types = np.asarray(
+            [ALL_FAILURE_TYPES[code].value for code in table.type_codes]
+        )
+        classes = np.asarray(
+            [table.system_classes.values[code] for code in table.class_codes]
+        )
+        return np.asarray(table.occur_time, dtype=np.float64), types, classes
+    times = []
+    types_list = []
+    classes_list = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind", "failure") != "failure":
+                continue
+            if "failure_type" not in record:
+                continue
+            time = record.get("occur_t", record.get("t"))
+            if time is None:
+                continue
+            times.append(float(time))
+            types_list.append(str(record["failure_type"]))
+            classes_list.append(str(record.get("system_class", "")))
+    if not times:
+        raise SpecificationError("trace %s holds no failure records" % path)
+    return (
+        np.asarray(times, dtype=np.float64),
+        np.asarray(types_list),
+        np.asarray(classes_list),
+    )
+
+
+def build_gap_pools(
+    times: np.ndarray, types: np.ndarray, classes: np.ndarray
+) -> Dict[Tuple[Optional[str], str], GapPool]:
+    """Inter-arrival pools keyed by (class value or None, type value).
+
+    The ``None``-class entry is the fleet-wide per-type pool, the
+    fallback when a class recorded too few events of a type.
+    """
+    pools: Dict[Tuple[Optional[str], str], GapPool] = {}
+    for type_value in np.unique(types):
+        type_mask = types == type_value
+        keys = [(None, str(type_value))] + [
+            (str(class_value), str(type_value))
+            for class_value in np.unique(classes[type_mask])
+            if class_value
+        ]
+        for class_value, tv in keys:
+            mask = type_mask
+            if class_value is not None:
+                mask = type_mask & (classes == class_value)
+            sorted_times = np.sort(times[mask])
+            gaps = np.diff(sorted_times)
+            gaps = gaps[gaps > 0.0]
+            if gaps.size >= MIN_POOL_GAPS:
+                pools[(class_value, tv)] = GapPool(gaps)
+    return pools
+
+
+class TraceBackend(HazardBackend):
+    """Replay a recorded trace's inter-arrival shapes (module docstring)."""
+
+    name = "trace"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._token = "trace:%s" % _file_digest(path)
+        self.pools = build_gap_pools(*load_failure_times(path))
+
+    def cache_token(self) -> str:
+        return self._token
+
+    def uses_shocks(self, config) -> bool:
+        return False
+
+    def uses_renewal(self, config, failure_type: FailureType) -> bool:
+        return True
+
+    def hazard(
+        self,
+        config,
+        failure_type: FailureType,
+        mean_seconds: float,
+        system_class=None,
+    ) -> Hazard:
+        if system_class is not None:
+            pool = self.pools.get((system_class.value, failure_type.value))
+            if pool is not None:
+                return EmpiricalHazard(pool, mean_seconds)
+        pool = self.pools.get((None, failure_type.value))
+        if pool is not None:
+            return EmpiricalHazard(pool, mean_seconds)
+        return ExponentialHazard(mean_seconds)

@@ -28,12 +28,15 @@ import numpy as np
 from repro import obs
 from repro.errors import CalibrationError
 from repro.core.columns import EventTable, use_columnar
+from repro.failures.backends import resolve as resolve_backend
 from repro.failures.events import ComponentError, FailureEvent
-from repro.failures.hazards import GammaInterarrival, renewal_arrivals
+from repro.failures.hazards import renewal_arrivals
 from repro.failures.multipath import MultipathModel
 from repro.failures.raidlayer import component_errors_for_recovery
 from repro.failures.shocks import Shock, generate_shocks
 from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    EXTENDED_FAILURE_TYPES,
     FAILURE_TYPE_ORDER,
     FailureType,
     InterconnectCause,
@@ -44,11 +47,7 @@ from repro.raid.rebuild import RebuildModel
 from repro.rng import RandomSource
 from repro.topology.components import Disk, DiskSlot
 from repro.topology.system import StorageSystem
-from repro.units import (
-    SCRUB_PERIOD_SECONDS,
-    SECONDS_PER_YEAR,
-    afr_percent_to_rate_per_second,
-)
+from repro.units import SCRUB_PERIOD_SECONDS, SECONDS_PER_YEAR
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,6 +85,14 @@ class InjectorConfig:
             studies — the paper's refs [4, 21] — report early-life
             failure elevation, which this knob lets users model).
         infant_period_seconds: length of the elevated-hazard period.
+        hazard_backend: hazard backend spec (``"analytic"``,
+            ``"trace:<path>"``, ``"fitted:<path>"``); ``None`` defers to
+            ``REPRO_HAZARD_BACKEND`` and then the analytic default.
+            See :mod:`repro.failures.backends`.
+        operator_error_rate_per_disk_year: delivered rate of the
+            extended *operator error* failure type (mis-pulled drives,
+            botched maintenance); 0.0 — the default — keeps the paper's
+            four-type taxonomy and every committed golden untouched.
     """
 
     shocks_enabled: bool = True
@@ -105,6 +112,8 @@ class InjectorConfig:
     rate_multipliers: Mapping[FailureType, float] = dataclasses.field(
         default_factory=dict
     )
+    hazard_backend: Optional[str] = None
+    operator_error_rate_per_disk_year: float = 0.0
 
     def rate_multiplier(self, failure_type: FailureType) -> float:
         """Per-type delivered-rate scaling (1.0 when unset)."""
@@ -210,16 +219,24 @@ class InjectionResult:
             self._events = list(state.get("events", []))
 
     def counts_by_type(self) -> Dict[FailureType, int]:
-        """Event counts per failure type (Table 1's rightmost column)."""
+        """Event counts per failure type (Table 1's rightmost column).
+
+        The paper's four types always appear; extended types (operator
+        error) only when they actually produced events.
+        """
         if use_columnar():
             table_counts = self.to_table().counts_by_type()
-            return {
+            counts = {
                 failure_type: int(table_counts[code])
-                for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+                for code, failure_type in enumerate(ALL_FAILURE_TYPES)
             }
-        counts = {failure_type: 0 for failure_type in FAILURE_TYPE_ORDER}
-        for event in self.events:
-            counts[event.failure_type] += 1
+        else:
+            counts = {failure_type: 0 for failure_type in ALL_FAILURE_TYPES}
+            for event in self.events:
+                counts[event.failure_type] += 1
+        for failure_type in EXTENDED_FAILURE_TYPES:
+            if not counts[failure_type]:
+                del counts[failure_type]
         return counts
 
 
@@ -301,6 +318,7 @@ class FailureInjector:
 
     def __init__(self, config: Optional[InjectorConfig] = None) -> None:
         self.config = config or InjectorConfig()
+        self.backend = resolve_backend(self.config.hazard_backend)
 
     def inject(self, fleet: Fleet, random_source: RandomSource) -> InjectionResult:
         """Simulate failures over the fleet's observation window.
@@ -353,24 +371,27 @@ class FailureInjector:
         window_end: float,
     ) -> Tuple[List[FailureEvent], List[ComponentError]]:
         config = self.config
+        backend = self.backend
         start = system.deploy_time
+        active = backend.active_types(config)
         rates = {
-            failure_type: config.rate_multiplier(failure_type)
-            * afr_percent_to_rate_per_second(
-                calibration.delivered_afr_percent(
-                    system.system_class,
-                    failure_type,
-                    system.primary_disk_model,
-                    system.shelf_model,
-                )
+            failure_type: backend.delivered_rate(
+                config,
+                system.system_class,
+                failure_type,
+                system.primary_disk_model,
+                system.shelf_model,
             )
-            for failure_type in FAILURE_TYPE_ORDER
+            for failure_type in active
         }
 
         shocks: List[Shock] = []
-        if config.shocks_enabled:
+        use_shocks = backend.uses_shocks(config)
+        if use_shocks:
             for shelf in system.shelves:
-                for failure_type in FAILURE_TYPE_ORDER:
+                for failure_type in active:
+                    if failure_type not in config.shock_params:
+                        continue  # extended types carry no shock share
                     shocks.extend(
                         generate_shocks(
                             rng,
@@ -423,43 +444,56 @@ class FailureInjector:
         shock_share = {
             failure_type: (
                 config.shock_params[failure_type].rho
-                if config.shocks_enabled
+                if use_shocks and failure_type in config.shock_params
                 else 0.0
             )
-            for failure_type in FAILURE_TYPE_ORDER
+            for failure_type in active
         }
         slots = list(system.iter_slots())
         span = window_end - start
-        for failure_type in FAILURE_TYPE_ORDER:
+        for failure_type in active:
             indep_rate = rates[failure_type] * (1.0 - shock_share[failure_type])
             if indep_rate <= 0.0 or span <= 0.0:
                 continue
-            if failure_type is FailureType.DISK:
-                # Disk failures: the non-shock share is a mildly
-                # clustered gamma renewal process per shelf (shared
-                # thermal environment, §5.2.3), which is what makes the
-                # gamma distribution the best fit for disk inter-failure
-                # times (Finding 8).  Each renewal lands on a random bay.
+            if backend.uses_renewal(config, failure_type):
+                # Renewal-delivered types: one backend hazard per shelf
+                # at the shelf's pooled rate, each arrival landing on a
+                # random bay.  Under the analytic backend only disk
+                # failures take this path — a mildly clustered gamma
+                # renewal (shared thermal environment, §5.2.3), which is
+                # what makes gamma the best Fig. 9 disk fit (Finding 8).
                 for shelf in system.shelves:
                     if not shelf.slots:
                         continue
                     shelf_rate = indep_rate * len(shelf.slots)
-                    renewal = GammaInterarrival.from_mean(
-                        config.disk_renewal_shape, 1.0 / shelf_rate
+                    hazard = backend.hazard(
+                        config,
+                        failure_type,
+                        1.0 / shelf_rate,
+                        system.system_class,
                     )
                     # Warm the process up to stationarity: an ordinary
-                    # renewal process with shape < 1 over-delivers early
-                    # (E[N(t)] ~ t/mean + (1/shape - 1)/2), which would
-                    # silently inflate the delivered disk AFR.
-                    warmup = 20.0 * renewal.mean
+                    # renewal process with clustered gaps over-delivers
+                    # early (E[N(t)] ~ t/mean + (1/shape - 1)/2), which
+                    # would silently inflate the delivered AFR.
+                    warmup = 20.0 * hazard.mean
                     for time in renewal_arrivals(
-                        rng, renewal, start - warmup, window_end
+                        rng, hazard, start - warmup, window_end
                     ):
                         if time < start:
                             continue
                         slot = shelf.slots[int(rng.integers(0, len(shelf.slots)))]
+                        cause = None
+                        masked = False
+                        if failure_type is FailureType.PHYSICAL_INTERCONNECT:
+                            cause = self._sample_cause(rng)
+                            masked = config.multipath.masks(
+                                rng, system.dual_path, cause
+                            )
                         key = (slot.slot_key, failure_type)
-                        candidates.setdefault(key, []).append((float(time), None, False))
+                        candidates.setdefault(key, []).append(
+                            (float(time), cause, masked)
+                        )
                 continue
             # Other types: vectorized per-system draw — one Poisson count
             # per bay, then uniform placement (an exact per-bay Poisson
@@ -497,7 +531,7 @@ class FailureInjector:
 
         # Non-disk failures attach to whichever disk occupied the bay.
         for slot in system.iter_slots():
-            for failure_type in FAILURE_TYPE_ORDER:
+            for failure_type in active:
                 if failure_type is FailureType.DISK:
                     continue
                 for time, cause, masked in sorted(

@@ -43,6 +43,13 @@ CASCADES: Mapping[FailureType, Sequence[Tuple[str, str, float]]] = {
         ("disk", "disk.slowIO", 240.0),
         ("scsi", "scsi.cmd.latencyWarning", 120.0),
     ),
+    # Extended type: operator error surfaces as a management-layer
+    # configuration event (mis-pulled drive) followed by the bus losing
+    # the device, then the RAID-layer event tags it.
+    FailureType.OPERATOR_ERROR: (
+        ("mgmt", "mgmt.cfg.diskPulled", 45.0),
+        ("scsi", "scsi.cmd.selectionTimeout", 20.0),
+    ),
 }
 
 #: Terminal events of *recovered* incidents — the cascade ends at a lower
@@ -52,6 +59,7 @@ RECOVERY_EVENTS: Mapping[FailureType, Tuple[str, str]] = {
     FailureType.DISK: ("scsi", "scsi.cmd.retrySuccess"),
     FailureType.PROTOCOL: ("scsi", "scsi.cmd.retrySuccess"),
     FailureType.PERFORMANCE: ("disk", "disk.latencyRecovered"),
+    FailureType.OPERATOR_ERROR: ("mgmt", "mgmt.cfg.diskReseated"),
 }
 
 

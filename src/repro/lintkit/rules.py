@@ -280,6 +280,72 @@ class RawEnvironRead(Rule):
 
 
 @register
+class UnregisteredEnvVarRead(Rule):
+    """RPL006: ``repro.envvars`` read of a name missing from the registry."""
+
+    code = "RPL006"
+    title = "envvars read of an unregistered REPRO_* name"
+    rationale = (
+        "repro.envvars.get raises KeyError for unregistered names, but "
+        "only on the code path that actually reads the variable; a "
+        "misspelled name in a rarely-taken branch ships silently. This "
+        "rule cross-checks every literal name passed to the get/"
+        "get_flag/get_float/get_int/override family against the "
+        "registry at lint time."
+    )
+
+    READERS = (
+        "repro.envvars.get",
+        "repro.envvars.get_flag",
+        "repro.envvars.get_float",
+        "repro.envvars.get_int",
+        "repro.envvars.override",
+    )
+
+    def applies(self, module: SourceModule) -> bool:
+        return _in_repro(module) and module.module != "repro.envvars"
+
+    def _registry(self):
+        names = getattr(self, "_names", False)
+        if names is False:
+            try:
+                # Stdlib-only and safe under tools/lint.py's stub parent
+                # module (repro/__init__ never executes).
+                from repro import envvars
+
+                names = frozenset(envvars.REGISTRY)
+            except ImportError:  # synthetic trees without the package
+                names = None
+            self._names = names
+        return names
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        names = self._registry()
+        if names is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if module.resolve(node.func) not in self.READERS:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+            elif isinstance(arg, ast.Name):
+                name = module.constants.get(arg.id)
+            else:
+                continue
+            if name and name not in names:
+                yield self.finding(
+                    module,
+                    node,
+                    "envvars read of %r, which is not in "
+                    "repro.envvars.REGISTRY; register it (and rerun "
+                    "`make docs`) or fix the name" % (name,),
+                )
+
+
+@register
 class UnorderedFloatReduction(Rule):
     """RPL005: float reduction over unordered set iteration."""
 

@@ -114,7 +114,9 @@ class FeatureExtractor:
         lo = bisect.bisect_left(times, start)
         hi = bisect.bisect_right(times, time)
         for index in range(lo, hi):
-            counts[kinds[index]] += 1
+            # Extended types (operator error) accumulate under their own
+            # key; the fixed feature vector reads only the paper's four.
+            counts[kinds[index]] = counts.get(kinds[index], 0) + 1
         return counts
 
     # -- the feature vector -------------------------------------------------

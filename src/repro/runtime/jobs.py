@@ -110,6 +110,14 @@ class Job:
         fleet (no disk object graph) and must never be served to a
         consumer that asked for the full unsharded result, even though
         its event table is byte-identical.
+
+        A non-default hazard backend (``REPRO_HAZARD_BACKEND``) appends
+        a ``hazard=<cache_token>`` term by the same append-only rule:
+        the token content-addresses the backend's inputs (a trace
+        backend digests its trace file), so re-recording a trace or
+        switching specs can never serve a stale simulation, while
+        default ``analytic`` canonicals — and every cache entry made
+        before backends existed — are untouched.
         """
         canonical = (
             "repro/%s kind=%s name=%s scale=%r seed=%d via_logs=%d engine=%s"
@@ -125,6 +133,11 @@ class Job:
         )
         if self.shards != 1:
             canonical += " shards=%d" % self.shards
+        spec = envvars.get("REPRO_HAZARD_BACKEND")
+        if spec and spec != "analytic":
+            from repro.failures.backends import resolve
+
+            canonical += " hazard=%s" % resolve(spec).cache_token()
         return canonical
 
     def key(self) -> str:

@@ -12,6 +12,9 @@ name, so benchmarks, examples, and the CLI share one vocabulary:
   instead of spanning; the Finding 9 counterfactual.
 - ``no-multipath`` — dual-path masking disabled, isolating the Fig. 7
   effect.
+- ``operator-error`` — the extended fifth failure type enabled at a
+  small constant hazard; the only scenario whose output carries events
+  beyond the paper's taxonomy.
 - ``quick`` — a small single-seeded smoke-test fleet.
 """
 
@@ -75,6 +78,15 @@ SCENARIOS: Dict[str, Scenario] = {
         make_spec=lambda scale: FleetSpec.paper_default(scale=scale),
         make_config=lambda: InjectorConfig(
             multipath=MultipathModel(mask_probability=0.0)
+        ),
+    ),
+    "operator-error": Scenario(
+        name="operator-error",
+        description="adds the extended operator-error failure type "
+        "(0.2%/disk-year)",
+        make_spec=lambda scale: FleetSpec.paper_default(scale=scale),
+        make_config=lambda: InjectorConfig(
+            operator_error_rate_per_disk_year=0.002
         ),
     ),
     "quick": Scenario(

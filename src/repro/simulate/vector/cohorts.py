@@ -27,14 +27,13 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.failures.backends import HazardBackend, resolve as resolve_backend
 from repro.failures.injector import InjectorConfig
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
-from repro.fleet import calibration
+from repro.failures.types import FailureType
 from repro.fleet.partition import cell_of
 from repro.rng import RandomSource
 from repro.simulate.vector.frame import FleetFrame
 from repro.topology.classes import SystemClass
-from repro.units import afr_percent_to_rate_per_second
 
 
 
@@ -110,8 +109,19 @@ class Cohort:
         return cached[1]
 
 
-def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
-    """Partition a fleet frame into cohorts, in first-seen system order."""
+def group_cohorts(
+    frame: FleetFrame,
+    config: InjectorConfig,
+    backend: HazardBackend = None,
+) -> List[Cohort]:
+    """Partition a fleet frame into cohorts, in first-seen system order.
+
+    Per-type rates come from the hazard backend (resolved from the
+    config when not passed), over its active types — the paper's four
+    plus any configured extended types.
+    """
+    if backend is None:
+        backend = resolve_backend(config.hazard_backend)
     keys = [
         (
             system.system_class,
@@ -154,13 +164,10 @@ def group_cohorts(frame: FleetFrame, config: InjectorConfig) -> List[Cohort]:
         rates = rates_of.get(key[:4])
         if rates is None:
             rates = {
-                failure_type: config.rate_multiplier(failure_type)
-                * afr_percent_to_rate_per_second(
-                    calibration.delivered_afr_percent(
-                        system_class, failure_type, disk_model, shelf_model
-                    )
+                failure_type: backend.delivered_rate(
+                    config, system_class, failure_type, disk_model, shelf_model
                 )
-                for failure_type in FAILURE_TYPE_ORDER
+                for failure_type in backend.active_types(config)
             }
             rates_of[key[:4]] = rates
         cohorts.append(

@@ -25,14 +25,14 @@ import numpy as np
 from repro.core.columns import EventTable
 from repro.failures.events import ComponentError
 from repro.failures.raidlayer import component_errors_for_recovery
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import ALL_FAILURE_TYPES, FailureType
 from repro.simulate.vector.cohorts import Cohort
 from repro.simulate.vector.frame import FleetFrame
 from repro.simulate.vector.queueing import DiskChain
 from repro.topology.components import Disk
 
 _TYPE_CODE = {
-    failure_type: code for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+    failure_type: code for code, failure_type in enumerate(ALL_FAILURE_TYPES)
 }
 
 
@@ -220,7 +220,7 @@ class RecoveredBatch:
         gen: np.ndarray,
     ) -> None:
         """Append incidents with per-row failure types (background noise)."""
-        for code, failure_type in enumerate(FAILURE_TYPE_ORDER):
+        for code, failure_type in enumerate(ALL_FAILURE_TYPES):
             rows = np.flatnonzero(type_codes == code)
             if rows.size:
                 self.add(failure_type, time[rows], slot[rows], gen[rows])

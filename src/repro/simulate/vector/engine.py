@@ -34,12 +34,17 @@ import numpy as np
 
 from repro import envvars, obs
 from repro.obs.sampler import PROGRESS
+from repro.failures.backends import HazardBackend, resolve as resolve_backend
 from repro.failures.injector import (
     InjectionResult,
     InjectorConfig,
     emit_fleet_events,
 )
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+    FailureType,
+)
 from repro.fleet.fleet import Fleet
 from repro.fleet.spec import FleetSpec
 from repro.rng import RandomSource
@@ -56,8 +61,8 @@ from repro.simulate.vector.frame import build_frame
 from repro.simulate.vector.queueing import DiskChain, run_disk_chain
 from repro.simulate.vector.sampling import (
     CandidateSet,
-    sample_disk_renewals,
     sample_independent,
+    sample_renewal_candidates,
     sample_shock_candidates,
 )
 from repro.units import SECONDS_PER_YEAR
@@ -66,7 +71,7 @@ from repro.units import SECONDS_PER_YEAR
 VECTOR_ENGINE_ENV = "REPRO_VECTOR_ENGINE"
 
 _TYPE_CODE = {
-    failure_type: code for code, failure_type in enumerate(FAILURE_TYPE_ORDER)
+    failure_type: code for code, failure_type in enumerate(ALL_FAILURE_TYPES)
 }
 
 
@@ -108,15 +113,17 @@ class VectorFailureInjector:
 
     def __init__(self, config: Optional[InjectorConfig] = None) -> None:
         self.config = config or InjectorConfig()
+        self.backend = resolve_backend(self.config.hazard_backend)
 
     def inject(
         self, fleet: Fleet, random_source: RandomSource
     ) -> InjectionResult:
         config = self.config
+        backend = self.backend
         window_end = fleet.duration_seconds
         with _gc_paused():
             frame = build_frame(fleet)
-            cohorts = group_cohorts(frame, config)
+            cohorts = group_cohorts(frame, config, backend)
             blocks: List[EventBlock] = []
             chains: List[Tuple[Cohort, DiskChain]] = []
             recovered = RecoveredBatch(frame)
@@ -127,7 +134,12 @@ class VectorFailureInjector:
             ):
                 for cohort in cohorts:
                     block, chain = _inject_cohort(
-                        cohort, config, random_source, window_end, recovered
+                        cohort,
+                        config,
+                        random_source,
+                        window_end,
+                        recovered,
+                        backend,
                     )
                     blocks.append(block)
                     chains.append((cohort, chain))
@@ -146,7 +158,9 @@ class VectorFailureInjector:
         )
         if obs.OBSERVER.registry.enabled:
             counts = table.counts_by_type()
-            for code, failure_type in enumerate(FAILURE_TYPE_ORDER):
+            for code, failure_type in enumerate(ALL_FAILURE_TYPES):
+                if failure_type not in FAILURE_TYPE_ORDER and not counts[code]:
+                    continue  # extended types: counters only when present
                 obs.inc(
                     "inject.events",
                     int(counts[code]),
@@ -163,20 +177,25 @@ def _inject_cohort(
     source: RandomSource,
     window_end: float,
     recovered: RecoveredBatch,
+    backend: HazardBackend,
 ) -> Tuple[EventBlock, DiskChain]:
     """Simulate one cohort: shocks, renewals, chain, attachment, noise.
 
     All stages draw from the cohort's single content-addressed stream,
     in this fixed order — the vector analogue of the legacy injector
-    consuming one stream per system.
+    consuming one stream per system.  Every hazard draw dispatches
+    through the backend, mirroring the legacy injector's dispatch.
     """
     rng = cohort.stream(source)
+    active = backend.active_types(config)
+    use_shocks = backend.uses_shocks(config)
     shock_candidates = {
-        failure_type: CandidateSet.empty()
-        for failure_type in FAILURE_TYPE_ORDER
+        failure_type: CandidateSet.empty() for failure_type in active
     }
-    if config.shocks_enabled:
-        for failure_type in FAILURE_TYPE_ORDER:
+    if use_shocks:
+        for failure_type in active:
+            if failure_type not in config.shock_params:
+                continue  # extended types carry no shock share
             shock_candidates[failure_type] = sample_shock_candidates(
                 rng,
                 cohort,
@@ -190,30 +209,55 @@ def _inject_cohort(
     def _indep_rate(failure_type: FailureType) -> float:
         share = (
             config.shock_params[failure_type].rho
-            if config.shocks_enabled
+            if use_shocks and failure_type in config.shock_params
             else 0.0
         )
         return cohort.rates[failure_type] * (1.0 - share)
 
-    renewals = sample_disk_renewals(
-        rng,
-        cohort,
-        _indep_rate(FailureType.DISK),
-        config.disk_renewal_shape,
-        window_end,
-    )
-    independents = {
-        failure_type: sample_independent(
+    if backend.uses_renewal(config, FailureType.DISK):
+        renewals = sample_renewal_candidates(
             rng,
             cohort,
-            failure_type,
-            _indep_rate(failure_type),
+            FailureType.DISK,
+            _indep_rate(FailureType.DISK),
+            backend,
+            config,
             window_end,
             config.multipath,
         )
-        for failure_type in FAILURE_TYPE_ORDER
-        if failure_type is not FailureType.DISK
-    }
+    else:
+        renewals = sample_independent(
+            rng,
+            cohort,
+            FailureType.DISK,
+            _indep_rate(FailureType.DISK),
+            window_end,
+            config.multipath,
+        )
+    independents = {}
+    for failure_type in active:
+        if failure_type is FailureType.DISK:
+            continue
+        if backend.uses_renewal(config, failure_type):
+            independents[failure_type] = sample_renewal_candidates(
+                rng,
+                cohort,
+                failure_type,
+                _indep_rate(failure_type),
+                backend,
+                config,
+                window_end,
+                config.multipath,
+            )
+        else:
+            independents[failure_type] = sample_independent(
+                rng,
+                cohort,
+                failure_type,
+                _indep_rate(failure_type),
+                window_end,
+                config.multipath,
+            )
 
     disk_candidates = CandidateSet.concat(
         [shock_candidates[FailureType.DISK], renewals]
@@ -236,7 +280,7 @@ def _inject_cohort(
     parts_type = [np.full(chain.ev_slot.size, _TYPE_CODE[FailureType.DISK], np.int8)]
     parts_cause = [np.full(chain.ev_slot.size, -1, np.int8)]
     parts_replaced = [np.ones(chain.ev_slot.size, dtype=bool)]
-    for failure_type in FAILURE_TYPE_ORDER:
+    for failure_type in active:
         if failure_type is FailureType.DISK:
             continue
         candidates = CandidateSet.concat(

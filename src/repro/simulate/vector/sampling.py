@@ -22,7 +22,6 @@ from typing import List
 import numpy as np
 
 from repro.core.columns import CAUSE_ORDER
-from repro.failures.hazards import GammaInterarrival
 from repro.failures.multipath import MultipathModel
 from repro.fleet import calibration
 from repro.fleet.calibration import ShockParams
@@ -165,23 +164,33 @@ def sample_shock_candidates(
     )
 
 
-def sample_disk_renewals(
+def sample_renewal_candidates(
     rng: np.random.Generator,
     cohort: Cohort,
+    failure_type,
     indep_rate: float,
-    shape: float,
+    backend,
+    config,
     window_end: float,
+    multipath: MultipathModel,
 ) -> CandidateSet:
-    """Non-shock disk-failure candidates: batched gamma renewals.
+    """Non-shock candidates of a renewal-delivered type: batched draws.
 
-    One renewal process per shelf at rate ``indep_rate * n_slots``.  The
+    One renewal process per shelf at rate ``indep_rate * n_slots``,
+    with the gap distribution supplied by the hazard backend.  The
     legacy injector reaches stationarity by warming each process up 20
     means before deployment and discarding pre-deploy arrivals; here the
     first post-deploy arrival is drawn *directly* from the equilibrium
-    forward-recurrence distribution — ``deploy + U * L`` with ``L`` a
-    length-biased gap, i.e. Gamma(shape+1) — which is the limit that
-    warm-up approximates, without the ~20 wasted draws per shelf.  Each
-    arrival lands on a uniformly random bay of its shelf.
+    forward-recurrence distribution (``deploy + U * L`` with ``L`` a
+    length-biased gap — the backend's ``equilibrium_delay``), which is
+    the limit that warm-up approximates, without the ~20 wasted draws
+    per shelf.  Each arrival lands on a uniformly random bay of its
+    shelf; interconnect arrivals additionally draw a per-candidate
+    cause and masking decision.
+
+    Under the analytic backend only disk failures take this path
+    (gamma renewals, Finding 8); trace/fitted backends route every type
+    through it.
     """
     if indep_rate <= 0.0 or cohort.n_slots == 0:
         return CandidateSet.empty()
@@ -194,27 +203,27 @@ def sample_disk_renewals(
         if n_bays == 0:
             continue
         group = np.flatnonzero(cohort.shelf_n_slots == n_bays)
-        renewal = GammaInterarrival.from_mean(
-            shape, 1.0 / (indep_rate * float(n_bays))
+        hazard = backend.hazard(
+            config,
+            failure_type,
+            1.0 / (indep_rate * float(n_bays)),
+            cohort.system_class,
         )
-        length_biased = rng.gamma(
-            renewal.shape + 1.0, renewal.scale_seconds, size=group.size
+        current = cohort.shelf_deploy[group] + hazard.equilibrium_delay(
+            rng, group.size
         )
-        current = cohort.shelf_deploy[group] + rng.random(group.size) * length_biased
         started = current < window_end
         times_parts.append(current[started])
         shelf_parts.append(group[started])
         alive = np.flatnonzero(started)
         if alive.size:
-            horizon = (window_end - current[alive].min()) / renewal.mean
+            horizon = (window_end - current[alive].min()) / hazard.mean
             batch = max(
                 _RENEWAL_BATCH_FLOOR,
                 int(horizon + 4.0 * np.sqrt(horizon) + 4.0),
             )
         while alive.size:
-            gaps = renewal.sample(rng, alive.size * batch).reshape(
-                alive.size, batch
-            )
+            gaps = hazard.sample_cohort(rng, (alive.size, batch))
             arrivals = current[alive][:, None] + np.cumsum(gaps, axis=1)
             rows, cols = np.nonzero(arrivals < window_end)
             times_parts.append(arrivals[rows, cols])
@@ -228,11 +237,18 @@ def sample_disk_renewals(
     locals_ = rng.integers(
         0, cohort.shelf_n_slots[shelves], size=times.size, dtype=np.int64
     )
+    if failure_type.value == "physical_interconnect":
+        causes, masked = _sample_causes_and_masks(
+            rng, times.size, cohort.dual_path, multipath
+        )
+    else:
+        causes = np.full(times.size, -1, dtype=np.int8)
+        masked = np.zeros(times.size, dtype=bool)
     return CandidateSet(
         slot=cohort.shelf_offset[shelves] + locals_,
         time=times,
-        cause=np.full(times.size, -1, dtype=np.int8),
-        masked=np.zeros(times.size, dtype=bool),
+        cause=causes,
+        masked=masked,
     )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import special
@@ -21,6 +21,9 @@ from repro.errors import FittingError
 
 _MAX_ITERATIONS = 200
 _TOLERANCE = 1e-10
+
+#: Distributions :func:`safe_fit` knows how to fit.
+FIT_FAMILIES = ("exponential", "gamma", "weibull", "piecewise_exponential")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +50,97 @@ class FitResult:
     def cdf(self, x: np.ndarray) -> np.ndarray:
         """Evaluate the fitted CDF at ``x``."""
         return cdf_function(self.name, self.params)(np.asarray(x, dtype=float))
+
+
+@dataclasses.dataclass(frozen=True)
+class FitError:
+    """A fit that could not be performed, as a value instead of a raise.
+
+    The optimizers in this module raise :class:`FittingError` on
+    degenerate input (zero or duplicate interarrivals, too few samples,
+    non-convergence).  Callers that fit many small samples in a loop —
+    the fitted hazard backend, Fig. 9 over rare failure types — want to
+    *record* the failure and move on; :func:`safe_fit` hands them this
+    typed result instead of an exception.
+
+    Attributes:
+        name: the distribution family that was attempted.
+        reason: human-readable cause of the failure.
+        n: sample size (0 when the data could not even be coerced).
+    """
+
+    name: str
+    reason: str
+    n: int
+
+
+def _degeneracy(values: np.ndarray) -> str:
+    """A typed-FitError reason for un-fittable data ('' when fittable)."""
+    if values.size < 3:
+        return "need at least 3 observations, got %d" % values.size
+    if np.any(values <= 0.0):
+        return "interarrivals must be strictly positive"
+    if float(np.ptp(values)) == 0.0:
+        return "degenerate sample: all interarrivals equal"
+    return ""
+
+
+def safe_fit(
+    name: str, data: Iterable[float]
+) -> Union[FitResult, "FitError"]:
+    """Fit one family, returning :class:`FitError` instead of raising.
+
+    Degenerate inputs (n < 3, non-positive values, all-equal samples)
+    are rejected up front with a descriptive reason; optimizer failures
+    (non-convergence, unbracketable shapes) are converted on the way
+    out.
+    """
+    try:
+        values = np.asarray([float(v) for v in data], dtype=float)
+    except (TypeError, ValueError) as error:
+        return FitError(name=name, reason=str(error), n=0)
+    reason = _degeneracy(values)
+    if reason:
+        return FitError(name=name, reason=reason, n=int(values.size))
+    fitters: Dict[str, Callable[[Iterable[float]], FitResult]] = {
+        "exponential": fit_exponential,
+        "gamma": fit_gamma,
+        "weibull": fit_weibull,
+        "piecewise_exponential": fit_piecewise_exponential,
+    }
+    if name not in fitters:
+        return FitError(
+            name=name,
+            reason="unknown distribution %r" % name,
+            n=int(values.size),
+        )
+    try:
+        return fitters[name](values)
+    except FittingError as error:
+        return FitError(name=name, reason=str(error), n=int(values.size))
+
+
+def safe_fit_all(
+    data: Iterable[float],
+) -> Tuple[List[FitResult], List["FitError"]]:
+    """Fit every family in :data:`FIT_FAMILIES`; never raises.
+
+    Returns:
+        ``(fits, errors)`` — successful fits sorted best
+        log-likelihood first, plus one :class:`FitError` per family
+        that could not be fitted.
+    """
+    values = list(data)
+    fits: List[FitResult] = []
+    errors: List[FitError] = []
+    for name in FIT_FAMILIES:
+        outcome = safe_fit(name, values)
+        if isinstance(outcome, FitResult):
+            fits.append(outcome)
+        else:
+            errors.append(outcome)
+    fits.sort(key=lambda fit: fit.log_likelihood, reverse=True)
+    return fits, errors
 
 
 def _clean(data: Iterable[float]) -> np.ndarray:
@@ -167,8 +261,110 @@ def fit_weibull(data: Iterable[float]) -> FitResult:
     )
 
 
+def fit_piecewise_exponential(
+    data: Iterable[float], n_pieces: Optional[int] = None
+) -> FitResult:
+    """MLE piecewise-constant-hazard fit over quantile-spaced intervals.
+
+    The time axis is split at the sample's ``1/n_pieces`` quantiles and
+    the hazard is taken constant within each interval; the MLE rate per
+    interval is deaths over exposure, ``rate_j = d_j / E_j``.  This is
+    the flexible fallback the fitted hazard backend uses when none of
+    the parametric families passes: it can track the heavy burst of
+    short gaps *and* the long tail the paper observes (§5.2.1).
+
+    ``n_pieces`` defaults to ``clip(sqrt(n) / 2, 4, 24)``: resolution
+    grows with the sample so a large bursty trace gets enough intervals
+    to track its CDF, while each interval keeps ~``2 sqrt(n)`` expected
+    deaths and the rate estimates stay stable.
+
+    Parameters are flattened as ``break_1..break_{m-1}`` (interval
+    upper edges, the last interval being unbounded) and
+    ``rate_1..rate_m``.
+    """
+    values = _clean(data)
+    if n_pieces is None:
+        n_pieces = int(np.clip(math.sqrt(values.size) / 2.0, 4, 24))
+    if n_pieces < 1:
+        raise FittingError("need at least 1 piece, got %d" % n_pieces)
+    if values.size < 2 * n_pieces:
+        raise FittingError(
+            "need at least %d observations for %d pieces, got %d"
+            % (2 * n_pieces, n_pieces, values.size)
+        )
+    quantiles = np.quantile(values, np.arange(1, n_pieces) / n_pieces)
+    breaks = np.unique(quantiles)
+    edges = np.concatenate(([0.0], breaks, [np.inf]))
+    params: Dict[str, float] = {}
+    loglik = 0.0
+    for j in range(len(edges) - 1):
+        low, high = edges[j], edges[j + 1]
+        deaths = int(np.count_nonzero((values > low) & (values <= high)))
+        # Exposure inside [low, high): each sample spends
+        # min(x, high) - low there once it has survived past low.
+        exposure = float(
+            np.sum(np.clip(np.minimum(values, high) - low, 0.0, None))
+        )
+        if exposure <= 0.0:
+            raise FittingError("empty exposure interval in piecewise fit")
+        rate = deaths / exposure
+        params["rate_%d" % (j + 1)] = rate
+        if deaths and rate > 0.0:
+            loglik += deaths * math.log(rate)
+        loglik -= rate * exposure
+    for j, edge in enumerate(breaks):
+        params["break_%d" % (j + 1)] = float(edge)
+    return FitResult(
+        name="piecewise_exponential",
+        params=params,
+        log_likelihood=loglik,
+        n=values.size,
+    )
+
+
+def _piecewise_edges_rates(
+    params: Dict[str, float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Recover (interval edges, per-interval rates) from flat params."""
+    breaks = [
+        params[key]
+        for key in sorted(
+            (k for k in params if k.startswith("break_")),
+            key=lambda k: int(k.split("_")[1]),
+        )
+    ]
+    rates = [
+        params[key]
+        for key in sorted(
+            (k for k in params if k.startswith("rate_")),
+            key=lambda k: int(k.split("_")[1]),
+        )
+    ]
+    if len(rates) != len(breaks) + 1:
+        raise FittingError("piecewise params need one more rate than breaks")
+    edges = np.concatenate(([0.0], np.asarray(breaks, dtype=float)))
+    return edges, np.asarray(rates, dtype=float)
+
+
 def cdf_function(name: str, params: Dict[str, float]) -> Callable[[np.ndarray], np.ndarray]:
     """CDF evaluator for a named distribution and parameter dict."""
+    if name == "piecewise_exponential":
+        edges, rates = _piecewise_edges_rates(params)
+        # Cumulative hazard at each interval's left edge; within an
+        # interval H grows linearly at that interval's rate, and
+        # F = 1 - exp(-H).
+        base = np.concatenate(
+            ([0.0], np.cumsum(rates[:-1] * np.diff(edges)))
+        )
+
+        def _cdf(x: np.ndarray) -> np.ndarray:
+            x = np.maximum(np.asarray(x, dtype=float), 0.0)
+            index = np.searchsorted(edges, x, side="right") - 1
+            index = np.clip(index, 0, len(rates) - 1)
+            hazard = base[index] + rates[index] * (x - edges[index])
+            return 1.0 - np.exp(-hazard)
+
+        return _cdf
     if name == "exponential":
         rate = params["rate"]
         return lambda x: 1.0 - np.exp(-rate * np.maximum(x, 0.0))

@@ -100,6 +100,25 @@ def test_get_int(monkeypatch):
         envvars.get_int("REPRO_SHARDS", 1)
 
 
+def test_override_sets_and_clears(monkeypatch):
+    monkeypatch.delenv("REPRO_HAZARD_BACKEND", raising=False)
+    envvars.override("REPRO_HAZARD_BACKEND", "trace:/tmp/e.jsonl")
+    assert envvars.get("REPRO_HAZARD_BACKEND") == "trace:/tmp/e.jsonl"
+    envvars.override("REPRO_HAZARD_BACKEND", None)
+    assert "REPRO_HAZARD_BACKEND" not in os.environ
+
+
+def test_override_unregistered_raises():
+    with pytest.raises(KeyError):
+        envvars.override("REPRO_NOT_REGISTERED", "1")
+
+
+def test_hazard_backend_registered():
+    var = envvars.REGISTRY["REPRO_HAZARD_BACKEND"]
+    assert var.kind == "string"
+    assert var.default == "analytic"
+
+
 def test_markdown_table_lists_every_variable():
     table = envvars.markdown_table()
     for name in envvars.REGISTRY:

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    EXTENDED_FAILURE_TYPES,
     FAILURE_TYPE_ORDER,
     FailureType,
     InterconnectCause,
@@ -10,8 +12,13 @@ from repro.failures.types import (
 
 
 class TestFailureType:
-    def test_four_types(self):
-        assert len(FailureType) == 4
+    def test_paper_order_has_four_types(self):
+        assert len(FAILURE_TYPE_ORDER) == 4
+
+    def test_extended_types_ride_behind_the_papers_four(self):
+        assert EXTENDED_FAILURE_TYPES == (FailureType.OPERATOR_ERROR,)
+        assert ALL_FAILURE_TYPES == FAILURE_TYPE_ORDER + EXTENDED_FAILURE_TYPES
+        assert len(FailureType) == len(ALL_FAILURE_TYPES)
 
     def test_order_is_the_papers_stacking_order(self):
         assert FAILURE_TYPE_ORDER == (
@@ -23,6 +30,7 @@ class TestFailureType:
 
     def test_labels_match_figures(self):
         assert FailureType.DISK.label == "Disk Failure"
+        assert FailureType.OPERATOR_ERROR.label == "Operator Error"
         assert (
             FailureType.PHYSICAL_INTERCONNECT.label
             == "Physical Interconnect Failure"
@@ -43,7 +51,7 @@ class TestFailureType:
 
     def test_raid_events_unique(self):
         events = {ft.raid_event for ft in FailureType}
-        assert len(events) == 4
+        assert len(events) == len(FailureType)
 
     def test_unknown_raid_event_rejected(self):
         with pytest.raises(ValueError):

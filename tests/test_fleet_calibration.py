@@ -88,7 +88,7 @@ class TestInterop:
 
 class TestShockParams:
     def test_all_types_have_params(self):
-        assert set(calibration.SHOCK_PARAMS) == set(FailureType)
+        assert set(calibration.SHOCK_PARAMS) == set(FAILURE_TYPE_ORDER)
 
     def test_disk_least_correlated(self):
         disk = calibration.SHOCK_PARAMS[FailureType.DISK]

@@ -319,6 +319,62 @@ def test_rpl005_allows_ordered_reductions():
     )
 
 
+# -- RPL006: unregistered envvars reads ---------------------------------------
+
+
+def test_rpl006_flags_unregistered_names():
+    assert (
+        codes(
+            """\
+            from repro import envvars
+            a = envvars.get("REPRO_NOT_A_THING")
+            b = envvars.get_flag("REPRO_TYPOED_FLAG")
+            """
+        )
+        == ["RPL006", "RPL006"]
+    )
+
+
+def test_rpl006_allows_registered_names():
+    assert (
+        codes(
+            """\
+            from repro import envvars
+            a = envvars.get("REPRO_HAZARD_BACKEND")
+            b = envvars.get_flag("REPRO_VECTOR_ENGINE")
+            c = envvars.get_int("REPRO_SHARDS", 1)
+            envvars.override("REPRO_HAZARD_BACKEND", "analytic")
+            """
+        )
+        == []
+    )
+
+
+def test_rpl006_resolves_module_constants():
+    assert (
+        codes(
+            """\
+            from repro import envvars
+            ENV_NAME = "REPRO_NO_SUCH_VAR"
+            a = envvars.get(ENV_NAME)
+            """
+        )
+        == ["RPL006"]
+    )
+
+
+def test_rpl006_skips_dynamic_names():
+    assert (
+        codes(
+            """\
+            from repro import envvars
+            a = envvars.get("REPRO_" + suffix)
+            """
+        )
+        == []
+    )
+
+
 # -- RPL901 / RPL902: generic hygiene ----------------------------------------
 
 

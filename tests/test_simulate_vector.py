@@ -21,8 +21,13 @@ import pytest
 
 from repro import envvars
 from repro.core.afr import dataset_afr
+from repro.failures.backends import resolve as resolve_backend
 from repro.failures.injector import InjectorConfig
-from repro.failures.types import FAILURE_TYPE_ORDER, FailureType
+from repro.failures.types import (
+    ALL_FAILURE_TYPES,
+    FAILURE_TYPE_ORDER,
+    FailureType,
+)
 from repro.fleet.builder import build_fleet
 from repro.fleet.spec import FleetSpec
 from repro.rng import RandomSource
@@ -40,8 +45,8 @@ from repro.simulate.vector.engine import (
 from repro.simulate.vector.frame import build_frame
 from repro.simulate.vector.sampling import (
     CandidateSet,
-    sample_disk_renewals,
     sample_independent,
+    sample_renewal_candidates,
     sample_shock_candidates,
 )
 from repro.topology.classes import SYSTEM_CLASS_ORDER
@@ -163,7 +168,22 @@ class TestSampling:
             config.multipath,
         )
         assert len(empty) == 0
-        assert len(sample_disk_renewals(rng, cohort, 0.0, 1.4, 1.0e6)) == 0
+        backend = resolve_backend("analytic")
+        assert (
+            len(
+                sample_renewal_candidates(
+                    rng,
+                    cohort,
+                    FailureType.DISK,
+                    0.0,
+                    backend,
+                    config,
+                    1.0e6,
+                    config.multipath,
+                )
+            )
+            == 0
+        )
 
     def test_renewal_equilibrium_rate(self):
         # The renewal process starts in equilibrium, so arrivals over the
@@ -171,8 +191,16 @@ class TestSampling:
         # is several standard deviations wide.
         cohort = _one_shelf_cohort(n_bays=14)
         rate, window = 2.0e-5, 1.0e6
-        out = sample_disk_renewals(
-            np.random.default_rng(7), cohort, rate, 1.4, window
+        config = InjectorConfig(disk_renewal_shape=1.4)
+        out = sample_renewal_candidates(
+            np.random.default_rng(7),
+            cohort,
+            FailureType.DISK,
+            rate,
+            resolve_backend("analytic"),
+            config,
+            window,
+            config.multipath,
         )
         expected = rate * 14 * window
         assert abs(len(out) - expected) / expected < 0.2
@@ -197,7 +225,17 @@ class TestSampling:
     def test_concat_round_trip(self):
         cohort = _one_shelf_cohort()
         rng = np.random.default_rng(1)
-        a = sample_disk_renewals(rng, cohort, 1.0e-5, 1.4, 1.0e6)
+        config = InjectorConfig(disk_renewal_shape=1.4)
+        a = sample_renewal_candidates(
+            rng,
+            cohort,
+            FailureType.DISK,
+            1.0e-5,
+            resolve_backend("analytic"),
+            config,
+            1.0e6,
+            config.multipath,
+        )
         merged = CandidateSet.concat([a, CandidateSet.empty()])
         assert len(merged) == len(a)
         assert np.array_equal(merged.time, a.time)
@@ -289,6 +327,7 @@ class TestVectorInjector:
             RandomSource(11),
             fleet.duration_seconds,
             RecoveredBatch(frame),
+            resolve_backend("analytic"),
         )
         assert np.array_equal(
             np.sort(table.detect_time[mask]), np.sort(block.detect)
@@ -372,13 +411,17 @@ class TestDifferential:
     """Vector vs legacy: statistical agreement, legacy as oracle."""
 
     def test_per_type_counts_agree(self, differential_runs):
-        legacy_pool = np.zeros(len(FAILURE_TYPE_ORDER))
-        vector_pool = np.zeros(len(FAILURE_TYPE_ORDER))
+        legacy_pool = np.zeros(len(ALL_FAILURE_TYPES))
+        vector_pool = np.zeros(len(ALL_FAILURE_TYPES))
         for legacy, vector in differential_runs:
             legacy_pool += legacy.table.counts_by_type()
             vector_pool += vector.table.counts_by_type()
-        assert legacy_pool.min() > 0 and vector_pool.min() > 0
-        ratios = vector_pool / legacy_pool
+        # Only the paper's four types fire under the default backend;
+        # extended slots stay zero on both engines.
+        core = len(FAILURE_TYPE_ORDER)
+        assert legacy_pool[:core].min() > 0 and vector_pool[:core].min() > 0
+        assert legacy_pool[core:].sum() == 0 and vector_pool[core:].sum() == 0
+        ratios = vector_pool[:core] / legacy_pool[:core]
         assert np.all((ratios > 0.8) & (ratios < 1.25)), ratios
 
     def test_total_counts_agree_per_seed(self, differential_runs):

@@ -6,11 +6,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import FittingError
 from repro.stats.mle import (
+    FIT_FAMILIES,
+    FitError,
     cdf_function,
     fit_all,
     fit_exponential,
     fit_gamma,
+    fit_piecewise_exponential,
     fit_weibull,
+    safe_fit,
+    safe_fit_all,
 )
 
 
@@ -108,6 +113,89 @@ class TestCdfFunction:
     def test_cdf_clamps_negatives(self):
         cdf = cdf_function("gamma", {"shape": 1.0, "scale": 1.0})
         assert cdf(np.array([-5.0]))[0] == pytest.approx(0.0)
+
+
+class TestPiecewiseExponential:
+    def test_constant_rate_recovers_exponential(self, rng):
+        sample = rng.exponential(100.0, size=20_000)
+        fit = fit_piecewise_exponential(sample, n_pieces=4)
+        for key, rate in fit.params.items():
+            if key.startswith("rate_"):
+                assert rate == pytest.approx(0.01, rel=0.1)
+
+    def test_cdf_tracks_empirical_quantiles(self, rng):
+        sample = rng.gamma(0.5, 200.0, size=20_000)
+        fit = fit_piecewise_exponential(sample)
+        for q in (0.1, 0.5, 0.9):
+            point = float(np.quantile(sample, q))
+            assert fit.cdf(np.array([point]))[0] == pytest.approx(q, abs=0.03)
+
+    def test_adaptive_piece_count_grows_with_sample(self, rng):
+        small = fit_piecewise_exponential(rng.exponential(1.0, size=64))
+        large = fit_piecewise_exponential(rng.exponential(1.0, size=20_000))
+        count = lambda fit: sum(  # noqa: E731
+            1 for key in fit.params if key.startswith("rate_")
+        )
+        assert count(small) == 4
+        assert count(large) > count(small)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(FittingError):
+            fit_piecewise_exponential([1.0, 2.0, 3.0], n_pieces=4)
+
+
+class TestSafeFit:
+    def test_wraps_successful_fit(self, rng):
+        result = safe_fit("exponential", rng.exponential(10.0, size=100))
+        assert result.params["rate"] == pytest.approx(0.1, rel=0.3)
+
+    def test_too_few_observations(self):
+        error = safe_fit("gamma", [1.0, 2.0])
+        assert isinstance(error, FitError)
+        assert error.n == 2
+        assert "at least 3" in error.reason
+
+    def test_nonpositive_sample(self):
+        error = safe_fit("weibull", [1.0, 0.0, 2.0])
+        assert isinstance(error, FitError)
+        assert "strictly positive" in error.reason
+
+    def test_all_equal_sample(self):
+        error = safe_fit("gamma", [5.0, 5.0, 5.0, 5.0])
+        assert isinstance(error, FitError)
+        assert "degenerate" in error.reason
+
+    def test_unknown_family(self):
+        error = safe_fit("lognormal", [1.0, 2.0, 3.0])
+        assert isinstance(error, FitError)
+
+    def test_never_raises_on_junk(self):
+        for junk in ([], [np.nan], [np.inf, 1.0], [-1.0] * 10):
+            for family in FIT_FAMILIES:
+                result = safe_fit(family, junk)
+                assert isinstance(result, FitError)
+
+
+class TestSafeFitAll:
+    def test_clean_sample_fits_every_family(self, rng):
+        fits, errors = safe_fit_all(rng.gamma(0.7, 100.0, size=2_000))
+        assert errors == []
+        assert {fit.name for fit in fits} == set(FIT_FAMILIES)
+        logliks = [fit.log_likelihood for fit in fits]
+        assert logliks == sorted(logliks, reverse=True)
+
+    def test_degenerate_sample_all_errors(self):
+        fits, errors = safe_fit_all([3.0, 3.0, 3.0, 3.0])
+        assert fits == []
+        assert {error.name for error in errors} == set(FIT_FAMILIES)
+
+    def test_weibull_best_on_weibull_data(self, rng):
+        sample = 150.0 * rng.weibull(0.6, size=20_000)
+        fits, _errors = safe_fit_all(sample)
+        parametric = [
+            f for f in fits if f.name in ("exponential", "gamma", "weibull")
+        ]
+        assert parametric[0].name == "weibull"
 
 
 class TestFitAll:
