@@ -256,13 +256,56 @@ def get_int(name: str, default: int) -> int:
     return int(value)
 
 
-def override(name: str, value: Optional[str]) -> None:
+class _Override:
+    """Handle of one :func:`override` write; restores on exit.
+
+    Usable three ways, all backward compatible with the original
+    plain-setter ``override``:
+
+    * fire-and-forget: ``envvars.override(name, value)`` — the write
+      sticks (the handle is simply dropped);
+    * scoped: ``with envvars.override(name, value): ...`` — the prior
+      value (or absence) is restored on exit, exceptions included;
+    * nested: inner ``with`` blocks capture the outer block's value,
+      so unwinding restores each layer in LIFO order.
+    """
+
+    def __init__(self, name: str, value: Optional[str]) -> None:
+        self.name = name
+        self.value = value
+        self._had_prior = name in os.environ
+        self._prior = os.environ.get(name)
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+
+    def __enter__(self) -> "_Override":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.restore()
+
+    def restore(self) -> None:
+        """Put back the value captured when the override was applied."""
+        if self._had_prior:
+            os.environ[self.name] = self._prior  # type: ignore[assignment]
+        else:
+            os.environ.pop(self.name, None)
+
+
+def override(name: str, value: Optional[str]) -> _Override:
     """Set (or, with ``None``, clear) a *registered* variable.
 
     The CLI funnels flag values that must reach pool workers —
     ``--hazard-backend``, engine selection — through here instead of
     touching ``os.environ`` directly, keeping every write inside the
     registry's typo check (and this RPL004-exempt module).
+
+    Returns a handle that is also a context manager: used bare, the
+    write persists (the historical behavior); used in a ``with``
+    statement, the prior value is restored on exit — including on
+    exception unwind — and nested overrides restore in LIFO order.
 
     Raises:
         KeyError: when ``name`` was never registered.
@@ -272,10 +315,7 @@ def override(name: str, value: Optional[str]) -> None:
             "unregistered environment variable %r; add it to "
             "repro.envvars.REGISTRY" % (name,)
         )
-    if value is None:
-        os.environ.pop(name, None)
-    else:
-        os.environ[name] = value
+    return _Override(name, value)
 
 
 def markdown_table() -> str:

@@ -92,9 +92,14 @@ def _file_digest(path: str) -> str:
     if not os.path.exists(path):
         raise SpecificationError("trace file not found: %s" % path)
     digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    except OSError as exc:
+        raise SpecificationError(
+            "trace file %s is unreadable: %s" % (path, exc)
+        )
     return digest.hexdigest()[:12]
 
 
@@ -111,35 +116,73 @@ def load_failure_times(
     if not os.path.exists(path):
         raise SpecificationError("trace file not found: %s" % path)
     if path.endswith(".npz"):
+        import zipfile
+
         from repro.core.colstore import load_table
 
-        table = load_table(path, mmap=False)
-        types = np.asarray(
-            [ALL_FAILURE_TYPES[code].value for code in table.type_codes]
-        )
-        classes = np.asarray(
-            [table.system_classes.values[code] for code in table.class_codes]
-        )
+        try:
+            table = load_table(path, mmap=False)
+            types = np.asarray(
+                [ALL_FAILURE_TYPES[code].value for code in table.type_codes]
+            )
+            classes = np.asarray(
+                [
+                    table.system_classes.values[code]
+                    for code in table.class_codes
+                ]
+            )
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            IndexError,
+            zipfile.BadZipFile,
+        ) as exc:
+            raise SpecificationError(
+                "trace %s is not a readable event table: %s" % (path, exc)
+            )
         return np.asarray(table.occur_time, dtype=np.float64), types, classes
     times = []
     types_list = []
     classes_list = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if record.get("kind", "failure") != "failure":
-                continue
-            if "failure_type" not in record:
-                continue
-            time = record.get("occur_t", record.get("t"))
-            if time is None:
-                continue
-            times.append(float(time))
-            types_list.append(str(record["failure_type"]))
-            classes_list.append(str(record.get("system_class", "")))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SpecificationError(
+                        "trace %s line %d is not valid JSON: %s"
+                        % (path, lineno, exc)
+                    )
+                if not isinstance(record, dict):
+                    raise SpecificationError(
+                        "trace %s line %d is not a JSON object"
+                        % (path, lineno)
+                    )
+                if record.get("kind", "failure") != "failure":
+                    continue
+                if "failure_type" not in record:
+                    continue
+                time = record.get("occur_t", record.get("t"))
+                if time is None:
+                    continue
+                try:
+                    times.append(float(time))
+                except (TypeError, ValueError):
+                    raise SpecificationError(
+                        "trace %s line %d has a non-numeric time %r"
+                        % (path, lineno, time)
+                    )
+                types_list.append(str(record["failure_type"]))
+                classes_list.append(str(record.get("system_class", "")))
+    except (OSError, UnicodeDecodeError) as exc:
+        raise SpecificationError(
+            "trace file %s is unreadable: %s" % (path, exc)
+        )
     if not times:
         raise SpecificationError("trace %s holds no failure records" % path)
     return (

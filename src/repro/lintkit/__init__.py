@@ -16,6 +16,14 @@ actually rests on and that no general-purpose linter knows about:
 * generic footguns: mutable default arguments (RPL901) and bare
   ``except`` (RPL902).
 
+A second, *whole-program* pass (``--project``) builds a module graph,
+an approximate call graph, and dataflow summaries over ``src/repro``
+to check the cross-module invariants no single file can witness:
+cache-key soundness (RPL101), fork-safety of worker-reachable module
+state (RPL102), import-time environment reads (RPL103), and
+engine-dispatch discipline (RPL104).  See
+:mod:`repro.lintkit.project_rules`.
+
 The engine is stdlib-only (``ast`` + ``tokenize``): it runs in a CI
 job with no dependencies installed, and ``tools/lint.py`` can load it
 without importing the numpy-heavy ``repro`` package init.  Findings
@@ -28,6 +36,9 @@ rule catalog and workflows.
 Entry points::
 
     python -m repro.lintkit                 # check the repo, exit 1 on findings
+    python -m repro.lintkit src/repro/core  # explicit paths (pre-commit)
+    python -m repro.lintkit --project       # whole-program pass (RPL101-104)
+    python -m repro.lintkit --project --graph callgraph.json
     python -m repro.lintkit --json out.json # machine-readable report
     python -m repro.lintkit --write-baseline
     make lint / make lint-baseline
@@ -40,7 +51,9 @@ from repro.lintkit.baseline import (
     render_baseline,
     write_baseline,
 )
+from repro.lintkit.callgraph import CallGraph, find_entry_points
 from repro.lintkit.cli import main as cli_main
+from repro.lintkit.dataflow import ProjectSummary, analyze_project
 from repro.lintkit.engine import (
     Finding,
     LintResult,
@@ -50,20 +63,34 @@ from repro.lintkit.engine import (
     iter_python_files,
     module_name_for,
     run,
+    run_project,
+)
+from repro.lintkit.modgraph import ModuleGraph
+from repro.lintkit.project_rules import (
+    PROJECT_RULES,
+    ProjectRule,
+    run_project_rules,
 )
 from repro.lintkit.report import render_json, render_text
 from repro.lintkit.rules import RULES, Rule, rule_catalog
 
 __all__ = [
+    "CallGraph",
     "Finding",
     "LintResult",
+    "ModuleGraph",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "ProjectSummary",
     "RULES",
     "Rule",
     "SourceModule",
+    "analyze_project",
     "apply_baseline",
     "check_file",
     "check_source",
     "cli_main",
+    "find_entry_points",
     "fingerprint",
     "iter_python_files",
     "load_baseline",
@@ -73,5 +100,7 @@ __all__ = [
     "render_text",
     "rule_catalog",
     "run",
+    "run_project",
+    "run_project_rules",
     "write_baseline",
 ]

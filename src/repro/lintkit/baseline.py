@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lintkit.engine import Finding
 
@@ -67,12 +67,20 @@ def load_baseline(path: str) -> Dict[Fingerprint, int]:
 
 
 def apply_baseline(
-    findings: List[Finding], baseline: Dict[Fingerprint, int]
+    findings: List[Finding],
+    baseline: Dict[Fingerprint, int],
+    relevant: Optional[Callable[[Fingerprint], bool]] = None,
 ) -> Tuple[List[Finding], int, List[Fingerprint]]:
     """Split findings into (new, absorbed count, stale entries).
 
     Consumes the baseline multiset: each entry absorbs up to ``count``
     matching findings; leftover entry capacity is reported stale.
+
+    ``relevant`` scopes the staleness check: only leftover entries the
+    predicate accepts are reported.  A partial run — explicit paths on
+    the command line, a ``--select`` subset, or the per-file pass that
+    never executes the project rules — cannot prove an unscanned
+    entry's violation was fixed, so it must not call it stale.
     """
     remaining = dict(baseline)
     kept: List[Finding] = []
@@ -84,7 +92,11 @@ def apply_baseline(
             absorbed += 1
         else:
             kept.append(finding)
-    stale = sorted(key for key, count in remaining.items() if count > 0)
+    stale = sorted(
+        key
+        for key, count in remaining.items()
+        if count > 0 and (relevant is None or relevant(key))
+    )
     return kept, absorbed, stale
 
 

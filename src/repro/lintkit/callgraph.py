@@ -1,0 +1,151 @@
+"""Approximate project call graph built from dataflow summaries.
+
+Nodes are the canonical function qualnames the dataflow pass indexed:
+top-level functions, class methods, and per-class ``<body>``
+pseudo-nodes (module-import-time work such as dataclass field
+defaults).  Edges come in three strengths:
+
+* **resolved** — the callee was a dotted name the module graph could
+  place (``make_engine(...)``), a constructor (``Job(...)`` links to
+  ``Job.__init__`` and ``Job.<body>``), or a method on a receiver with
+  an inferred class (``engine.run()`` where ``engine = make_engine()``
+  and ``make_engine`` is annotated ``-> SimulationEngine``);
+* **ambiguous** — ``obj.m()`` with an unknown receiver links to
+  *every* project method named ``m``.  Deliberate over-approximation:
+  the rules do must-cover analysis (is this attribute read reachable?)
+  where false edges cost noise but missing edges cost soundness.
+
+No execution, no imports of the analyzed code — name resolution only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lintkit.dataflow import ProjectSummary
+
+
+@dataclasses.dataclass
+class Edge:
+    """One call edge; ``ambiguous`` marks name-only method matches."""
+
+    caller: str
+    callee: str
+    line: int
+    ambiguous: bool = False
+
+
+class CallGraph:
+    """Adjacency over canonical function qualnames."""
+
+    def __init__(self, project: ProjectSummary) -> None:
+        self.project = project
+        self.edges: List[Edge] = []
+        self._out: Dict[str, List[Edge]] = {}
+        self._build()
+
+    def _add_edge(
+        self, caller: str, callee: str, line: int, ambiguous: bool = False
+    ) -> None:
+        edge = Edge(caller=caller, callee=callee, line=line, ambiguous=ambiguous)
+        self.edges.append(edge)
+        self._out.setdefault(caller, []).append(edge)
+
+    def _class_targets(self, qualname: str) -> List[str]:
+        """Construction of a class runs ``__init__`` and the body."""
+        cls = self.project.classes.get(qualname)
+        if cls is None:
+            return []
+        targets = []
+        if cls.body is not None:
+            targets.append(cls.body.qualname)
+        if "__init__" in cls.methods:
+            targets.append(cls.methods["__init__"].qualname)
+        return targets
+
+    def _build(self) -> None:
+        functions = self.project.functions
+        for qualname, fn in functions.items():
+            for site in fn.calls:
+                if site.target is not None:
+                    target = self.project.graph.canonicalize(site.target)
+                    if target in functions:
+                        self._add_edge(qualname, target, site.line)
+                        continue
+                    class_targets = self._class_targets(target)
+                    if class_targets:
+                        for callee in class_targets:
+                            self._add_edge(qualname, callee, site.line)
+                        continue
+                    # `Class.method` on a class without that method may
+                    # still be inherited; fall through to name matching
+                    # with the bare method name.
+                    method = target.rsplit(".", 1)[-1]
+                else:
+                    method = site.method
+                if method is None:
+                    continue
+                for callee in self.project.methods_by_name.get(method, ()):
+                    if callee != qualname:
+                        self._add_edge(
+                            qualname, callee, site.line, ambiguous=True
+                        )
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Function qualnames transitively callable from ``roots``."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.project.functions]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for edge in self._out.get(name, ()):
+                if edge.callee not in seen:
+                    stack.append(edge.callee)
+        return seen
+
+    def to_json(self) -> Dict[str, object]:
+        """The ``--graph callgraph.json`` export payload."""
+        resolved = sum(1 for e in self.edges if not e.ambiguous)
+        return {
+            "nodes": sorted(self.project.functions),
+            "edges": [
+                {
+                    "caller": e.caller,
+                    "callee": e.callee,
+                    "line": e.line,
+                    "ambiguous": e.ambiguous,
+                }
+                for e in sorted(
+                    self.edges, key=lambda e: (e.caller, e.callee, e.line)
+                )
+            ],
+            "stats": {
+                "functions": len(self.project.functions),
+                "edges": len(self.edges),
+                "resolved_edges": resolved,
+                "ambiguous_edges": len(self.edges) - resolved,
+            },
+        }
+
+
+def find_entry_points(
+    project: ProjectSummary, names: Tuple[str, ...]
+) -> List[str]:
+    """Canonical qualnames of project functions with one of ``names``.
+
+    Matches both top-level functions and methods, so renaming or
+    moving an entry point keeps the anchor as long as the bare name
+    survives.
+    """
+    found = [
+        qualname
+        for qualname, fn in project.functions.items()
+        if fn.name in names
+    ]
+    return sorted(found)
+
+
+__all__ = ["CallGraph", "Edge", "find_entry_points"]

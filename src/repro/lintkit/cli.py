@@ -52,6 +52,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="regenerate the baseline from current findings and exit 0",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="run the whole-program pass (RPL101-RPL104) over src/repro "
+        "instead of the per-file rules",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        default=None,
+        help="with --project: export the import/call graph as JSON to FILE",
+    )
+    parser.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -78,6 +90,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.lintkit.project_rules import PROJECT_RULES
+
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
@@ -85,10 +99,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("%s  %s" % (code, title))
         return 0
 
+    if args.graph and not args.project:
+        print("reprolint: --graph requires --project", file=sys.stderr)
+        return 2
+    if args.project and args.paths:
+        print(
+            "reprolint: --project analyzes the whole package; explicit "
+            "paths only apply to the per-file pass",
+            file=sys.stderr,
+        )
+        return 2
+
     select: Optional[List[str]] = None
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
-        unknown = [code for code in select if code not in RULES]
+        unknown = [
+            code
+            for code in select
+            if code not in RULES and code not in PROJECT_RULES
+        ]
         if unknown:
             print(
                 "reprolint: unknown rule code(s): %s" % ", ".join(unknown),
@@ -102,13 +131,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     if args.write_baseline:
+        # Both passes share one baseline file: regenerate from the
+        # union so writing from either entry point never drops the
+        # other pass's grandfathered entries.
         result = engine.run(
             root, paths=args.paths or None, baseline=None, select=select
         )
-        entries = baseline_mod.write_baseline(baseline_path, result.findings)
+        project_result, _ctx = engine.run_project(
+            root, baseline=None, select=select
+        )
+        findings = result.findings + project_result.findings
+        entries = baseline_mod.write_baseline(baseline_path, findings)
         print(
             "reprolint: wrote %d baseline entr(ies) covering %d finding(s) "
-            "to %s" % (entries, len(result.findings), baseline_path),
+            "to %s" % (entries, len(findings), baseline_path),
             file=sys.stderr,
         )
         return 0
@@ -121,9 +157,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("reprolint: %s" % exc, file=sys.stderr)
             return 2
 
-    result = engine.run(
-        root, paths=args.paths or None, baseline=baseline, select=select
-    )
+    if args.project:
+        result, ctx = engine.run_project(
+            root, baseline=baseline, select=select
+        )
+        if args.graph:
+            graph_doc = ctx.callgraph.to_json()
+            graph_doc["imports"] = ctx.graph.to_json()
+            payload = json.dumps(graph_doc, indent=2) + "\n"
+            if args.graph == "-":
+                sys.stdout.write(payload)
+            else:
+                with open(args.graph, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+    else:
+        result = engine.run(
+            root, paths=args.paths or None, baseline=baseline, select=select
+        )
 
     if args.json:
         document = json.dumps(report.render_json(result), indent=2) + "\n"

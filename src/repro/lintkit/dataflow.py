@@ -1,0 +1,716 @@
+"""Lightweight dataflow facts per function, for the project rules.
+
+For every function (and class body) in a :class:`ModuleGraph` this
+pass records the facts the cross-module rules consume:
+
+* **call sites** — resolved to canonical project names where name
+  resolution allows, or kept as bare method names for the call graph's
+  over-approximation (``obj.inject(...)`` with an unknown receiver
+  links to *every* project method named ``inject``);
+* **attribute reads** — ``job.scale`` where ``job`` is inferred (from
+  parameter annotations, ``self``, or a visible constructor call) to
+  be a project class: the raw material of the RPL101 cache-key check;
+* **environment reads** — ``envvars.get*("REPRO_...")`` calls, with
+  the module-scope ones split out (RPL103: workers never see overrides
+  applied after import);
+* **module-level mutable state** and every site that mutates it from
+  function scope (RPL102 fork-safety), plus whether the module is
+  fork-aware (``os.register_at_fork`` / an ``adopt`` hook);
+* **worker task functions** — first arguments of ``.map(fn, ...)``
+  calls that resolve to project functions (the fork boundary RPL102
+  measures reachability from).
+
+Everything is intraprocedural; propagation happens later along
+:mod:`repro.lintkit.callgraph` edges.  The pass never imports the
+analyzed code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lintkit.modgraph import ModuleGraph, ModuleInfo, resolve_annotation
+
+#: ``repro.envvars`` readers whose first argument names a variable.
+ENVVAR_READERS = (
+    "repro.envvars.get",
+    "repro.envvars.get_flag",
+    "repro.envvars.get_float",
+    "repro.envvars.get_int",
+)
+
+#: Constructors whose module-level result is mutable *container* state
+#: (flagged by RPL102 only when something mutates it at runtime).
+_CONTAINER_CTORS = {
+    "dict",
+    "list",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+}
+
+#: Constructors that are unconditionally fork-hostile at module level
+#: (a lock or handle inherited across ``fork`` is broken even if no
+#: project code ever mutates the binding).
+_HANDLE_CTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.Event",
+    "threading.local",
+    "open",
+    "io.open",
+}
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: Functions whose body counts as a fork-reset hook: mutations housed
+#: here make a global *fork-aware* instead of fork-hostile.
+_FORK_HOOK_MARKERS = ("adopt", "fork", "reset")
+
+
+@dataclasses.dataclass
+class EnvRead:
+    """One ``envvars.get*`` call with a statically-known variable name."""
+
+    name: str
+    line: int
+    col: int
+    module_scope: bool = False
+
+
+@dataclasses.dataclass
+class AttrRead:
+    """One ``<obj>.<attr>`` load with an inferred project class."""
+
+    cls: str
+    attr: str
+    line: int
+    col: int
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One call: resolved canonical target, or a bare method name."""
+
+    target: Optional[str]
+    method: Optional[str]
+    line: int
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """Dataflow facts of one function / method / class body."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    calls: List[CallSite] = dataclasses.field(default_factory=list)
+    attr_reads: List[AttrRead] = dataclasses.field(default_factory=list)
+    env_reads: List[EnvRead] = dataclasses.field(default_factory=list)
+    #: Every string literal in the body (RPL101 mines ``canonical()``
+    #: bodies for ``field=`` tokens and ``REPRO_*`` mentions).
+    strings: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ClassSummary:
+    """One class: fields, methods, bases, and its body pseudo-function."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    bases: List[str] = dataclasses.field(default_factory=list)
+    fields: List[str] = dataclasses.field(default_factory=list)
+    methods: Dict[str, FunctionSummary] = dataclasses.field(default_factory=dict)
+    body: Optional[FunctionSummary] = None
+
+    def has_method(self, name: str) -> bool:
+        return name in self.methods
+
+
+@dataclasses.dataclass
+class GlobalVar:
+    """One module-level mutable binding (RPL102 candidate)."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    col: int
+    kind: str  # "container" | "handle" | "instance"
+
+
+@dataclasses.dataclass
+class ModuleSummary:
+    """Dataflow facts of one module."""
+
+    module: str
+    functions: Dict[str, FunctionSummary] = dataclasses.field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = dataclasses.field(default_factory=dict)
+    globals: Dict[str, GlobalVar] = dataclasses.field(default_factory=dict)
+    #: canonical global qualname -> (line, enclosing function qualname).
+    mutations: Dict[str, List[Tuple[int, str]]] = dataclasses.field(
+        default_factory=dict
+    )
+    module_env_reads: List[EnvRead] = dataclasses.field(default_factory=list)
+    fork_aware: bool = False
+    #: Canonical names of functions handed to ``pool.map(fn, ...)``.
+    worker_tasks: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class ProjectSummary:
+    """The whole-program dataflow index the rules consume."""
+
+    graph: ModuleGraph
+    modules: Dict[str, ModuleSummary] = dataclasses.field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = dataclasses.field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = dataclasses.field(default_factory=dict)
+    #: bare method name -> canonical qualnames defining it.
+    methods_by_name: Dict[str, List[str]] = dataclasses.field(default_factory=dict)
+    #: canonical function qualname -> resolved return class, if any.
+    returns: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def worker_tasks(self) -> List[str]:
+        tasks: List[str] = []
+        for summary in self.modules.values():
+            tasks.extend(summary.worker_tasks)
+        return sorted(set(tasks))
+
+
+def analyze_project(graph: ModuleGraph) -> ProjectSummary:
+    """Run the dataflow pass over every module of ``graph``."""
+    project = ProjectSummary(graph=graph)
+    analyzer = _Analyzer(graph, project)
+    for name in sorted(graph.modules):
+        analyzer.analyze_module(graph.modules[name])
+    analyzer.finish()
+    return project
+
+
+class _Analyzer:
+    def __init__(self, graph: ModuleGraph, project: ProjectSummary) -> None:
+        self.graph = graph
+        self.project = project
+        # Deferred: return annotations resolve after all classes exist.
+        self._returns: List[Tuple[str, str, ast.expr]] = []
+
+    # -- module walk -------------------------------------------------
+
+    def analyze_module(self, info: ModuleInfo) -> None:
+        summary = ModuleSummary(module=info.name)
+        self.project.modules[info.name] = summary
+        for node in info.source.tree.body:
+            self._module_statement(info, summary, node)
+        # Facts that ignore scope: worker-task registration, fork hooks,
+        # and mutations of module globals from any function body.
+        for node in ast.walk(info.source.tree):
+            if isinstance(node, ast.Call):
+                self._check_fork_hook(info, summary, node)
+                self._check_worker_task(info, summary, node)
+        self._collect_mutations(info, summary)
+
+    def _module_statement(
+        self, info: ModuleInfo, summary: ModuleSummary, node: ast.stmt
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add_function(info, summary, node, owner=None)
+        elif isinstance(node, ast.ClassDef):
+            self._add_class(info, summary, node)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            self._module_assignment(info, summary, node)
+            self._scan_module_scope(info, summary, node)
+        elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            # Conditional module-level code still runs at import time.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._module_statement(info, summary, child)
+                else:
+                    self._scan_module_scope(info, summary, child)
+        else:
+            self._scan_module_scope(info, summary, node)
+
+    def _scan_module_scope(
+        self, info: ModuleInfo, summary: ModuleSummary, node: ast.AST
+    ) -> None:
+        """Record import-time environment reads (outside any function)."""
+        for child in _walk_scope(node):
+            if isinstance(child, ast.Call):
+                read = self._env_read(info, child)
+                if read is not None:
+                    read.module_scope = True
+                    summary.module_env_reads.append(read)
+
+    # -- functions and classes ---------------------------------------
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        summary: ModuleSummary,
+        node: ast.AST,
+        owner: Optional[ClassSummary],
+    ) -> FunctionSummary:
+        if owner is not None:
+            qualname = "%s.%s" % (owner.qualname, node.name)
+        else:
+            qualname = "%s.%s" % (info.name, node.name)
+        fn = FunctionSummary(
+            qualname=qualname,
+            module=info.name,
+            name=node.name,
+            line=node.lineno,
+        )
+        env = self._parameter_types(info, node, owner)
+        self._analyze_body(info, fn, node, env)
+        if node.returns is not None:
+            self._returns.append((qualname, info.name, node.returns))
+        if owner is not None:
+            owner.methods[node.name] = fn
+            self.project.methods_by_name.setdefault(node.name, []).append(
+                qualname
+            )
+        else:
+            summary.functions[node.name] = fn
+        self.project.functions[qualname] = fn
+        return fn
+
+    def _add_class(
+        self, info: ModuleInfo, summary: ModuleSummary, node: ast.ClassDef
+    ) -> None:
+        qualname = "%s.%s" % (info.name, node.name)
+        cls = ClassSummary(
+            qualname=qualname,
+            module=info.name,
+            name=node.name,
+            line=node.lineno,
+            bases=[
+                resolved
+                for base in node.bases
+                for resolved in [resolve_annotation(self.graph, info.name, base)]
+                if resolved is not None
+            ],
+        )
+        body = FunctionSummary(
+            qualname="%s.<body>" % qualname,
+            module=info.name,
+            name="<body>",
+            line=node.lineno,
+        )
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, summary, child, owner=cls)
+            else:
+                if isinstance(child, ast.AnnAssign) and isinstance(
+                    child.target, ast.Name
+                ):
+                    cls.fields.append(child.target.id)
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            cls.fields.append(target.id)
+                self._analyze_body(info, body, child, env={}, is_statement=True)
+        init = cls.methods.get("__init__")
+        if init is not None:
+            for read in _self_assignments(init):
+                if read not in cls.fields:
+                    cls.fields.append(read)
+        cls.body = body
+        self.project.functions[body.qualname] = body
+        summary.classes[node.name] = cls
+        self.project.classes[qualname] = cls
+
+    def _parameter_types(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        owner: Optional[ClassSummary],
+    ) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        args = node.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            resolved = resolve_annotation(self.graph, info.name, arg.annotation)
+            if resolved is not None and resolved in self.project.classes:
+                env[arg.arg] = resolved
+            elif resolved is not None:
+                env[arg.arg] = resolved  # may become a class later
+        if owner is not None and (args.posonlyargs or args.args):
+            first = (list(args.posonlyargs) + list(args.args))[0].arg
+            env[first] = owner.qualname
+        return env
+
+    # -- body analysis -----------------------------------------------
+
+    def _analyze_body(
+        self,
+        info: ModuleInfo,
+        fn: FunctionSummary,
+        node: ast.AST,
+        env: Dict[str, str],
+        is_statement: bool = False,
+    ) -> None:
+        """Walk one body, folding nested functions into the parent."""
+        nodes = _walk_body(node) if not is_statement else _walk_body_stmt(node)
+        env = dict(env)
+        for child in nodes:
+            if isinstance(child, ast.Assign) and isinstance(
+                child.value, ast.Call
+            ):
+                inferred = self._inferred_call_class(info, child.value)
+                if inferred is not None:
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = inferred
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                resolved = resolve_annotation(
+                    self.graph, info.name, child.annotation
+                )
+                if resolved is not None:
+                    env[child.target.id] = resolved
+        for child in nodes:
+            if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                fn.strings.append(child.value)
+            elif isinstance(child, ast.Call):
+                self._record_call(info, fn, child, env)
+            elif isinstance(child, ast.Attribute) and isinstance(
+                child.ctx, ast.Load
+            ):
+                if isinstance(child.value, ast.Name):
+                    cls = env.get(child.value.id)
+                    if cls is not None:
+                        fn.attr_reads.append(
+                            AttrRead(
+                                cls=cls,
+                                attr=child.attr,
+                                line=child.lineno,
+                                col=child.col_offset,
+                            )
+                        )
+
+    def _inferred_call_class(
+        self, info: ModuleInfo, call: ast.Call
+    ) -> Optional[str]:
+        """Class of ``x = C(...)`` / ``x = f(...)-> C``, if inferable."""
+        target = self._resolve_callable(info, call.func)
+        if target is None:
+            return None
+        if target in self.project.classes:
+            return target
+        return self.project.returns.get(target)
+
+    def _resolve_callable(
+        self, info: ModuleInfo, func: ast.expr
+    ) -> Optional[str]:
+        parts: List[str] = []
+        probe = func
+        while isinstance(probe, ast.Attribute):
+            parts.append(probe.attr)
+            probe = probe.value
+        if not isinstance(probe, ast.Name):
+            return None
+        parts.append(probe.id)
+        parts.reverse()
+        resolved = self.graph.qualify(info.name, ".".join(parts))
+        if resolved == ".".join(parts) and parts[0] not in info.bindings:
+            return None  # local variable or builtin
+        return resolved
+
+    def _record_call(
+        self,
+        info: ModuleInfo,
+        fn: FunctionSummary,
+        call: ast.Call,
+        env: Dict[str, str],
+    ) -> None:
+        read = self._env_read(info, call)
+        if read is not None:
+            fn.env_reads.append(read)
+        target = self._resolve_callable(info, call.func)
+        if target is not None:
+            fn.calls.append(CallSite(target=target, method=None, line=call.lineno))
+            return
+        if isinstance(call.func, ast.Attribute):
+            if isinstance(call.func.value, ast.Name):
+                cls = env.get(call.func.value.id)
+                if cls is not None:
+                    fn.calls.append(
+                        CallSite(
+                            target="%s.%s" % (cls, call.func.attr),
+                            method=None,
+                            line=call.lineno,
+                        )
+                    )
+                    return
+            fn.calls.append(
+                CallSite(target=None, method=call.func.attr, line=call.lineno)
+            )
+
+    def _env_read(self, info: ModuleInfo, call: ast.Call) -> Optional[EnvRead]:
+        target = self._resolve_callable(info, call.func)
+        if target not in ENVVAR_READERS or not call.args:
+            return None
+        arg = call.args[0]
+        name: Optional[str] = None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+        elif isinstance(arg, ast.Name):
+            name = info.source.constants.get(arg.id)
+        if name is None:
+            return None
+        return EnvRead(name=name, line=call.lineno, col=call.col_offset)
+
+    # -- module-level state ------------------------------------------
+
+    def _module_assignment(
+        self, info: ModuleInfo, summary: ModuleSummary, node: ast.stmt
+    ) -> None:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        kind = self._mutable_kind(info, value)
+        if kind is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            qualname = "%s.%s" % (info.name, target.id)
+            summary.globals[target.id] = GlobalVar(
+                qualname=qualname,
+                module=info.name,
+                name=target.id,
+                line=node.lineno,
+                col=node.col_offset,
+                kind=kind,
+            )
+
+    def _mutable_kind(self, info: ModuleInfo, value: ast.expr) -> Optional[str]:
+        if isinstance(
+            value,
+            (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
+        ):
+            return "container"
+        if not isinstance(value, ast.Call):
+            return None
+        target = self._resolve_callable(info, value.func)
+        if target is None and isinstance(value.func, ast.Name):
+            target = value.func.id
+        if target in _HANDLE_CTORS:
+            return "handle"
+        if target in _CONTAINER_CTORS:
+            return "container"
+        if target is not None and target in self.project.classes:
+            return "instance"
+        if (
+            target is not None
+            and self.graph.module_of(target) is not None
+        ):
+            return "instance"  # project call not yet indexed (forward ref)
+        return None
+
+    def _collect_mutations(
+        self, info: ModuleInfo, summary: ModuleSummary
+    ) -> None:
+        """Find runtime mutations of module-level bindings, project-wide."""
+        for node in info.source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_fn_mutations(info, summary, node, node.name)
+            elif isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._collect_fn_mutations(
+                            info,
+                            summary,
+                            child,
+                            "%s.%s" % (node.name, child.name),
+                        )
+
+    def _collect_fn_mutations(
+        self,
+        info: ModuleInfo,
+        summary: ModuleSummary,
+        node: ast.AST,
+        fn_name: str,
+    ) -> None:
+        fn_qualname = "%s.%s" % (info.name, fn_name)
+        declared_global: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Global):
+                declared_global.update(child.names)
+        for child in ast.walk(node):
+            name: Optional[str] = None
+            if isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if isinstance(
+                        target, (ast.Subscript, ast.Attribute)
+                    ) and isinstance(target.value, ast.Name):
+                        name = target.value.id
+                    elif (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        name = target.id
+            elif isinstance(child, ast.Delete):
+                for target in child.targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        name = target.value.id
+            elif (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _MUTATOR_METHODS
+                and isinstance(child.func.value, ast.Name)
+            ):
+                name = child.func.value.id
+            if name is None:
+                continue
+            qualname = self.graph.qualify(info.name, name)
+            if qualname == name:
+                continue  # a local variable, not a module binding
+            self.project.modules.setdefault(
+                info.name, summary
+            )
+            mutations = (
+                summary.mutations
+                if self.graph.module_of(qualname) == info.name
+                else self._foreign_mutations(qualname)
+            )
+            mutations.setdefault(qualname, []).append(
+                (child.lineno, fn_qualname)
+            )
+
+    def _foreign_mutations(self, qualname: str):
+        owner = self.graph.module_of(qualname)
+        if owner is None:
+            return {}  # throwaway dict: not project state
+        owner_summary = self.project.modules.get(owner)
+        if owner_summary is None:
+            owner_summary = ModuleSummary(module=owner)
+            self.project.modules[owner] = owner_summary
+        return owner_summary.mutations
+
+    # -- fork hooks and worker tasks ---------------------------------
+
+    def _check_fork_hook(
+        self, info: ModuleInfo, summary: ModuleSummary, call: ast.Call
+    ) -> None:
+        target = self._resolve_callable(info, call.func)
+        if target == "os.register_at_fork":
+            summary.fork_aware = True
+
+    def _check_worker_task(
+        self, info: ModuleInfo, summary: ModuleSummary, call: ast.Call
+    ) -> None:
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "map"
+            and call.args
+        ):
+            return
+        target = self._resolve_callable(info, call.args[0])
+        if target is None:
+            return
+        if self.graph.module_of(target) is not None:
+            summary.worker_tasks.append(self.graph.canonicalize(target))
+
+    # -- finish ------------------------------------------------------
+
+    def finish(self) -> None:
+        """Resolve deferred return annotations to project classes."""
+        for qualname, module, annotation in self._returns:
+            resolved = resolve_annotation(self.graph, module, annotation)
+            if resolved is not None and resolved in self.project.classes:
+                self.project.returns[qualname] = resolved
+
+
+def is_fork_hook_name(name: str) -> bool:
+    """Whether a function name marks a fork-reset hook (RPL102)."""
+    lowered = name.lower()
+    return any(marker in lowered for marker in _FORK_HOOK_MARKERS)
+
+
+def _self_assignments(fn: FunctionSummary) -> List[str]:
+    """Field names ``__init__`` assigns onto ``self`` (via attr reads).
+
+    The body walk records ``self.x`` *loads*; stores are recovered from
+    the summary's attribute reads union — good enough for field
+    discovery because ``__init__`` conventionally reads what it sets.
+    """
+    return [read.attr for read in fn.attr_reads]
+
+
+def _walk_body(node: ast.AST) -> List[ast.AST]:
+    """All nodes of a function body, nested functions folded in."""
+    found: List[ast.AST] = []
+    for child in ast.walk(node):
+        if child is not node:
+            found.append(child)
+    return found
+
+
+def _walk_body_stmt(node: ast.AST) -> List[ast.AST]:
+    return [node] + _walk_body(node)
+
+
+def _walk_scope(node: ast.AST) -> List[ast.AST]:
+    """Nodes of a statement excluding nested function/lambda bodies."""
+    found: List[ast.AST] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        found.append(current)
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return found
+
+
+__all__ = [
+    "AttrRead",
+    "CallSite",
+    "ClassSummary",
+    "ENVVAR_READERS",
+    "EnvRead",
+    "FunctionSummary",
+    "GlobalVar",
+    "ModuleSummary",
+    "ProjectSummary",
+    "analyze_project",
+    "is_fork_hook_name",
+]

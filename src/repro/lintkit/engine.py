@@ -386,6 +386,7 @@ def run(
         select: restrict to these rule codes.
     """
     from repro.lintkit.baseline import apply_baseline
+    from repro.lintkit.rules import RULES
 
     if paths is None:
         paths = [
@@ -394,15 +395,75 @@ def run(
             if os.path.isdir(os.path.join(root, d))
         ]
     result = LintResult(findings=[])
+    scanned: Set[str] = set()
     for path in iter_python_files(root, paths):
+        scanned.add(os.path.relpath(path, root).replace(os.sep, "/"))
         findings, suppressed = check_file(path, root, select=select)
         result.findings.extend(findings)
         result.suppressed += suppressed
         result.files += 1
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     if baseline is not None:
-        kept, baselined, stale = apply_baseline(result.findings, baseline)
+        # A baseline entry can only be proven stale by a run that
+        # executed its rule over its file: explicit-path invocations
+        # must not report entries of unscanned files, and the per-file
+        # pass must not report project-rule (RPL1xx) entries.
+        executed = set(select) if select is not None else set(RULES)
+        executed.add(PARSE_ERROR_CODE)
+        kept, baselined, stale = apply_baseline(
+            result.findings,
+            baseline,
+            relevant=lambda key: key[0] in executed and key[1] in scanned,
+        )
         result.findings = kept
         result.baselined = baselined
         result.stale_baseline = stale
     return result
+
+
+def run_project(
+    root: str,
+    baseline: Optional[Dict[Tuple[str, str, str], int]] = None,
+    select: Optional[Sequence[str]] = None,
+    package_dirs: Optional[Sequence[str]] = None,
+):
+    """Run the whole-program pass (RPL101-RPL104) over ``root``.
+
+    Builds the module graph, dataflow summaries, and call graph (see
+    :mod:`repro.lintkit.modgraph` et al.), runs the project rules, and
+    applies the shared baseline scoped to the executed project codes.
+
+    Returns ``(LintResult, ProjectContext)`` — the context carries the
+    graphs for the ``--graph`` export.
+    """
+    from repro.lintkit.baseline import apply_baseline
+    from repro.lintkit.modgraph import ModuleGraph
+    from repro.lintkit.project_rules import PROJECT_RULES, run_project_rules
+
+    graph = ModuleGraph.load(root, package_dirs=package_dirs)
+    findings, suppressed, ctx = run_project_rules(graph, select=select)
+    for error in graph.parse_errors:
+        findings.append(error)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    result = LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files=len(graph.modules) + len(graph.parse_errors),
+    )
+    if baseline is not None:
+        executed = (
+            set(select) if select is not None else set(PROJECT_RULES)
+        )
+        executed.add(PARSE_ERROR_CODE)
+        analyzed = {
+            info.source.relpath for info in graph.modules.values()
+        }
+        kept, baselined, stale = apply_baseline(
+            result.findings,
+            baseline,
+            relevant=lambda key: key[0] in executed and key[1] in analyzed,
+        )
+        result.findings = kept
+        result.baselined = baselined
+        result.stale_baseline = stale
+    return result, ctx

@@ -459,8 +459,18 @@ class BareExcept(Rule):
 
 
 def rule_catalog() -> List[Tuple[str, str, str]]:
-    """``(code, title, rationale)`` rows, sorted by code (docs/tests)."""
-    return [
+    """``(code, title, rationale)`` rows, sorted by code (docs/tests).
+
+    Covers both registries: the per-file rules here and the
+    whole-program rules (RPL101-RPL104) from
+    :mod:`repro.lintkit.project_rules` — one catalog, one docs page.
+    """
+    from repro.lintkit.project_rules import project_rule_catalog
+
+    rows = [
         (code, RULES[code].title, RULES[code].rationale)
         for code in sorted(RULES)
     ]
+    rows.extend(project_rule_catalog())
+    rows.sort(key=lambda row: row[0])
+    return rows

@@ -323,3 +323,60 @@ class TestFitHazardsCli:
 
         assert main(["fit-hazards", "/nonexistent/events.jsonl"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_malformed_jsonl_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "meta"}\nnot json at all\n')
+        assert main(["fit-hazards", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "line 2" in err
+        assert "Traceback" not in err
+
+    def test_empty_trace_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "meta", "schema": 1}\n')
+        assert main(["fit-hazards", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no failure records" in err
+
+
+class TestTraceLoaderErrors:
+    """load_failure_times wraps malformed inputs in SpecificationError."""
+
+    def test_non_dict_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('[1, 2, 3]\n')
+        with pytest.raises(SpecificationError, match="not a JSON object"):
+            load_failure_times(str(path))
+
+    def test_non_numeric_occur_time(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        record = {
+            "type": "fleet",
+            "kind": "failure",
+            "occur_t": "soon",
+            "failure_type": "disk",
+        }
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(SpecificationError, match="occur_t"):
+            load_failure_times(str(path))
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "meta"}\n{broken\n')
+        with pytest.raises(SpecificationError, match="line 2"):
+            load_failure_times(str(path))
+
+    def test_truncated_npz_rejected(self, tmp_path):
+        path = tmp_path / "events.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a real archive")
+        with pytest.raises(SpecificationError):
+            load_failure_times(str(path))
+
+    def test_resolve_fitted_missing_file(self):
+        with pytest.raises(SpecificationError):
+            resolve("fitted:/nonexistent/events.jsonl")

@@ -124,6 +124,81 @@ def test_parse_error_reported():
     assert [f.code for f in findings] == [PARSE_ERROR_CODE]
 
 
+# Tokenizer edge cases: py3.13 tokenizes f-strings into FSTRING_*
+# tokens (a '#' inside one must not read as a comment), and the
+# comment scanner must survive CRLF, continuation lines, and files
+# without a trailing newline.
+
+
+def test_suppression_hash_inside_fstring_is_not_a_comment():
+    source = (
+        "import time\n"
+        "\n"
+        "def f(n):\n"
+        '    label = f"#{n} reprolint: disable=RPL002"\n'
+        "    return time.time(), label\n"
+    )
+    findings, suppressed = check(source)
+    assert [f.code for f in findings] == ["RPL002"]
+    assert suppressed == 0
+
+
+def test_suppression_after_fstring_on_same_line():
+    source = (
+        "import time\n"
+        "\n"
+        "def f(n):\n"
+        '    return f"{n}", time.time()  # reprolint: disable=RPL002\n'
+    )
+    findings, suppressed = check(source)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_with_crlf_line_endings():
+    source = BAD_CLOCK.format(
+        comment="  # reprolint: disable=RPL002"
+    ).replace("\n", "\r\n")
+    findings, suppressed = check(source)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_without_trailing_newline():
+    source = BAD_CLOCK.format(comment="  # reprolint: disable=RPL002")
+    assert source.endswith("\n")
+    findings, suppressed = check(source.rstrip("\n"))
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_suppression_anchors_to_continuation_start_line():
+    # The finding anchors where the expression starts; a suppression
+    # on that line covers the whole continuation.
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return (  # reprolint: disable=RPL002\n"
+        "        time.time()\n"
+        "    )\n"
+    )
+    findings, suppressed = check(source)
+    assert suppressed == 0  # RPL002 anchors on the time.time() line
+    assert [f.code for f in findings] == ["RPL002"]
+    source = (
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    return (\n"
+        "        time.time()  # reprolint: disable=RPL002\n"
+        "    )\n"
+    )
+    findings, suppressed = check(source)
+    assert findings == []
+    assert suppressed == 1
+
+
 # -- baseline -----------------------------------------------------------------
 
 
@@ -178,6 +253,52 @@ def test_baseline_stale_entry_reported():
 
 def test_baseline_missing_file_is_empty(tmp_path):
     assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+
+def test_apply_baseline_relevance_scopes_staleness():
+    entry = ("RPL002", "src/repro/core/gone.py", "time.time()")
+    baseline = {entry: 1}
+    # Unscoped: the unmatched entry is stale.
+    assert apply_baseline([], baseline)[2] == [entry]
+    # Scoped to a run that never looked at that file: not stale.
+    _, _, stale = apply_baseline(
+        [], baseline, relevant=lambda key: key[1] == "src/repro/other.py"
+    )
+    assert stale == []
+
+
+def test_explicit_path_run_does_not_report_unscanned_stale(tmp_path):
+    """Pre-commit shape: linting one file must not nag about others."""
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "clock.py").write_text(BAD_CLOCK.format(comment=""))
+    (pkg / "clean.py").write_text("x = 1\n")
+    full = run(str(tmp_path), baseline=None)
+    baseline = {fingerprint(f): 1 for f in full.findings}
+    # Scanning only the clean file: the clock.py entry is unproven,
+    # not stale; exit state is clean.
+    result = run(
+        str(tmp_path), paths=["src/repro/core/clean.py"], baseline=baseline
+    )
+    assert result.findings == []
+    assert result.stale_baseline == []
+    # Scanning the offending file with the violation fixed: now stale.
+    (pkg / "clock.py").write_text("x = 2\n")
+    result = run(
+        str(tmp_path), paths=["src/repro/core/clock.py"], baseline=baseline
+    )
+    assert result.stale_baseline != []
+
+
+def test_select_run_does_not_report_other_rules_stale(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text("x = 1\n")
+    baseline = {("RPL002", "src/repro/core/mod.py", "time.time()"): 1}
+    result = run(str(tmp_path), baseline=baseline, select=["RPL001"])
+    assert result.stale_baseline == []
+    result = run(str(tmp_path), baseline=baseline, select=["RPL002"])
+    assert result.stale_baseline != []
 
 
 def test_baseline_malformed_raises(tmp_path):
@@ -262,6 +383,24 @@ def test_cli_list_rules(capsys):
     for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005",
                  "RPL901", "RPL902"):
         assert code in out
+
+
+def test_cli_explicit_paths(bad_repo, capsys):
+    """Pre-commit shape: path arguments scope the scan, codes unchanged."""
+    bad = os.path.join("src", "repro", "core", "mod.py")
+    clean_pkg = bad_repo / "src" / "repro" / "clean"
+    clean_pkg.mkdir(parents=True)
+    (clean_pkg / "ok.py").write_text("x = 1\n")
+    clean = os.path.join("src", "repro", "clean", "ok.py")
+    assert cli_main(["--root", str(bad_repo), bad]) == 1
+    assert cli_main(["--root", str(bad_repo), clean]) == 0
+    capsys.readouterr()
+    # With the violation baselined, a clean-file-only run stays quiet:
+    # no findings, and no stale nagging about the unscanned file.
+    assert cli_main(["--root", str(bad_repo), "--write-baseline"]) == 0
+    assert cli_main(["--root", str(bad_repo), clean]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline entry" not in out
 
 
 def test_walker_skips_pycache(tmp_path):
